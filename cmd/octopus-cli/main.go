@@ -1,0 +1,302 @@
+// Command octopus-cli is the OctopusFS file system shell: the
+// command-line face of the Client API (paper §2.3, Table 1).
+//
+//	octopus-cli -master host:9000 <command> [args]
+//
+// Commands:
+//
+//	mkdir <path>                     create a directory (with parents)
+//	ls <path>                        list a directory
+//	put <local> <path> [repvector]   upload a file (e.g. "<1,0,2,0,0>")
+//	get <path> <local>               download a file
+//	cat <path>                       print a file
+//	rm [-r] <path>                   delete
+//	mv <src> <dst>                   rename
+//	stat <path>                      show file status
+//	setrep <path> <repvector>        change the replication vector
+//	locations <path>                 show block locations with tiers
+//	tiers                            show storage tier reports
+//	report                           per-worker media statistics
+//	quota <dir> <tier|total> <MB>    set a per-tier space quota (-1 clears)
+//	du <path>                        subtree usage incl. per-tier bytes
+//	fsck <path>                      per-file replication health
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+)
+
+func main() {
+	masterAddr := flag.String("master", "localhost:9000", "master RPC address")
+	node := flag.String("node", "", "this client's topology node name (for locality)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	opts := []client.Option{client.WithOwner(os.Getenv("USER"))}
+	if *node != "" {
+		opts = append(opts, client.WithNode(*node))
+	}
+	fs, err := client.Dial(*masterAddr, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	defer fs.Close()
+
+	if err := run(fs, args); err != nil {
+		fatal(err)
+	}
+}
+
+func run(fs *client.FileSystem, args []string) error {
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "mkdir":
+		need(rest, 1)
+		return fs.Mkdir(rest[0], true)
+
+	case "ls":
+		need(rest, 1)
+		entries, err := fs.List(rest[0])
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			kind := "-"
+			if e.IsDir {
+				kind = "d"
+			}
+			fmt.Printf("%s %-14s %12d  %s  %s\n", kind, e.RepVector, e.Length,
+				time.Unix(0, e.ModTime).Format("2006-01-02 15:04"), e.Path)
+		}
+		return nil
+
+	case "put":
+		need(rest, 2)
+		rv := core.ReplicationVectorFromFactor(3)
+		if len(rest) >= 3 {
+			parsed, err := core.ParseReplicationVector(rest[2])
+			if err != nil {
+				return err
+			}
+			rv = parsed
+		}
+		in, err := os.Open(rest[0])
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		w, err := fs.Create(rest[1], client.CreateOptions{RepVector: rv, Overwrite: true})
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(w, in); err != nil {
+			w.Abort()
+			return err
+		}
+		return w.Close()
+
+	case "get":
+		need(rest, 2)
+		r, err := fs.Open(rest[0])
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		out, err := os.Create(rest[1])
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(out, r); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+
+	case "cat":
+		need(rest, 1)
+		r, err := fs.Open(rest[0])
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		_, err = io.Copy(os.Stdout, r)
+		return err
+
+	case "rm":
+		recursive := false
+		if len(rest) > 0 && rest[0] == "-r" {
+			recursive, rest = true, rest[1:]
+		}
+		need(rest, 1)
+		return fs.Delete(rest[0], recursive)
+
+	case "mv":
+		need(rest, 2)
+		return fs.Rename(rest[0], rest[1])
+
+	case "stat":
+		need(rest, 1)
+		st, err := fs.Stat(rest[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("path:       %s\n", st.Path)
+		fmt.Printf("type:       %s\n", map[bool]string{true: "directory", false: "file"}[st.IsDir])
+		if !st.IsDir {
+			fmt.Printf("length:     %d\n", st.Length)
+			fmt.Printf("repvector:  %s\n", st.RepVector)
+			fmt.Printf("block size: %d\n", st.BlockSize)
+		}
+		fmt.Printf("owner:      %s\n", st.Owner)
+		fmt.Printf("modified:   %s\n", time.Unix(0, st.ModTime).Format(time.RFC3339))
+		return nil
+
+	case "setrep":
+		need(rest, 2)
+		rv, err := core.ParseReplicationVector(rest[1])
+		if err != nil {
+			return err
+		}
+		return fs.SetReplication(rest[0], rv)
+
+	case "locations":
+		need(rest, 1)
+		blocks, err := fs.GetFileBlockLocations(rest[0], 0, -1)
+		if err != nil {
+			return err
+		}
+		for _, b := range blocks {
+			fmt.Printf("%s offset=%d len=%d\n", b.Block.ID, b.Offset, b.Block.NumBytes)
+			for _, loc := range b.Locations {
+				fmt.Printf("  %-8s %-12s %-18s %s\n", loc.Tier, loc.Worker, loc.Storage, loc.Rack)
+			}
+		}
+		return nil
+
+	case "tiers":
+		reports, err := fs.GetStorageTierReports()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s%8s%10s%14s%14s%12s%12s\n",
+			"tier", "media", "workers", "capacity MB", "remaining MB", "write MB/s", "read MB/s")
+		for _, r := range reports {
+			fmt.Printf("%-10s%8d%10d%14d%14d%12.1f%12.1f\n",
+				r.Tier, r.NumMedia, r.NumWorkers, r.Capacity>>20, r.Remaining>>20,
+				r.WriteThruMBps, r.ReadThruMBps)
+		}
+		return nil
+
+	case "du":
+		need(rest, 1)
+		sum, err := fs.GetContentSummary(rest[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("path:        %s\n", rest[0])
+		fmt.Printf("directories: %d\n", sum.Directories)
+		fmt.Printf("files:       %d\n", sum.Files)
+		fmt.Printf("bytes:       %d\n", sum.Bytes)
+		names := []string{"memory", "ssd", "hdd", "remote", "total"}
+		for i, n := range names {
+			if sum.TierBytes[i] > 0 {
+				fmt.Printf("%-8s replica bytes: %d\n", n, sum.TierBytes[i])
+			}
+		}
+		return nil
+
+	case "fsck":
+		need(rest, 1)
+		files, err := fs.Fsck(rest[0])
+		if err != nil {
+			return err
+		}
+		healthy := 0
+		for _, f := range files {
+			status := "HEALTHY"
+			switch {
+			case f.MissingBlocks > 0:
+				status = "CORRUPT (missing blocks)"
+			case f.UnderConstruction:
+				status = "OPEN"
+			case f.MissingReplicas > 0 || f.ExcessReplicas > 0:
+				status = fmt.Sprintf("DEGRADED (missing %d, excess %d)", f.MissingReplicas, f.ExcessReplicas)
+			default:
+				healthy++
+			}
+			fmt.Printf("%-40s %-14s blocks=%d %s\n", f.Path, f.Expected, f.Blocks, status)
+		}
+		fmt.Printf("%d/%d files healthy\n", healthy, len(files))
+		return nil
+
+	case "report":
+		workers, err := fs.GetWorkerReports()
+		if err != nil {
+			return err
+		}
+		for _, w := range workers {
+			fmt.Printf("%s  node=%s rack=%s data=%s net=%.0fMB/s\n",
+				w.ID, w.Node, w.Rack, w.DataAddr, w.NetMBps)
+			for _, m := range w.Media {
+				usedPct := 0.0
+				if m.Capacity > 0 {
+					usedPct = 100 * float64(m.Capacity-m.Remaining) / float64(m.Capacity)
+				}
+				fmt.Printf("  %-20s %-8s cap=%6dMB used=%5.1f%% conns=%d w=%.0f r=%.0f MB/s\n",
+					m.ID, m.Tier, m.Capacity>>20, usedPct, m.Connections, m.WriteMBps, m.ReadMBps)
+			}
+		}
+		return nil
+
+	case "quota":
+		need(rest, 3)
+		tier := core.TierUnspecified
+		if rest[1] != "total" {
+			parsed, err := core.ParseTier(rest[1])
+			if err != nil {
+				return err
+			}
+			tier = parsed
+		}
+		mb, err := strconv.ParseInt(rest[2], 10, 64)
+		if err != nil {
+			return err
+		}
+		bytes := mb << 20
+		if mb < 0 {
+			bytes = -1
+		}
+		return fs.SetQuota(rest[0], tier, bytes)
+	}
+	usage()
+	return fmt.Errorf("unknown command %q", cmd)
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: octopus-cli [-master addr] [-node name] <command> [args]
+commands: mkdir ls put get cat rm mv stat setrep locations tiers report quota du fsck`)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "octopus-cli: %v\n", err)
+	os.Exit(1)
+}

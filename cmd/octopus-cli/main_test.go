@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/integration"
+)
+
+// TestCLICommands drives the shell's command dispatcher end to end
+// against a live in-process cluster.
+func TestCLICommands(t *testing.T) {
+	cluster, err := integration.StartCluster(integration.DefaultClusterConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	fs, err := cluster.Client("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	local := filepath.Join(t.TempDir(), "payload.bin")
+	if err := os.WriteFile(local, []byte("cli round trip payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "out.bin")
+
+	steps := [][]string{
+		{"mkdir", "/cli"},
+		{"put", local, "/cli/f", "<1,0,2,0,0>"},
+		{"ls", "/cli"},
+		{"stat", "/cli/f"},
+		{"locations", "/cli/f"},
+		{"tiers"},
+		{"report"},
+		{"du", "/cli"},
+		{"fsck", "/cli"},
+		{"setrep", "/cli/f", "<0,1,2,0,0>"},
+		{"get", "/cli/f", out},
+		{"mv", "/cli/f", "/cli/g"},
+		{"quota", "/cli", "memory", "64"},
+		{"quota", "/cli", "total", "-1"},
+		{"rm", "/cli/g"},
+		{"rm", "-r", "/cli"},
+	}
+	for _, step := range steps {
+		if err := run(fs, step); err != nil {
+			t.Fatalf("cli %v: %v", step, err)
+		}
+	}
+
+	got, err := os.ReadFile(out)
+	if err != nil || string(got) != "cli round trip payload" {
+		t.Fatalf("get round trip: %q, %v", got, err)
+	}
+
+	// Error paths surface cleanly.
+	if err := run(fs, []string{"stat", "/missing"}); err == nil {
+		t.Error("stat of missing path succeeded")
+	}
+	if err := run(fs, []string{"setrep", "/missing", "bogus"}); err == nil {
+		t.Error("setrep with bogus vector succeeded")
+	}
+	if err := run(fs, []string{"definitely-not-a-command"}); err == nil {
+		t.Error("unknown command succeeded")
+	}
+}

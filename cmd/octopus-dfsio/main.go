@@ -1,0 +1,171 @@
+// Command octopus-dfsio is the live-cluster counterpart of the
+// simulator's DFSIO workload (paper §7.1): it writes and reads data
+// against a running OctopusFS deployment with a configurable degree of
+// parallelism and replication vector, reporting aggregate and
+// per-thread throughput. Use it to reproduce the paper's tiered-storage
+// experiments on real hardware.
+//
+//	octopus-dfsio -master host:9000 -threads 9 -total-mb 1024 \
+//	    -repvector "<1,0,2,0,0>" write read
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		masterAddr = flag.String("master", "localhost:9000", "master RPC address")
+		threads    = flag.Int("threads", 4, "degree of parallelism d")
+		totalMB    = flag.Int64("total-mb", 256, "aggregate payload to write (MB)")
+		rvText     = flag.String("repvector", "<0,0,0,0,3>", "replication vector")
+		dir        = flag.String("dir", "/benchmarks/dfsio", "target directory")
+		node       = flag.String("node", "", "this client's topology node")
+		keep       = flag.Bool("keep", false, "keep the files after the run")
+	)
+	flag.Parse()
+	phases := flag.Args()
+	if len(phases) == 0 {
+		phases = []string{"write", "read"}
+	}
+
+	rv, err := core.ParseReplicationVector(*rvText)
+	if err != nil {
+		fatal(err)
+	}
+	opts := []client.Option{client.WithOwner("dfsio")}
+	if *node != "" {
+		opts = append(opts, client.WithNode(*node))
+	}
+	setup, err := client.Dial(*masterAddr, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	defer setup.Close()
+	if err := setup.Mkdir(*dir, true); err != nil {
+		fatal(err)
+	}
+
+	perThreadMB := *totalMB / int64(*threads)
+	for _, phase := range phases {
+		switch phase {
+		case "write":
+			runPhase("write", *masterAddr, opts, *threads, func(fs *client.FileSystem, t int) (int64, error) {
+				return writeOne(fs, path(*dir, t), perThreadMB, rv)
+			})
+		case "read":
+			runPhase("read", *masterAddr, opts, *threads, func(fs *client.FileSystem, t int) (int64, error) {
+				return readOne(fs, path(*dir, t))
+			})
+		case "clean":
+			if err := setup.Delete(*dir, true); err != nil {
+				fatal(err)
+			}
+			fmt.Println("cleaned", *dir)
+		default:
+			fatal(fmt.Errorf("unknown phase %q (want write, read, clean)", phase))
+		}
+	}
+	if !*keep && contains(phases, "read") {
+		setup.Delete(*dir, true)
+	}
+}
+
+func path(dir string, t int) string { return fmt.Sprintf("%s/part-%04d", dir, t) }
+
+// runPhase executes fn on every thread concurrently and reports the
+// paper's throughput metrics.
+func runPhase(name, addr string, opts []client.Option, threads int,
+	fn func(fs *client.FileSystem, t int) (int64, error)) {
+
+	var wg sync.WaitGroup
+	bytesPer := make([]int64, threads)
+	secsPer := make([]float64, threads)
+	errs := make([]error, threads)
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			fs, err := client.Dial(addr, opts...)
+			if err != nil {
+				errs[t] = err
+				return
+			}
+			defer fs.Close()
+			t0 := time.Now()
+			n, err := fn(fs, t)
+			secsPer[t] = time.Since(t0).Seconds()
+			bytesPer[t] = n
+			errs[t] = err
+		}(t)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	var total int64
+	var rateSum float64
+	for t := 0; t < threads; t++ {
+		if errs[t] != nil {
+			fatal(fmt.Errorf("%s thread %d: %w", name, t, errs[t]))
+		}
+		total += bytesPer[t]
+		if secsPer[t] > 0 {
+			rateSum += float64(bytesPer[t]) / 1e6 / secsPer[t]
+		}
+	}
+	fmt.Printf("%s: %d MB in %.2fs — aggregate %.1f MB/s, avg task rate %.1f MB/s\n",
+		name, total>>20, elapsed, float64(total)/1e6/elapsed, rateSum/float64(threads))
+}
+
+func writeOne(fs *client.FileSystem, p string, mb int64, rv core.ReplicationVector) (int64, error) {
+	w, err := fs.Create(p, client.CreateOptions{RepVector: rv, Overwrite: true})
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(int64(len(p))))
+	buf := make([]byte, 1<<20)
+	var n int64
+	for i := int64(0); i < mb; i++ {
+		rng.Read(buf)
+		m, err := w.Write(buf)
+		n += int64(m)
+		if err != nil {
+			w.Abort()
+			return n, err
+		}
+	}
+	return n, w.Close()
+}
+
+func readOne(fs *client.FileSystem, p string) (int64, error) {
+	r, err := fs.Open(p)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	return io.Copy(io.Discard, r)
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "octopus-dfsio: %v\n", err)
+	os.Exit(1)
+}

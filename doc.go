@@ -1,0 +1,7 @@
+// Package octopusfs is the root of the OctopusFS reproduction: a
+// distributed file system with tiered storage management (SIGMOD'17).
+// The implementation lives under internal/; run the examples/ programs
+// for a tour and cmd/octopus-bench to regenerate the paper's
+// evaluation tables and figures. See README.md, DESIGN.md, and
+// EXPERIMENTS.md.
+package octopusfs

@@ -1,0 +1,89 @@
+// Quickstart boots a complete in-process OctopusFS cluster — one
+// master and four workers with memory, SSD, and HDD media — writes a
+// file with an explicit replication vector, inspects where its blocks
+// landed, and reads it back.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/integration"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "octopus-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// A 4-worker cluster across 2 racks; every worker has one memory
+	// media, one SSD directory, and three HDD directories.
+	fmt.Println("starting in-process OctopusFS cluster...")
+	cluster, err := integration.StartCluster(integration.DefaultClusterConfig(dir))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	fs, err := cluster.Client("")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fs.Close()
+
+	// Write a 10 MB file with one replica in memory, one on SSD, and
+	// one on HDD — the replication vector ⟨1,1,1,0,0⟩ of paper §2.3.
+	payload := make([]byte, 10<<20)
+	rand.New(rand.NewSource(1)).Read(payload)
+	rv := core.NewReplicationVector(1, 1, 1, 0, 0)
+	fmt.Printf("writing /demo/data.bin with replication vector %s...\n", rv)
+	if err := fs.Mkdir("/demo", true); err != nil {
+		log.Fatal(err)
+	}
+	if err := fs.WriteFile("/demo/data.bin", payload, rv); err != nil {
+		log.Fatal(err)
+	}
+
+	// Where did the blocks land? getFileBlockLocations exposes the
+	// storage tier of every replica (paper Table 1).
+	blocks, err := fs.GetFileBlockLocations("/demo/data.bin", 0, -1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range blocks {
+		fmt.Printf("  %s (%d bytes):\n", b.Block.ID, b.Block.NumBytes)
+		for _, loc := range b.Locations {
+			fmt.Printf("    %-8s on %-8s media %s\n", loc.Tier, loc.Worker, loc.Storage)
+		}
+	}
+
+	// Cluster-wide tier statistics (paper Table 1:
+	// getStorageTierReports).
+	reports, err := fs.GetStorageTierReports()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("storage tiers:")
+	for _, r := range reports {
+		fmt.Printf("  %-8s %2d media on %d workers, %5.1f%% remaining\n",
+			r.Tier, r.NumMedia, r.NumWorkers, r.PercentRemaining())
+	}
+
+	// Read it back — the client reads from the fastest replica first.
+	got, err := fs.ReadFile("/demo/data.bin")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		log.Fatal("content mismatch")
+	}
+	fmt.Printf("read back %d bytes: content verified ✓\n", len(got))
+}

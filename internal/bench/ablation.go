@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// AblationRow measures one MOOP variant on the Figure 3 workload
+// (DFSIO, U=3, d=27).
+type AblationRow struct {
+	Variant      string
+	AvgWriteMBps float64
+	AvgReadMBps  float64
+}
+
+// ablationVariants builds the MOOP configurations whose design choices
+// DESIGN.md calls out: the Eq. 11 norm, the two-rack pruning
+// heuristic, writer collocation, and the load-balancing objective
+// (connection awareness).
+func ablationVariants() []struct {
+	name string
+	pol  policy.PlacementPolicy
+} {
+	base := func() policy.MOOPConfig {
+		cfg := policy.DefaultMOOPConfig()
+		cfg.UseMemory = true
+		return cfg
+	}
+	noRack := base()
+	noRack.RackPruning = false
+	l1 := base()
+	l1.Norm = policy.NormL1
+	noLocal := base()
+	noLocal.ClientLocal = false
+	noLB := base()
+	noLB.Objectives = []policy.Objective{
+		policy.DataBalancing, policy.FaultTolerance, policy.ThroughputMax,
+	}
+	return []struct {
+		name string
+		pol  policy.PlacementPolicy
+	}{
+		{"MOOP (full)", policy.NewMOOPPolicy(base())},
+		{"no rack pruning", policy.NewMOOPPolicy(noRack)},
+		{"L1 norm", policy.NewMOOPPolicy(l1)},
+		{"no collocation", policy.NewMOOPPolicy(noLocal)},
+		{"no load-awareness", policy.NewMOOPPolicy(noLB)},
+	}
+}
+
+// RunAblation executes the Figure 3 write+read workload under each
+// MOOP variant. totalMB scales the run (0 = the paper's 40 GB).
+func RunAblation(totalMB int64) ([]AblationRow, error) {
+	if totalMB <= 0 {
+		totalMB = 40960
+	}
+	var rows []AblationRow
+	for _, v := range ablationVariants() {
+		cfg := sim.PaperClusterConfig()
+		cfg.Placement = v.pol
+		c := sim.NewCluster(cfg)
+		dfsio := workloads.DFSIOConfig{
+			Cluster: c, Threads: 27, TotalMB: totalMB, BlockMB: 128,
+			RepVector: core.ReplicationVectorFromFactor(3), PathPrefix: "/abl",
+		}
+		w, err := workloads.RunWrite(dfsio)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s write: %w", v.name, err)
+		}
+		r, err := workloads.RunRead(dfsio)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s read: %w", v.name, err)
+		}
+		rows = append(rows, AblationRow{
+			Variant:      v.name,
+			AvgWriteMBps: w.ThroughputPerWorkerMBps,
+			AvgReadMBps:  r.ThroughputPerWorkerMBps,
+		})
+	}
+	return rows, nil
+}
+
+// PrintAblation renders the ablation study.
+func PrintAblation(w io.Writer, rows []AblationRow) {
+	fmt.Fprintln(w, "\nAblation: MOOP design choices on the Figure 3 workload (40GB, U=3, d=27)")
+	fmt.Fprintf(w, "%-20s%14s%14s\n", "variant", "write MB/s", "read MB/s")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s%14.1f%14.1f\n", r.Variant, r.AvgWriteMBps, r.AvgReadMBps)
+	}
+}

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// fsConfig describes a file system under test for the application
+// experiments: a placement and a retrieval policy pair.
+type fsConfig struct {
+	name      string
+	placement func() policy.PlacementPolicy
+	retrieval func() policy.RetrievalPolicy
+}
+
+func hdfsFS() fsConfig {
+	return fsConfig{
+		name:      "HDFS",
+		placement: func() policy.PlacementPolicy { return policy.NewHDFSPolicy() },
+		retrieval: func() policy.RetrievalPolicy { return policy.NewHDFSRetrievalPolicy() },
+	}
+}
+
+func octopusFS() fsConfig {
+	return fsConfig{
+		name: "OctopusFS",
+		// The paper-default MOOP policy: the volatile memory tier is
+		// NOT used for unspecified replicas (§3.3), which is exactly
+		// why the explicit prefetch/intermediate optimisations of
+		// Figure 7 have headroom on top of the automated policies.
+		placement: func() policy.PlacementPolicy {
+			return policy.NewMOOPPolicy(policy.DefaultMOOPConfig())
+		},
+		retrieval: func() policy.RetrievalPolicy { return policy.NewOctopusRetrievalPolicy() },
+	}
+}
+
+func newAppCluster(fs fsConfig) *sim.Cluster {
+	cfg := sim.PaperClusterConfig()
+	cfg.Placement = fs.placement()
+	cfg.Retrieval = fs.retrieval()
+	return sim.NewCluster(cfg)
+}
+
+// Fig6Row is one workload × engine measurement of Figure 6.
+type Fig6Row struct {
+	Workload   string
+	Category   string
+	Engine     workloads.EngineKind
+	HDFSSec    float64
+	OctopusSec float64
+	// Normalized is OctopusSec/HDFSSec — the paper's Figure 6 y-axis.
+	Normalized float64
+}
+
+// appTasks is the task parallelism of the application experiments
+// (3 task slots per worker, the usual Hadoop configuration for
+// 8-core nodes).
+const appTasks = 27
+
+// RunFig6 reproduces §7.5: the nine HiBench workloads on the Hadoop
+// and Spark engine models, each over HDFS-policy and OctopusFS-policy
+// clusters, reporting normalized execution time.
+func RunFig6() ([]Fig6Row, error) {
+	var rows []Fig6Row
+	for _, engine := range []workloads.EngineKind{workloads.Hadoop, workloads.Spark} {
+		for _, w := range workloads.HiBenchSuite() {
+			var secs [2]float64
+			for i, fs := range []fsConfig{hdfsFS(), octopusFS()} {
+				c := newAppCluster(fs)
+				sec, err := workloads.RunHiBench(c, w, engine, appTasks, 128)
+				if err != nil {
+					return nil, fmt.Errorf("fig6 %s/%s/%s: %w", engine, w.Name, fs.name, err)
+				}
+				secs[i] = sec
+			}
+			rows = append(rows, Fig6Row{
+				Workload: w.Name, Category: w.Category, Engine: engine,
+				HDFSSec: secs[0], OctopusSec: secs[1],
+				Normalized: secs[1] / secs[0],
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintFig6 renders Figure 6.
+func PrintFig6(w io.Writer, rows []Fig6Row) {
+	fmt.Fprintln(w, "\nFigure 6: normalized execution time of OctopusFS over HDFS (lower is better)")
+	fmt.Fprintf(w, "%-8s%-14s%-8s%12s%14s%12s%12s\n",
+		"engine", "workload", "cat", "HDFS s", "OctopusFS s", "normalized", "gain")
+	sums := map[workloads.EngineKind]float64{}
+	counts := map[workloads.EngineKind]int{}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s%-14s%-8s%12.0f%14.0f%12.2f%11.0f%%\n",
+			r.Engine, r.Workload, r.Category, r.HDFSSec, r.OctopusSec,
+			r.Normalized, 100*(1-r.Normalized))
+		sums[r.Engine] += 1 - r.Normalized
+		counts[r.Engine]++
+	}
+	for _, e := range []workloads.EngineKind{workloads.Hadoop, workloads.Spark} {
+		if counts[e] > 0 {
+			fmt.Fprintf(w, "%s average improvement: %.0f%%\n", e, 100*sums[e]/float64(counts[e]))
+		}
+	}
+}
+
+// Fig7Variants are the execution variants of Figure 7.
+var Fig7Variants = []string{"HDFS", "OctopusFS", "Octo+prefetch", "Octo+interm", "Octo+both"}
+
+// Fig7Row is one workload's set of normalized execution times.
+type Fig7Row struct {
+	Workload string
+	// Seconds per variant, keyed like Fig7Variants.
+	Seconds map[string]float64
+	// Normalized to the HDFS time (the paper's Figure 7 y-axis).
+	Normalized map[string]float64
+}
+
+// RunFig7 reproduces §7.6: the four Pegasus workloads executed over
+// HDFS, plain OctopusFS, and OctopusFS with the prefetching and
+// in-memory-intermediate optimisations separately and together.
+func RunFig7() ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, w := range workloads.PegasusSuite() {
+		row := Fig7Row{
+			Workload:   w.Name,
+			Seconds:    map[string]float64{},
+			Normalized: map[string]float64{},
+		}
+		variants := []struct {
+			name string
+			fs   fsConfig
+			opts workloads.PegasusOpts
+		}{
+			{"HDFS", hdfsFS(), workloads.PegasusOpts{}},
+			{"OctopusFS", octopusFS(), workloads.PegasusOpts{}},
+			{"Octo+prefetch", octopusFS(), workloads.PegasusOpts{Prefetch: true}},
+			{"Octo+interm", octopusFS(), workloads.PegasusOpts{MemIntermediate: true}},
+			{"Octo+both", octopusFS(), workloads.PegasusOpts{Prefetch: true, MemIntermediate: true}},
+		}
+		for _, v := range variants {
+			c := newAppCluster(v.fs)
+			sec, err := workloads.RunPegasus(c, w, v.opts, appTasks, 128)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %s/%s: %w", w.Name, v.name, err)
+			}
+			row.Seconds[v.name] = sec
+		}
+		for _, v := range Fig7Variants {
+			row.Normalized[v] = row.Seconds[v] / row.Seconds["HDFS"]
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintFig7 renders Figure 7.
+func PrintFig7(w io.Writer, rows []Fig7Row) {
+	fmt.Fprintln(w, "\nFigure 7: normalized execution time of Pegasus workloads (lower is better)")
+	fmt.Fprintf(w, "%-12s", "workload")
+	for _, v := range Fig7Variants {
+		fmt.Fprintf(w, "%16s", v)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s", r.Workload)
+		for _, v := range Fig7Variants {
+			fmt.Fprintf(w, "%16.2f", r.Normalized[v])
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,282 @@
+// Package bench contains the experiment drivers that regenerate every
+// table and figure of the paper's evaluation (§7). Each RunXxx
+// function returns structured results; each PrintXxx renders them in
+// the paper's format. The cmd/octopus-bench binary and the top-level
+// Go benchmarks are thin wrappers over this package.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Fig2Vectors are the six replication vectors of paper Figure 2.
+func Fig2Vectors() []core.ReplicationVector {
+	return []core.ReplicationVector{
+		core.NewReplicationVector(3, 0, 0, 0, 0),
+		core.NewReplicationVector(0, 3, 0, 0, 0),
+		core.NewReplicationVector(0, 0, 3, 0, 0),
+		core.NewReplicationVector(1, 1, 1, 0, 0),
+		core.NewReplicationVector(1, 0, 2, 0, 0),
+		core.NewReplicationVector(0, 1, 2, 0, 0),
+	}
+}
+
+// Parallelisms are the five degrees of parallelism of Figures 2 and 5.
+func Parallelisms() []int { return []int{9, 18, 27, 36, 45} }
+
+// Fig2Point is one measurement of Figure 2: a (vector, parallelism)
+// cell with the average write and read task throughput.
+type Fig2Point struct {
+	Vector     core.ReplicationVector
+	D          int
+	WriteMBps  float64 // average per-task write rate
+	ReadMBps   float64 // average per-task read rate
+	LocalReads float64 // fraction of node-local reads
+}
+
+// RunFig2 reproduces §7.1: DFSIO writing and reading 10 GB with six
+// explicit replication vectors under five degrees of parallelism.
+// totalMB scales the experiment (10240 reproduces the paper).
+func RunFig2(totalMB int64) ([]Fig2Point, error) {
+	if totalMB <= 0 {
+		totalMB = 10240
+	}
+	var points []Fig2Point
+	for _, d := range Parallelisms() {
+		for _, v := range Fig2Vectors() {
+			c := sim.NewCluster(sim.PaperClusterConfig())
+			cfg := workloads.DFSIOConfig{
+				Cluster: c, Threads: d, TotalMB: totalMB, BlockMB: 128,
+				RepVector: v, PathPrefix: "/dfsio",
+			}
+			w, err := workloads.RunWrite(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig2 write %s d=%d: %w", v, d, err)
+			}
+			r, err := workloads.RunRead(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig2 read %s d=%d: %w", v, d, err)
+			}
+			p := Fig2Point{Vector: v, D: d, WriteMBps: w.PerThreadMBps, ReadMBps: r.PerThreadMBps}
+			if r.TotalReads > 0 {
+				p.LocalReads = float64(r.LocalReads) / float64(r.TotalReads)
+			}
+			points = append(points, p)
+		}
+	}
+	return points, nil
+}
+
+// PrintFig2 renders Figure 2 as two tables (write and read).
+func PrintFig2(w io.Writer, points []Fig2Point) {
+	byD := map[int]map[core.ReplicationVector]Fig2Point{}
+	for _, p := range points {
+		if byD[p.D] == nil {
+			byD[p.D] = map[core.ReplicationVector]Fig2Point{}
+		}
+		byD[p.D][p.Vector] = p
+	}
+	for _, phase := range []string{"write", "read"} {
+		fmt.Fprintf(w, "\nFigure 2(%s): avg %s throughput per task (MB/s), <M,S,H> vectors\n",
+			map[string]string{"write": "a", "read": "b"}[phase], phase)
+		fmt.Fprintf(w, "%-10s", "d")
+		for _, v := range Fig2Vectors() {
+			fmt.Fprintf(w, "%12s", fmt.Sprintf("<%d,%d,%d>", v.Memory(), v.SSD(), v.HDD()))
+		}
+		fmt.Fprintln(w)
+		for _, d := range Parallelisms() {
+			fmt.Fprintf(w, "%-10d", d)
+			for _, v := range Fig2Vectors() {
+				p := byD[d][v]
+				val := p.WriteMBps
+				if phase == "read" {
+					val = p.ReadMBps
+				}
+				fmt.Fprintf(w, "%12.1f", val)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// PlacementPolicies returns the eight placement policies of §7.2 in
+// the paper's presentation order. MOOP and the single-objective
+// policies enable the memory tier ("we enabled the use of the Memory
+// tier for fairness").
+func PlacementPolicies() []policy.PlacementPolicy {
+	moopCfg := policy.DefaultMOOPConfig()
+	moopCfg.UseMemory = true
+	return []policy.PlacementPolicy{
+		policy.NewSingleObjectivePolicy(policy.DataBalancing),
+		policy.NewSingleObjectivePolicy(policy.LoadBalancing),
+		policy.NewSingleObjectivePolicy(policy.FaultTolerance),
+		policy.NewSingleObjectivePolicy(policy.ThroughputMax),
+		policy.NewMOOPPolicy(moopCfg),
+		policy.NewRuleBasedPolicy(),
+		policy.NewHDFSPolicy(),
+		policy.NewHDFSWithSSDPolicy(),
+	}
+}
+
+// Fig3Series is one policy's result for Figures 3 and 4.
+type Fig3Series struct {
+	Policy string
+
+	AvgWriteMBps  float64 // avg write throughput per worker (Fig 3a)
+	AvgReadMBps   float64 // avg read throughput per worker (Fig 3b)
+	WriteTimeline []workloads.Sample
+	ReadTimeline  []workloads.Sample
+
+	// RemainingPercent per tier after the write phase (Figure 4).
+	RemainingPercent map[core.StorageTier]float64
+}
+
+// RunFig3 reproduces §7.2: DFSIO writing and reading 40 GB with U=3
+// at d=27 under each of the eight placement policies. totalMB scales
+// the run (40960 reproduces the paper).
+func RunFig3(totalMB int64) ([]Fig3Series, error) {
+	if totalMB <= 0 {
+		totalMB = 40960
+	}
+	var out []Fig3Series
+	for _, pol := range PlacementPolicies() {
+		cfg := sim.PaperClusterConfig()
+		cfg.Placement = pol
+		c := sim.NewCluster(cfg)
+		dfsio := workloads.DFSIOConfig{
+			Cluster: c, Threads: 27, TotalMB: totalMB, BlockMB: 128,
+			RepVector: core.ReplicationVectorFromFactor(3), PathPrefix: "/fig3",
+		}
+		w, err := workloads.RunWrite(dfsio)
+		if err != nil {
+			return nil, fmt.Errorf("fig3 %s write: %w", pol.Name(), err)
+		}
+		series := Fig3Series{
+			Policy:           pol.Name(),
+			AvgWriteMBps:     w.ThroughputPerWorkerMBps,
+			WriteTimeline:    workloads.WindowedThroughput(w.Timeline, w.MakespanSec/20+1e-9, 9),
+			RemainingPercent: map[core.StorageTier]float64{},
+		}
+		for tier, uc := range c.TierUsage() {
+			if uc[1] > 0 {
+				series.RemainingPercent[tier] = 100 * float64(uc[1]-uc[0]) / float64(uc[1])
+			}
+		}
+		r, err := workloads.RunRead(dfsio)
+		if err != nil {
+			return nil, fmt.Errorf("fig3 %s read: %w", pol.Name(), err)
+		}
+		series.AvgReadMBps = r.ThroughputPerWorkerMBps
+		series.ReadTimeline = workloads.WindowedThroughput(r.Timeline, r.MakespanSec/20+1e-9, 9)
+		out = append(out, series)
+	}
+	return out, nil
+}
+
+// PrintFig3 renders the Figure 3 averages and time series.
+func PrintFig3(w io.Writer, series []Fig3Series) {
+	fmt.Fprintln(w, "\nFigure 3: DFSIO 40GB, U=3, d=27 — avg throughput per worker (MB/s)")
+	fmt.Fprintf(w, "%-14s%14s%14s\n", "policy", "write MB/s", "read MB/s")
+	for _, s := range series {
+		fmt.Fprintf(w, "%-14s%14.1f%14.1f\n", s.Policy, s.AvgWriteMBps, s.AvgReadMBps)
+	}
+	fmt.Fprintln(w, "\nFigure 3(a): write throughput per worker over time (MB/s, 20 windows)")
+	for _, s := range series {
+		fmt.Fprintf(w, "%-14s", s.Policy)
+		for _, p := range s.WriteTimeline {
+			fmt.Fprintf(w, "%7.0f", p.PayloadMB)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "\nFigure 3(b): read throughput per worker over time (MB/s, 20 windows)")
+	for _, s := range series {
+		fmt.Fprintf(w, "%-14s", s.Policy)
+		for _, p := range s.ReadTimeline {
+			fmt.Fprintf(w, "%7.0f", p.PayloadMB)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintFig4 renders the Figure 4 per-tier remaining capacities.
+func PrintFig4(w io.Writer, series []Fig3Series) {
+	fmt.Fprintln(w, "\nFigure 4: remaining capacity percent per storage tier after the 40GB write")
+	fmt.Fprintf(w, "%-14s%10s%10s%10s\n", "policy", "MEMORY", "SSD", "HDD")
+	for _, s := range series {
+		fmt.Fprintf(w, "%-14s%10.1f%10.1f%10.1f\n", s.Policy,
+			s.RemainingPercent[core.TierMemory],
+			s.RemainingPercent[core.TierSSD],
+			s.RemainingPercent[core.TierHDD])
+	}
+}
+
+// Fig5Point is one measurement of Figure 5.
+type Fig5Point struct {
+	Policy   string
+	D        int
+	ReadMBps float64 // avg read throughput per task
+}
+
+// RunFig5 reproduces §7.3: data written with the MOOP policy, then
+// read with the OctopusFS retrieval policy vs the original HDFS
+// (locality-only) policy, for five degrees of parallelism.
+func RunFig5(totalMB int64) ([]Fig5Point, error) {
+	if totalMB <= 0 {
+		totalMB = 10240
+	}
+	retrievals := []policy.RetrievalPolicy{
+		policy.NewOctopusRetrievalPolicy(),
+		policy.NewHDFSRetrievalPolicy(),
+	}
+	moopCfg := policy.DefaultMOOPConfig()
+	moopCfg.UseMemory = true
+	var out []Fig5Point
+	for _, d := range Parallelisms() {
+		for _, ret := range retrievals {
+			cfg := sim.PaperClusterConfig()
+			cfg.Placement = policy.NewMOOPPolicy(moopCfg)
+			cfg.Retrieval = ret
+			c := sim.NewCluster(cfg)
+			dfsio := workloads.DFSIOConfig{
+				Cluster: c, Threads: d, TotalMB: totalMB, BlockMB: 128,
+				RepVector: core.ReplicationVectorFromFactor(3), PathPrefix: "/fig5",
+			}
+			if _, err := workloads.RunWrite(dfsio); err != nil {
+				return nil, fmt.Errorf("fig5 write d=%d: %w", d, err)
+			}
+			r, err := workloads.RunRead(dfsio)
+			if err != nil {
+				return nil, fmt.Errorf("fig5 read %s d=%d: %w", ret.Name(), d, err)
+			}
+			out = append(out, Fig5Point{Policy: ret.Name(), D: d, ReadMBps: r.PerThreadMBps})
+		}
+	}
+	return out, nil
+}
+
+// PrintFig5 renders Figure 5.
+func PrintFig5(w io.Writer, points []Fig5Point) {
+	fmt.Fprintln(w, "\nFigure 5: avg read throughput per task (MB/s), MOOP-placed data")
+	fmt.Fprintf(w, "%-10s%14s%14s%10s\n", "d", "OctopusFS", "HDFS", "speedup")
+	vals := map[int]map[string]float64{}
+	for _, p := range points {
+		if vals[p.D] == nil {
+			vals[p.D] = map[string]float64{}
+		}
+		vals[p.D][p.Policy] = p.ReadMBps
+	}
+	for _, d := range Parallelisms() {
+		oct, hdfs := vals[d]["OctopusFS"], vals[d]["HDFS"]
+		speedup := 0.0
+		if hdfs > 0 {
+			speedup = oct / hdfs
+		}
+		fmt.Fprintf(w, "%-10d%14.1f%14.1f%9.1fx\n", d, oct, hdfs, speedup)
+	}
+}

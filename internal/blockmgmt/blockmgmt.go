@@ -1,0 +1,397 @@
+// Package blockmgmt maintains the master's second metadata collection
+// (paper §2.1): the mapping from file blocks to the workers and
+// storage media hosting their replicas, and the per-tier replication
+// state from which the master drives re-replication and excess-replica
+// removal (paper §5).
+package blockmgmt
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Replica locates one stored copy of a block.
+type Replica struct {
+	Worker  core.WorkerID
+	Storage core.StorageID
+	Tier    core.StorageTier
+}
+
+// BlockInfo is the master-side record of one block: its identity, the
+// replication vector it should satisfy, and its known replicas.
+type BlockInfo struct {
+	Block    core.Block
+	Expected core.ReplicationVector
+	Replicas []Replica
+
+	// UnderConstruction marks a block still being written through a
+	// client pipeline. The replication monitor ignores such blocks —
+	// their replicas trickle in as the pipeline stages acknowledge —
+	// and only repairs committed blocks, like HDFS.
+	UnderConstruction bool
+}
+
+// TierCounts tallies the block's replicas per tier.
+func (bi *BlockInfo) TierCounts() map[core.StorageTier]int {
+	counts := make(map[core.StorageTier]int)
+	for _, r := range bi.Replicas {
+		counts[r.Tier]++
+	}
+	return counts
+}
+
+// ReplicationState summarises how a block's replica set diverges from
+// its replication vector.
+type ReplicationState struct {
+	// MissingPerTier counts replicas still needed on tiers the vector
+	// pins explicitly.
+	MissingPerTier map[core.StorageTier]int
+
+	// MissingAny counts additional replicas needed on any tier
+	// (unsatisfied "Unspecified" entries).
+	MissingAny int
+
+	// Excess counts replicas beyond the vector's total that should be
+	// removed.
+	Excess int
+
+	// ExcessTiers lists, fastest tier first, the tiers holding more
+	// replicas than pinned and not needed to satisfy unspecified
+	// entries — the candidate tiers for removal.
+	ExcessTiers []core.StorageTier
+}
+
+// Satisfied reports whether the block needs no repair.
+func (s ReplicationState) Satisfied() bool {
+	return len(s.MissingPerTier) == 0 && s.MissingAny == 0 && s.Excess == 0
+}
+
+// MissingTotal returns the total number of replicas to create.
+func (s ReplicationState) MissingTotal() int {
+	n := s.MissingAny
+	for _, v := range s.MissingPerTier {
+		n += v
+	}
+	return n
+}
+
+// computeState diffs actual per-tier counts against a replication
+// vector. Surplus replicas on pinned tiers count toward unspecified
+// entries before being declared excess, matching the paper's semantics
+// that "U" replicas may live on any tier.
+func computeState(expected core.ReplicationVector, actual map[core.StorageTier]int) ReplicationState {
+	st := ReplicationState{MissingPerTier: make(map[core.StorageTier]int)}
+	surplus := make(map[core.StorageTier]int)
+	totalSurplus := 0
+	for _, t := range core.Tiers() {
+		want := expected.Tier(t)
+		have := actual[t]
+		switch {
+		case have < want:
+			st.MissingPerTier[t] = want - have
+		case have > want:
+			surplus[t] = have - want
+			totalSurplus += have - want
+		}
+	}
+	u := expected.Unspecified()
+	if totalSurplus < u {
+		st.MissingAny = u - totalSurplus
+	} else if totalSurplus > u {
+		st.Excess = totalSurplus - u
+		for _, t := range core.Tiers() {
+			if surplus[t] > 0 {
+				st.ExcessTiers = append(st.ExcessTiers, t)
+			}
+		}
+	}
+	return st
+}
+
+// replicaKey identifies one replica record.
+type replicaKey struct {
+	id      core.BlockID
+	storage core.StorageID
+}
+
+// Manager is the concurrent block map.
+type Manager struct {
+	mu     sync.RWMutex
+	blocks map[core.BlockID]*BlockInfo
+	// byWorker indexes block IDs by hosting worker for fast failure
+	// handling.
+	byWorker map[core.WorkerID]map[core.BlockID]struct{}
+	// added records when each replica was first seen, so block-report
+	// reconciliation can ignore replicas newer than the report (a
+	// report generated before a pipeline write finished must not erase
+	// the freshly received replica).
+	added map[replicaKey]time.Time
+}
+
+// NewManager returns an empty block map.
+func NewManager() *Manager {
+	return &Manager{
+		blocks:   make(map[core.BlockID]*BlockInfo),
+		byWorker: make(map[core.WorkerID]map[core.BlockID]struct{}),
+		added:    make(map[replicaKey]time.Time),
+	}
+}
+
+// AddBlock registers a freshly allocated block with its expected
+// replication vector.
+func (m *Manager) AddBlock(b core.Block, expected core.ReplicationVector) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if existing, ok := m.blocks[b.ID]; ok {
+		existing.Expected = expected
+		if b.GenStamp >= existing.Block.GenStamp {
+			existing.Block = b
+		}
+		return
+	}
+	m.blocks[b.ID] = &BlockInfo{Block: b, Expected: expected, UnderConstruction: true}
+}
+
+// CommitBlock records a block's final length and releases it to the
+// replication monitor.
+func (m *Manager) CommitBlock(b core.Block) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if bi, ok := m.blocks[b.ID]; ok {
+		if b.GenStamp >= bi.Block.GenStamp {
+			bi.Block = b
+		}
+		bi.UnderConstruction = false
+	}
+}
+
+// RemoveBlock forgets a block (file deleted) and returns the replicas
+// to invalidate on the workers.
+func (m *Manager) RemoveBlock(id core.BlockID) []Replica {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	bi, ok := m.blocks[id]
+	if !ok {
+		return nil
+	}
+	for _, r := range bi.Replicas {
+		m.unindexLocked(r.Worker, id)
+		delete(m.added, replicaKey{id, r.Storage})
+	}
+	delete(m.blocks, id)
+	return bi.Replicas
+}
+
+// SetExpected updates a block's replication vector (SetReplication).
+func (m *Manager) SetExpected(id core.BlockID, expected core.ReplicationVector) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if bi, ok := m.blocks[id]; ok {
+		bi.Expected = expected
+	}
+}
+
+// AddReplica records that a worker stores a replica. Stale-generation
+// replicas are rejected and reported for deletion (stale=true).
+// Replicas of unknown blocks (e.g. of files deleted while the report
+// was in flight) are also rejected for deletion.
+func (m *Manager) AddReplica(b core.Block, r Replica) (accepted, stale bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	bi, ok := m.blocks[b.ID]
+	if !ok {
+		return false, false
+	}
+	if b.GenStamp < bi.Block.GenStamp {
+		return false, true
+	}
+	for i, existing := range bi.Replicas {
+		if existing.Storage == r.Storage {
+			bi.Replicas[i] = r
+			return true, false
+		}
+	}
+	bi.Replicas = append(bi.Replicas, r)
+	if b.NumBytes > bi.Block.NumBytes {
+		bi.Block.NumBytes = b.NumBytes
+	}
+	m.indexLocked(r.Worker, b.ID)
+	m.added[replicaKey{b.ID, r.Storage}] = time.Now()
+	return true, false
+}
+
+// RemoveReplica forgets one replica (media failure, deletion ack, or
+// corruption report).
+func (m *Manager) RemoveReplica(id core.BlockID, storage core.StorageID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	bi, ok := m.blocks[id]
+	if !ok {
+		return
+	}
+	for i, r := range bi.Replicas {
+		if r.Storage == storage {
+			worker := r.Worker
+			bi.Replicas = append(bi.Replicas[:i], bi.Replicas[i+1:]...)
+			delete(m.added, replicaKey{id, storage})
+			still := false
+			for _, rest := range bi.Replicas {
+				if rest.Worker == worker {
+					still = true
+					break
+				}
+			}
+			if !still {
+				m.unindexLocked(worker, id)
+			}
+			return
+		}
+	}
+}
+
+// RemoveWorker drops every replica hosted by a failed worker and
+// returns the IDs of the affected blocks (candidates for
+// re-replication).
+func (m *Manager) RemoveWorker(w core.WorkerID) []core.BlockID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]core.BlockID, 0, len(m.byWorker[w]))
+	for id := range m.byWorker[w] {
+		bi := m.blocks[id]
+		kept := bi.Replicas[:0]
+		for _, r := range bi.Replicas {
+			if r.Worker != w {
+				kept = append(kept, r)
+			} else {
+				delete(m.added, replicaKey{id, r.Storage})
+			}
+		}
+		bi.Replicas = kept
+		ids = append(ids, id)
+	}
+	delete(m.byWorker, w)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ReplicasOnWorker lists every (block, storage) pair the map believes
+// the worker hosts and that was added before the cutoff; block reports
+// reconcile against it. The cutoff excludes replicas fresher than the
+// report being processed, which would otherwise be erased by a report
+// generated before their pipeline write completed.
+func (m *Manager) ReplicasOnWorker(w core.WorkerID, addedBefore time.Time) map[core.BlockID]core.StorageID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[core.BlockID]core.StorageID)
+	for id := range m.byWorker[w] {
+		for _, r := range m.blocks[id].Replicas {
+			if r.Worker != w {
+				continue
+			}
+			if at, ok := m.added[replicaKey{id, r.Storage}]; ok && at.After(addedBefore) {
+				continue
+			}
+			out[id] = r.Storage
+		}
+	}
+	return out
+}
+
+// Replicas returns a copy of a block's replica list.
+func (m *Manager) Replicas(id core.BlockID) []Replica {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	bi, ok := m.blocks[id]
+	if !ok {
+		return nil
+	}
+	return append([]Replica(nil), bi.Replicas...)
+}
+
+// Info returns a copy of the block's record.
+func (m *Manager) Info(id core.BlockID) (BlockInfo, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	bi, ok := m.blocks[id]
+	if !ok {
+		return BlockInfo{}, false
+	}
+	out := *bi
+	out.Replicas = append([]Replica(nil), bi.Replicas...)
+	return out, true
+}
+
+// State computes a block's replication state.
+func (m *Manager) State(id core.BlockID) (ReplicationState, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	bi, ok := m.blocks[id]
+	if !ok {
+		return ReplicationState{}, false
+	}
+	return computeState(bi.Expected, bi.tierCountsLocked()), true
+}
+
+func (bi *BlockInfo) tierCountsLocked() map[core.StorageTier]int {
+	counts := make(map[core.StorageTier]int)
+	for _, r := range bi.Replicas {
+		counts[r.Tier]++
+	}
+	return counts
+}
+
+// ScanUnhealthy visits every block whose replication state is not
+// satisfied, in block-ID order. The callback receives copies.
+func (m *Manager) ScanUnhealthy(fn func(BlockInfo, ReplicationState)) {
+	type item struct {
+		info  BlockInfo
+		state ReplicationState
+	}
+	m.mu.RLock()
+	var items []item
+	for _, bi := range m.blocks {
+		if bi.UnderConstruction {
+			continue
+		}
+		st := computeState(bi.Expected, bi.tierCountsLocked())
+		if st.Satisfied() {
+			continue
+		}
+		cp := *bi
+		cp.Replicas = append([]Replica(nil), bi.Replicas...)
+		items = append(items, item{cp, st})
+	}
+	m.mu.RUnlock()
+	sort.Slice(items, func(i, j int) bool { return items[i].info.Block.ID < items[j].info.Block.ID })
+	for _, it := range items {
+		fn(it.info, it.state)
+	}
+}
+
+// NumBlocks returns the number of tracked blocks.
+func (m *Manager) NumBlocks() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.blocks)
+}
+
+func (m *Manager) indexLocked(w core.WorkerID, id core.BlockID) {
+	set, ok := m.byWorker[w]
+	if !ok {
+		set = make(map[core.BlockID]struct{})
+		m.byWorker[w] = set
+	}
+	set[id] = struct{}{}
+}
+
+func (m *Manager) unindexLocked(w core.WorkerID, id core.BlockID) {
+	if set, ok := m.byWorker[w]; ok {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(m.byWorker, w)
+		}
+	}
+}

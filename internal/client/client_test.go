@@ -1,0 +1,137 @@
+package client
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestFederationValidation(t *testing.T) {
+	if _, err := NewFederation(nil); err == nil {
+		t.Error("empty federation accepted")
+	}
+	if _, err := NewFederation(map[string]string{"relative": "addr"}); err == nil {
+		t.Error("relative mount prefix accepted")
+	}
+	// Unreachable master: Dial must fail and the error propagate.
+	if _, err := NewFederation(map[string]string{"/": "127.0.0.1:1"}); err == nil {
+		t.Error("unreachable mount accepted")
+	}
+}
+
+func TestFederationResolveLongestPrefix(t *testing.T) {
+	// Construct a federation without dialling by building the struct
+	// directly (same package).
+	a, b, root := &FileSystem{}, &FileSystem{}, &FileSystem{}
+	f := &Federation{mounts: []mount{
+		{prefix: "/data/hot", fs: a},
+		{prefix: "/data", fs: b},
+		{prefix: "", fs: root}, // "/" normalises to ""
+	}}
+	tests := []struct {
+		path string
+		want *FileSystem
+	}{
+		{"/data/hot/x", a},
+		{"/data/hot", a},
+		{"/data/warm/y", b},
+		{"/data", b},
+		{"/other", root},
+		{"/datafoo", root}, // no partial-segment match
+	}
+	for _, tt := range tests {
+		got, err := f.Resolve(tt.path)
+		if err != nil {
+			t.Errorf("Resolve(%q): %v", tt.path, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("Resolve(%q) picked the wrong mount", tt.path)
+		}
+	}
+	// Without a root mount, uncovered paths error.
+	f2 := &Federation{mounts: []mount{{prefix: "/data", fs: a}}}
+	if _, err := f2.Resolve("/other"); err == nil {
+		t.Error("uncovered path resolved")
+	}
+}
+
+func TestReaderBlockAt(t *testing.T) {
+	r := &Reader{
+		length: 300,
+		blocks: []core.LocatedBlock{
+			{Block: core.Block{ID: 1, NumBytes: 100}, Offset: 0},
+			{Block: core.Block{ID: 2, NumBytes: 100}, Offset: 100},
+			{Block: core.Block{ID: 3, NumBytes: 100}, Offset: 200},
+		},
+	}
+	tests := []struct {
+		offset int64
+		want   core.BlockID
+		none   bool
+	}{
+		{0, 1, false},
+		{99, 1, false},
+		{100, 2, false},
+		{250, 3, false},
+		{299, 3, false},
+		{300, 0, true},
+		{1000, 0, true},
+	}
+	for _, tt := range tests {
+		got := r.blockAt(tt.offset)
+		if tt.none {
+			if got != nil {
+				t.Errorf("blockAt(%d) = %v, want nil", tt.offset, got.Block.ID)
+			}
+			continue
+		}
+		if got == nil || got.Block.ID != tt.want {
+			t.Errorf("blockAt(%d) = %v, want %v", tt.offset, got, tt.want)
+		}
+	}
+}
+
+func TestReaderSeekValidation(t *testing.T) {
+	r := &Reader{length: 100}
+	if _, err := r.Seek(-1, io.SeekStart); err == nil {
+		t.Error("negative seek accepted")
+	}
+	if _, err := r.Seek(0, 99); err == nil {
+		t.Error("bad whence accepted")
+	}
+	pos, err := r.Seek(-10, io.SeekEnd)
+	if err != nil || pos != 90 {
+		t.Errorf("SeekEnd(-10) = %d, %v", pos, err)
+	}
+	pos, err = r.Seek(5, io.SeekCurrent)
+	if err != nil || pos != 95 {
+		t.Errorf("SeekCurrent(5) = %d, %v", pos, err)
+	}
+}
+
+func TestReaderClosedRead(t *testing.T) {
+	r := &Reader{length: 10}
+	r.Close()
+	if _, err := r.Read(make([]byte, 4)); err != core.ErrFileClosed {
+		t.Errorf("read after close err = %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("double close err = %v", err)
+	}
+}
+
+func TestWriterAfterCloseAndAbort(t *testing.T) {
+	w := &Writer{closed: true}
+	if _, err := w.Write([]byte("x")); err != core.ErrFileClosed {
+		t.Errorf("write after close err = %v", err)
+	}
+	if err := w.Abort(); err != core.ErrFileClosed {
+		t.Errorf("abort after close err = %v", err)
+	}
+	// Close on an already-closed writer is a no-op.
+	if err := w.Close(); err != nil {
+		t.Errorf("double close err = %v", err)
+	}
+}

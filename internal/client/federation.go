@@ -1,0 +1,225 @@
+package client
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+)
+
+// Federation routes file system operations across multiple independent
+// Primary Masters by path prefix — the horizontal name-service scaling
+// of paper §2.1 ("multiple Masters are used to form a federation and
+// are independent from each other"), realised like HDFS ViewFS as a
+// client-side mount table.
+type Federation struct {
+	mounts []mount // sorted by descending prefix length
+}
+
+type mount struct {
+	prefix string
+	fs     *FileSystem
+}
+
+// NewFederation dials one FileSystem per mount. The mounts map binds
+// path prefixes (e.g. "/warm") to master addresses; a "/" mount, if
+// present, catches everything unmatched. Prefixes must be clean
+// absolute paths.
+func NewFederation(mounts map[string]string, opts ...Option) (*Federation, error) {
+	if len(mounts) == 0 {
+		return nil, fmt.Errorf("client: federation needs at least one mount")
+	}
+	f := &Federation{}
+	for prefix, addr := range mounts {
+		if !strings.HasPrefix(prefix, "/") {
+			return nil, fmt.Errorf("client: mount prefix %q is not absolute", prefix)
+		}
+		fs, err := Dial(addr, opts...)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("client: dialling mount %s: %w", prefix, err)
+		}
+		f.mounts = append(f.mounts, mount{prefix: strings.TrimRight(prefix, "/"), fs: fs})
+	}
+	sort.Slice(f.mounts, func(i, j int) bool {
+		return len(f.mounts[i].prefix) > len(f.mounts[j].prefix)
+	})
+	return f, nil
+}
+
+// Close releases every mount's connection.
+func (f *Federation) Close() error {
+	var first error
+	for _, m := range f.mounts {
+		if m.fs == nil {
+			continue
+		}
+		if err := m.fs.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Resolve returns the FileSystem owning a path (longest matching mount
+// prefix wins).
+func (f *Federation) Resolve(path string) (*FileSystem, error) {
+	for _, m := range f.mounts {
+		if m.prefix == "" || path == m.prefix || strings.HasPrefix(path, m.prefix+"/") {
+			return m.fs, nil
+		}
+	}
+	return nil, fmt.Errorf("client: no federation mount covers %q: %w", path, core.ErrNotFound)
+}
+
+// sameMount reports whether two paths resolve to the same master.
+func (f *Federation) sameMount(a, b string) bool {
+	fa, ea := f.Resolve(a)
+	fb, eb := f.Resolve(b)
+	return ea == nil && eb == nil && fa == fb
+}
+
+// Mkdir creates a directory on the owning master.
+func (f *Federation) Mkdir(path string, parents bool) error {
+	fs, err := f.Resolve(path)
+	if err != nil {
+		return err
+	}
+	return fs.Mkdir(path, parents)
+}
+
+// Create starts writing a file on the owning master.
+func (f *Federation) Create(path string, opts CreateOptions) (*Writer, error) {
+	fs, err := f.Resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.Create(path, opts)
+}
+
+// WriteFile writes a whole file on the owning master.
+func (f *Federation) WriteFile(path string, data []byte, rv core.ReplicationVector) error {
+	fs, err := f.Resolve(path)
+	if err != nil {
+		return err
+	}
+	return fs.WriteFile(path, data, rv)
+}
+
+// Open opens a file for reading on the owning master.
+func (f *Federation) Open(path string) (*Reader, error) {
+	fs, err := f.Resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.Open(path)
+}
+
+// ReadFile reads a whole file from the owning master.
+func (f *Federation) ReadFile(path string) ([]byte, error) {
+	fs, err := f.Resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.ReadFile(path)
+}
+
+// Stat stats a path on the owning master.
+func (f *Federation) Stat(path string) (rpc.FileStatus, error) {
+	fs, err := f.Resolve(path)
+	if err != nil {
+		return rpc.FileStatus{}, err
+	}
+	return fs.Stat(path)
+}
+
+// List lists a directory on the owning master.
+func (f *Federation) List(path string) ([]rpc.FileStatus, error) {
+	fs, err := f.Resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.List(path)
+}
+
+// Delete removes a path on the owning master.
+func (f *Federation) Delete(path string, recursive bool) error {
+	fs, err := f.Resolve(path)
+	if err != nil {
+		return err
+	}
+	return fs.Delete(path, recursive)
+}
+
+// Rename moves a path within one mount. Cross-mount renames are
+// rejected, like HDFS federation.
+func (f *Federation) Rename(src, dst string) error {
+	if !f.sameMount(src, dst) {
+		return fmt.Errorf("client: rename %s -> %s crosses federation mounts: %w", src, dst, core.ErrPermission)
+	}
+	fs, err := f.Resolve(src)
+	if err != nil {
+		return err
+	}
+	return fs.Rename(src, dst)
+}
+
+// SetReplication changes a file's replication vector on the owning
+// master.
+func (f *Federation) SetReplication(path string, rv core.ReplicationVector) error {
+	fs, err := f.Resolve(path)
+	if err != nil {
+		return err
+	}
+	return fs.SetReplication(path, rv)
+}
+
+// GetFileBlockLocations queries tier-annotated block locations from
+// the owning master.
+func (f *Federation) GetFileBlockLocations(path string, offset, length int64) ([]core.LocatedBlock, error) {
+	fs, err := f.Resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	return fs.GetFileBlockLocations(path, offset, length)
+}
+
+// GetStorageTierReports aggregates tier reports across every mount's
+// cluster.
+func (f *Federation) GetStorageTierReports() ([]core.StorageTierReport, error) {
+	agg := map[core.StorageTier]core.StorageTierReport{}
+	seen := map[*FileSystem]bool{}
+	for _, m := range f.mounts {
+		if seen[m.fs] {
+			continue
+		}
+		seen[m.fs] = true
+		reports, err := m.fs.GetStorageTierReports()
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range reports {
+			a := agg[r.Tier]
+			a.Tier = r.Tier
+			a.NumMedia += r.NumMedia
+			a.NumWorkers += r.NumWorkers
+			a.Capacity += r.Capacity
+			a.Remaining += r.Remaining
+			// Weighted-average throughputs by media count.
+			total := float64(a.NumMedia)
+			if total > 0 {
+				a.WriteThruMBps += (r.WriteThruMBps - a.WriteThruMBps) * float64(r.NumMedia) / total
+				a.ReadThruMBps += (r.ReadThruMBps - a.ReadThruMBps) * float64(r.NumMedia) / total
+			}
+			agg[r.Tier] = a
+		}
+	}
+	out := make([]core.StorageTierReport, 0, len(agg))
+	for _, r := range agg {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tier < out[j].Tier })
+	return out, nil
+}

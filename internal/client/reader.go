@@ -1,0 +1,175 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/master"
+	"repro/internal/rpc"
+)
+
+// Reader streams a file out of OctopusFS (paper §4.1): for each block
+// it contacts replica locations in the order chosen by the master's
+// retrieval policy, failing over to the next location on error and
+// reporting corrupt replicas back to the master.
+type Reader struct {
+	fs     *FileSystem
+	path   string
+	length int64
+	blocks []core.LocatedBlock
+
+	pos    int64
+	cur    io.ReadCloser
+	curEnd int64 // absolute file offset where the current stream ends
+	closed bool
+}
+
+// Length returns the file's total length at open time.
+func (r *Reader) Length() int64 { return r.length }
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.closed {
+		return 0, core.ErrFileClosed
+	}
+	for {
+		if r.pos >= r.length {
+			return 0, io.EOF
+		}
+		if r.cur == nil {
+			if err := r.openAt(r.pos); err != nil {
+				return 0, err
+			}
+		}
+		n, err := r.cur.Read(p)
+		r.pos += int64(n)
+		if err == io.EOF {
+			r.cur.Close()
+			r.cur = nil
+			if n > 0 {
+				return n, nil
+			}
+			if r.pos < r.curEnd {
+				return 0, io.ErrUnexpectedEOF
+			}
+			continue // move on to the next block
+		}
+		if err != nil {
+			r.cur.Close()
+			r.cur = nil
+			return n, err
+		}
+		return n, nil
+	}
+}
+
+// openAt connects to a replica of the block containing offset, trying
+// locations in retrieval-policy order.
+func (r *Reader) openAt(offset int64) error {
+	blk := r.blockAt(offset)
+	if blk == nil {
+		return fmt.Errorf("client: no block at offset %d of %s: %w", offset, r.path, core.ErrNotFound)
+	}
+	within := offset - blk.Offset
+	var lastErr error
+	for _, loc := range blk.Locations {
+		rc, _, err := rpc.OpenBlockReader(loc.Address, blk.Block, loc.Storage, within, blk.Block.NumBytes-within)
+		if err != nil {
+			lastErr = err
+			if errors.Is(err, core.ErrCorrupt) || errors.Is(err, core.ErrNotFound) {
+				r.reportBad(blk.Block, loc)
+			}
+			continue
+		}
+		r.cur = &corruptionReportingReader{rc: rc, r: r, block: blk.Block, loc: loc}
+		r.curEnd = blk.Offset + blk.Block.NumBytes
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("client: block %s has no live replicas: %w", blk.Block.ID, core.ErrNoWorkers)
+	}
+	return lastErr
+}
+
+// blockAt finds the located block containing the absolute offset.
+func (r *Reader) blockAt(offset int64) *core.LocatedBlock {
+	for i := range r.blocks {
+		b := &r.blocks[i]
+		if offset >= b.Offset && offset < b.Offset+b.Block.NumBytes {
+			return b
+		}
+	}
+	return nil
+}
+
+// reportBad tells the master a replica is corrupt or missing so
+// re-replication can repair it (paper §5).
+func (r *Reader) reportBad(b core.Block, loc core.BlockLocation) {
+	r.fs.call("Master.ReportBadBlock", &master.ReportBadBlockArgs{
+		Block: b, Storage: loc.Storage, Worker: loc.Worker,
+	}, &master.ReportBadBlockReply{})
+}
+
+// Seek implements io.Seeker.
+func (r *Reader) Seek(offset int64, whence int) (int64, error) {
+	var target int64
+	switch whence {
+	case io.SeekStart:
+		target = offset
+	case io.SeekCurrent:
+		target = r.pos + offset
+	case io.SeekEnd:
+		target = r.length + offset
+	default:
+		return 0, fmt.Errorf("client: invalid whence %d", whence)
+	}
+	if target < 0 {
+		return 0, fmt.Errorf("client: negative seek position %d", target)
+	}
+	if r.cur != nil {
+		r.cur.Close()
+		r.cur = nil
+	}
+	r.pos = target
+	return target, nil
+}
+
+// Close releases the reader.
+func (r *Reader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.cur != nil {
+		err := r.cur.Close()
+		r.cur = nil
+		return err
+	}
+	return nil
+}
+
+// corruptionReportingReader wraps a block stream and reports checksum
+// failures to the master as they surface mid-stream.
+type corruptionReportingReader struct {
+	rc    io.ReadCloser
+	r     *Reader
+	block core.Block
+	loc   core.BlockLocation
+}
+
+func (c *corruptionReportingReader) Read(p []byte) (int, error) {
+	n, err := c.rc.Read(p)
+	if err != nil && errors.Is(err, core.ErrCorrupt) {
+		c.r.reportBad(c.block, c.loc)
+	}
+	return n, err
+}
+
+func (c *corruptionReportingReader) Close() error { return c.rc.Close() }
+
+var _ io.ReadSeekCloser = (*Reader)(nil)
+
+// ioReadFull is io.ReadFull, indirected for fs.go's ReadFile.
+func ioReadFull(r io.Reader, buf []byte) (int, error) { return io.ReadFull(r, buf) }

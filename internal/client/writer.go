@@ -1,0 +1,244 @@
+package client
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+)
+
+// Writer streams file content into OctopusFS one block at a time
+// (paper §3.1): for every block it asks the master for placement
+// targets, organises the Worker-to-Worker pipeline, and streams
+// checksummed packets into it.
+type Writer struct {
+	fs        *FileSystem
+	path      string
+	blockSize int64
+
+	cur      *rpc.BlockWriter
+	curBlock core.Block
+	curLen   int64
+	curBuf   []byte      // bytes of the in-flight block, kept for retry
+	retries  int         // pipeline retries consumed for this block
+	prev     *core.Block // finished block awaiting commit at next AddBlock
+	written  int64
+	err      error
+	closed   bool
+}
+
+// maxBlockRetries bounds how many times one block is retried with a
+// fresh pipeline after a write failure (HDFS-style pipeline recovery,
+// simplified to block granularity: the failed block is abandoned and
+// re-allocated, letting the placement policy route around the dead
+// stage once the master notices it).
+const maxBlockRetries = 3
+
+// Write implements io.Writer. The current block's bytes are buffered
+// so a broken pipeline can be retried transparently on fresh replica
+// locations.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	if w.closed {
+		return 0, core.ErrFileClosed
+	}
+	total := 0
+	for len(p) > 0 {
+		if w.cur == nil {
+			if err := w.startBlock(); err != nil {
+				if rerr := w.retryBlock(err); rerr != nil {
+					w.fail(rerr)
+					return total, w.err
+				}
+			}
+		}
+		chunk := p
+		if room := w.blockSize - w.curLen; int64(len(chunk)) > room {
+			chunk = chunk[:room]
+		}
+		n, err := w.cur.Write(chunk)
+		w.curLen += int64(n)
+		w.written += int64(n)
+		w.curBuf = append(w.curBuf, chunk[:n]...)
+		total += n
+		p = p[n:]
+		if err != nil {
+			if rerr := w.retryBlock(fmt.Errorf("client: block stream: %w", err)); rerr != nil {
+				w.fail(rerr)
+				return total, w.err
+			}
+			continue
+		}
+		if w.curLen == w.blockSize {
+			if err := w.finishBlock(); err != nil {
+				if rerr := w.retryBlock(err); rerr != nil {
+					w.fail(rerr)
+					return total, w.err
+				}
+				continue
+			}
+		}
+	}
+	return total, nil
+}
+
+// retryBlock abandons the current block and replays its buffered bytes
+// through a freshly allocated one.
+func (w *Writer) retryBlock(cause error) error {
+	if w.retries >= maxBlockRetries {
+		return fmt.Errorf("client: block failed after %d retries: %w", w.retries, cause)
+	}
+	w.retries++
+	if w.cur != nil {
+		w.cur.Abort()
+		w.cur = nil
+	}
+	// Drop the failed block server-side; ignore errors (the file may
+	// already be gone) and surface the original cause instead.
+	w.fs.call("Master.AbandonBlock", &rpc.AbandonBlockArgs{
+		Path: w.path, Block: w.curBlock,
+	}, &rpc.AbandonBlockReply{})
+
+	buf := w.curBuf
+	w.curBuf = nil
+	w.written -= int64(len(buf))
+	w.curLen = 0
+	if err := w.startBlock(); err != nil {
+		return fmt.Errorf("client: re-allocating failed block: %w (after %w)", err, cause)
+	}
+	if len(buf) > 0 {
+		n, err := w.cur.Write(buf)
+		w.curLen += int64(n)
+		w.written += int64(n)
+		w.curBuf = append(w.curBuf, buf[:n]...)
+		if err != nil {
+			return w.retryBlock(fmt.Errorf("client: replaying block: %w", err))
+		}
+	}
+	return nil
+}
+
+// startBlock allocates the next block (committing the previous one)
+// and opens the write pipeline to its first target.
+func (w *Writer) startBlock() error {
+	var reply rpc.AddBlockReply
+	err := w.fs.call("Master.AddBlock", &rpc.AddBlockArgs{
+		Path:       w.path,
+		ClientNode: w.fs.node,
+		Previous:   w.prev,
+	}, &reply)
+	if err != nil {
+		return err
+	}
+	w.prev = nil
+	located := reply.Located
+	// Record the allocated block before opening the pipeline so a
+	// dial failure can still abandon it.
+	w.curBlock = located.Block
+	pipeline := make([]rpc.PipelineTarget, len(located.Locations))
+	for i, loc := range located.Locations {
+		pipeline[i] = rpc.PipelineTarget{
+			Worker:  loc.Worker,
+			Address: loc.Address,
+			Storage: loc.Storage,
+		}
+	}
+	// Declare the full block size up front: workers use it both as a
+	// capacity reservation and as a buffer-sizing hint; the committed
+	// length is reported separately when the block finishes.
+	hdrBlock := located.Block
+	hdrBlock.NumBytes = w.blockSize
+	bw, err := rpc.OpenBlockWriter(hdrBlock, pipeline, w.fs.owner)
+	if err != nil {
+		return err
+	}
+	w.cur = bw
+	w.curLen = 0
+	w.curBuf = w.curBuf[:0]
+	return nil
+}
+
+// finishBlock completes the current pipeline and records the block for
+// commit by the next AddBlock or Complete call.
+func (w *Writer) finishBlock() error {
+	err := w.cur.Commit()
+	w.cur = nil
+	if err != nil {
+		return fmt.Errorf("client: pipeline ack for %s: %w", w.curBlock.ID, err)
+	}
+	done := w.curBlock
+	done.NumBytes = w.curLen
+	w.prev = &done
+	w.curBuf = nil
+	w.retries = 0
+	return nil
+}
+
+// fail records the first error and abandons the file so the namespace
+// does not accumulate half-written files.
+func (w *Writer) fail(err error) {
+	if w.err == nil {
+		w.err = err
+		if w.cur != nil {
+			w.cur.Abort()
+			w.cur = nil
+		}
+		w.fs.abandon(w.path)
+	}
+}
+
+// Written returns the number of bytes accepted so far.
+func (w *Writer) Written() int64 { return w.written }
+
+// Close flushes the final block and seals the file.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.cur != nil {
+		if err := w.finishBlock(); err != nil {
+			if rerr := w.retryBlock(err); rerr != nil {
+				w.fail(rerr)
+				return w.err
+			}
+			if err := w.finishBlock(); err != nil {
+				w.fail(err)
+				return w.err
+			}
+		}
+	}
+	err := w.fs.call("Master.Complete", &rpc.CompleteArgs{
+		Path: w.path,
+		Last: w.prev,
+	}, &rpc.CompleteReply{})
+	if err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Abort abandons the file, discarding everything written.
+func (w *Writer) Abort() error {
+	if w.closed {
+		return core.ErrFileClosed
+	}
+	w.closed = true
+	if w.cur != nil {
+		w.cur.Abort()
+		w.cur = nil
+	}
+	if w.err != nil {
+		return nil // fail() already abandoned the file
+	}
+	return w.fs.abandon(w.path)
+}
+
+var _ io.WriteCloser = (*Writer)(nil)

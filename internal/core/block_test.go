@@ -1,0 +1,34 @@
+package core
+
+import "testing"
+
+func TestBlockIDString(t *testing.T) {
+	if got, want := BlockID(1042).String(), "blk_1042"; got != want {
+		t.Errorf("BlockID.String() = %q, want %q", got, want)
+	}
+}
+
+func TestBlockString(t *testing.T) {
+	b := Block{ID: 7, GenStamp: 3, NumBytes: 1024}
+	if got, want := b.String(), "blk_7_3 (1024B)"; got != want {
+		t.Errorf("Block.String() = %q, want %q", got, want)
+	}
+}
+
+func TestStorageTierReportPercentRemaining(t *testing.T) {
+	tests := []struct {
+		name string
+		r    StorageTierReport
+		want float64
+	}{
+		{"half full", StorageTierReport{Capacity: 100, Remaining: 50}, 50},
+		{"empty capacity", StorageTierReport{Capacity: 0, Remaining: 0}, 0},
+		{"full", StorageTierReport{Capacity: 10, Remaining: 10}, 100},
+		{"negative capacity is guarded", StorageTierReport{Capacity: -5, Remaining: 1}, 0},
+	}
+	for _, tt := range tests {
+		if got := tt.r.PercentRemaining(); got != tt.want {
+			t.Errorf("%s: PercentRemaining() = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}

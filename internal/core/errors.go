@@ -1,0 +1,55 @@
+package core
+
+import "errors"
+
+// Sentinel errors shared across OctopusFS components. RPC boundaries
+// map these to stable codes so that clients can test against them with
+// errors.Is even when the error crossed the wire.
+var (
+	// ErrNotFound reports that a path, block, or worker does not exist.
+	ErrNotFound = errors.New("octopusfs: not found")
+
+	// ErrExists reports that a path already exists where a new one was
+	// to be created.
+	ErrExists = errors.New("octopusfs: already exists")
+
+	// ErrNotDirectory reports that a directory operation hit a file.
+	ErrNotDirectory = errors.New("octopusfs: not a directory")
+
+	// ErrIsDirectory reports that a file operation hit a directory.
+	ErrIsDirectory = errors.New("octopusfs: is a directory")
+
+	// ErrNotEmpty reports a non-recursive delete of a non-empty
+	// directory.
+	ErrNotEmpty = errors.New("octopusfs: directory not empty")
+
+	// ErrNoSpace reports that no storage media with sufficient
+	// remaining capacity satisfies a placement request.
+	ErrNoSpace = errors.New("octopusfs: insufficient storage capacity")
+
+	// ErrQuotaExceeded reports that an allocation would exceed a
+	// per-tier storage quota (paper §1: quota mechanisms per storage
+	// media for multi-tenancy).
+	ErrQuotaExceeded = errors.New("octopusfs: storage tier quota exceeded")
+
+	// ErrPermission reports an access-control violation.
+	ErrPermission = errors.New("octopusfs: permission denied")
+
+	// ErrFileOpen reports an operation on a file still under
+	// construction by another client.
+	ErrFileOpen = errors.New("octopusfs: file is under construction")
+
+	// ErrFileClosed reports I/O on a closed stream.
+	ErrFileClosed = errors.New("octopusfs: stream is closed")
+
+	// ErrCorrupt reports a replica whose content failed checksum
+	// verification.
+	ErrCorrupt = errors.New("octopusfs: block replica is corrupt")
+
+	// ErrNoWorkers reports that the cluster has no live workers able
+	// to serve a request.
+	ErrNoWorkers = errors.New("octopusfs: no live workers available")
+
+	// ErrShutdown reports that the component has been stopped.
+	ErrShutdown = errors.New("octopusfs: component is shut down")
+)

@@ -1,0 +1,48 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ExampleReplicationVector shows the paper's §2.3 move/copy/delete
+// semantics expressed as vector diffs.
+func ExampleReplicationVector() {
+	v := core.NewReplicationVector(1, 0, 2, 0, 0) // 1 memory + 2 HDD
+	fmt.Println("vector:", v)
+	fmt.Println("total replicas:", v.Total())
+
+	// Move one replica from HDD to SSD.
+	moved := core.NewReplicationVector(1, 1, 1, 0, 0)
+	for tier, delta := range v.Diff(moved) {
+		if delta > 0 {
+			fmt.Printf("add %d on %s\n", delta, tier)
+		}
+	}
+	// Output:
+	// vector: <1,0,2,0,0>
+	// total replicas: 3
+	// add 1 on SSD
+}
+
+// ExampleParseReplicationVector parses the shell notation used by
+// octopus-cli.
+func ExampleParseReplicationVector() {
+	v, err := core.ParseReplicationVector("<0,1,2,0,0>")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(v.SSD(), "SSD replica,", v.HDD(), "HDD replicas")
+	// Output:
+	// 1 SSD replica, 2 HDD replicas
+}
+
+// ExampleReplicationVectorFromFactor shows backwards compatibility
+// with the scalar HDFS replication factor.
+func ExampleReplicationVectorFromFactor() {
+	v := core.ReplicationVectorFromFactor(3)
+	fmt.Println(v, "— placement policy chooses the tiers")
+	// Output:
+	// <0,0,0,0,3> — placement policy chooses the tiers
+}

@@ -1,0 +1,83 @@
+package integration
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestConcurrentClients drives many clients writing, reading, and
+// mutating the namespace simultaneously — a miniature multi-tenant
+// workload over real TCP.
+func TestConcurrentClients(t *testing.T) {
+	c := startTestCluster(t)
+	const clients = 6
+	const filesPerClient = 4
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			fs, err := c.Client("")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer fs.Close()
+			dir := fmt.Sprintf("/tenant%d", ci)
+			if err := fs.Mkdir(dir, true); err != nil {
+				errs <- fmt.Errorf("client %d mkdir: %w", ci, err)
+				return
+			}
+			for fi := 0; fi < filesPerClient; fi++ {
+				path := fmt.Sprintf("%s/f%d", dir, fi)
+				data := randomBytes(512<<10, int64(ci*100+fi))
+				if err := fs.WriteFile(path, data, core.ReplicationVectorFromFactor(2)); err != nil {
+					errs <- fmt.Errorf("client %d write %s: %w", ci, path, err)
+					return
+				}
+				got, err := fs.ReadFile(path)
+				if err != nil {
+					errs <- fmt.Errorf("client %d read %s: %w", ci, path, err)
+					return
+				}
+				if !bytes.Equal(got, data) {
+					errs <- fmt.Errorf("client %d: %s content mismatch", ci, path)
+					return
+				}
+			}
+			// Shuffle the namespace a bit.
+			if err := fs.Rename(dir+"/f0", dir+"/renamed"); err != nil {
+				errs <- fmt.Errorf("client %d rename: %w", ci, err)
+				return
+			}
+			if err := fs.Delete(dir+"/f1", false); err != nil {
+				errs <- fmt.Errorf("client %d delete: %w", ci, err)
+				return
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Everything left must still be listable and readable.
+	fs, _ := c.Client("")
+	defer fs.Close()
+	for ci := 0; ci < clients; ci++ {
+		entries, err := fs.List(fmt.Sprintf("/tenant%d", ci))
+		if err != nil {
+			t.Fatalf("final list tenant%d: %v", ci, err)
+		}
+		if len(entries) != filesPerClient-1 { // f1 deleted, f0 renamed
+			t.Errorf("tenant%d has %d entries, want %d", ci, len(entries), filesPerClient-1)
+		}
+	}
+}

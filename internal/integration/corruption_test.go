@@ -1,0 +1,116 @@
+package integration
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// corruptOneReplica flips bytes in the on-disk file of the block's
+// first non-memory replica and returns the storage ID it hit.
+func corruptOneReplica(t *testing.T, dir string, loc core.BlockLocation, blk core.Block) {
+	t.Helper()
+	// Storage IDs look like "node1:hdd0"; files live under
+	// dir/node1/hdd0/blk_<id>_<gen>.
+	parts := strings.SplitN(string(loc.Storage), ":", 2)
+	blockPath := filepath.Join(dir, parts[0], parts[1],
+		blk.String()[:strings.Index(blk.String(), " ")])
+	// core.Block.String() = "blk_1_1 (Nb)" — trim the size suffix.
+	data, err := os.ReadFile(blockPath)
+	if err != nil {
+		t.Fatalf("reading replica file %s: %v", blockPath, err)
+	}
+	for i := 0; i < len(data); i += 101 {
+		data[i] ^= 0xFF
+	}
+	if err := os.WriteFile(blockPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptReplicaDetectedAndRepaired(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultClusterConfig(dir)
+	c, err := StartCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	fs, _ := c.Client("")
+	defer fs.Close()
+
+	payload := randomBytes(2<<20, 61)
+	// HDD-only replicas so every copy lives in a corruptible file.
+	if err := fs.WriteFile("/fragile", payload, core.NewReplicationVector(0, 0, 2, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := fs.GetFileBlockLocations("/fragile", 0, -1)
+	if err != nil || len(blocks) == 0 {
+		t.Fatal(err)
+	}
+	victim := blocks[0].Locations[0]
+	corruptOneReplica(t, dir, victim, blocks[0].Block)
+
+	// The read must fail over to the healthy replica and still return
+	// the right content, while reporting the corrupt one.
+	got, err := fs.ReadFile("/fragile")
+	if err != nil {
+		t.Fatalf("read with corrupt first replica: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("failover read returned wrong content")
+	}
+
+	// The master must repair: the corrupt replica is dropped and a
+	// fresh one re-replicated, restoring 2 healthy HDD replicas not
+	// including the corrupted media.
+	waitFor(t, 15*time.Second, "corrupt replica to be replaced", func() bool {
+		blocks, err := fs.GetFileBlockLocations("/fragile", 0, -1)
+		if err != nil {
+			return false
+		}
+		for _, b := range blocks {
+			healthy := 0
+			for _, loc := range b.Locations {
+				if loc.Storage != victim.Storage {
+					healthy++
+				}
+			}
+			if healthy < 2 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestCorruptionErrorCodeCrossesWire(t *testing.T) {
+	dir := t.TempDir()
+	c, err := StartCluster(DefaultClusterConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	fs, _ := c.Client("")
+	defer fs.Close()
+
+	payload := randomBytes(1<<20, 67)
+	// Single replica: corruption has nowhere to fail over, so the
+	// client must surface ErrCorrupt itself.
+	if err := fs.WriteFile("/single", payload, core.NewReplicationVector(0, 0, 1, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	blocks, _ := fs.GetFileBlockLocations("/single", 0, -1)
+	corruptOneReplica(t, dir, blocks[0].Locations[0], blocks[0].Block)
+
+	_, err = fs.ReadFile("/single")
+	if !errors.Is(err, core.ErrCorrupt) {
+		t.Errorf("read of corrupt single-replica file: err = %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,101 @@
+package integration
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/core"
+)
+
+func TestFederationRoutesByMount(t *testing.T) {
+	// Two independent clusters federated under /hot and /cold.
+	hot := startTestCluster(t)
+	cold := startTestCluster(t)
+
+	fed, err := client.NewFederation(map[string]string{
+		"/hot":  hot.Master.Addr(),
+		"/cold": cold.Master.Addr(),
+	}, client.WithOwner("fed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.Close()
+
+	hotData := randomBytes(1<<20, 71)
+	coldData := randomBytes(1<<20, 73)
+	if err := fed.Mkdir("/hot/a", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.Mkdir("/cold/a", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.WriteFile("/hot/a/f", hotData, core.ReplicationVectorFromFactor(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.WriteFile("/cold/a/f", coldData, core.ReplicationVectorFromFactor(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each file must live only on its own cluster.
+	hotFS, _ := hot.Client("")
+	defer hotFS.Close()
+	coldFS, _ := cold.Client("")
+	defer coldFS.Close()
+	if _, err := hotFS.Stat("/cold/a/f"); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("cold file leaked to hot cluster: %v", err)
+	}
+	if _, err := coldFS.Stat("/hot/a/f"); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("hot file leaked to cold cluster: %v", err)
+	}
+
+	got, err := fed.ReadFile("/hot/a/f")
+	if err != nil || !bytes.Equal(got, hotData) {
+		t.Fatalf("federated read of /hot: %v", err)
+	}
+	got, err = fed.ReadFile("/cold/a/f")
+	if err != nil || !bytes.Equal(got, coldData) {
+		t.Fatalf("federated read of /cold: %v", err)
+	}
+
+	// Rename within a mount works; across mounts is rejected.
+	if err := fed.Rename("/hot/a/f", "/hot/a/g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.Rename("/hot/a/g", "/cold/a/g"); !errors.Is(err, core.ErrPermission) {
+		t.Errorf("cross-mount rename err = %v, want ErrPermission", err)
+	}
+
+	// Unmounted paths are rejected.
+	if _, err := fed.Stat("/elsewhere/x"); !errors.Is(err, core.ErrNotFound) {
+		t.Errorf("unmounted path err = %v, want ErrNotFound", err)
+	}
+
+	// Aggregated tier reports span both clusters.
+	reports, err := fed.GetStorageTierReports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if r.NumWorkers != 8 { // 4 workers per cluster
+			t.Errorf("tier %s reports %d workers, want 8 (both clusters)", r.Tier, r.NumWorkers)
+		}
+	}
+}
+
+func TestFederationRootMountCatchesAll(t *testing.T) {
+	c := startTestCluster(t)
+	fed, err := client.NewFederation(map[string]string{"/": c.Master.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.Close()
+	if err := fed.Mkdir("/anything/goes", true); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := fed.List("/anything")
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("List via root mount: %v, %v", entries, err)
+	}
+}

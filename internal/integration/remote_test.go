@@ -1,0 +1,73 @@
+package integration
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRemoteTierIntegratedMode(t *testing.T) {
+	c := startTestCluster(t, func(cfg *ClusterConfig) {
+		cfg.RemoteCapacity = 256 << 20
+	})
+	fs, _ := c.Client("")
+	defer fs.Close()
+
+	// Four tiers must be visible.
+	reports, err := fs.GetStorageTierReports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 4 {
+		t.Fatalf("reports = %d tiers, want 4 (incl. remote)", len(reports))
+	}
+
+	// Pin one replica to the remote tier (archival pattern: one fast
+	// copy, one durable remote copy).
+	data := randomBytes(1<<20, 79)
+	rv := core.NewReplicationVector(0, 1, 0, 1, 0)
+	if err := fs.WriteFile("/archive", data, rv); err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := fs.GetFileBlockLocations("/archive", 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiers := map[core.StorageTier]int{}
+	for _, loc := range blocks[0].Locations {
+		tiers[loc.Tier]++
+	}
+	if tiers[core.TierSSD] != 1 || tiers[core.TierRemote] != 1 {
+		t.Errorf("tiers = %v, want 1 SSD + 1 remote", tiers)
+	}
+	// Retrieval prefers the faster SSD replica over the remote one.
+	if blocks[0].Locations[0].Tier != core.TierSSD {
+		t.Errorf("first replica tier = %v, want SSD", blocks[0].Locations[0].Tier)
+	}
+
+	got, err := fs.ReadFile("/archive")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read across tiers: %v", err)
+	}
+
+	// Demote entirely to remote (archival): <0,1,0,1> -> <0,0,0,2>.
+	if err := fs.SetReplication("/archive", core.NewReplicationVector(0, 0, 0, 2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10e9, "replicas to move to remote tier", func() bool {
+		blocks, err := fs.GetFileBlockLocations("/archive", 0, -1)
+		if err != nil || len(blocks) == 0 {
+			return false
+		}
+		tiers := map[core.StorageTier]int{}
+		for _, loc := range blocks[0].Locations {
+			tiers[loc.Tier]++
+		}
+		return tiers[core.TierRemote] == 2 && len(blocks[0].Locations) == 2
+	})
+	got, err = fs.ReadFile("/archive")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read from remote tier: %v", err)
+	}
+}

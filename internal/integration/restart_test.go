@@ -1,0 +1,89 @@
+package integration
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/master"
+)
+
+// TestMasterRestartWithLiveWorkers restarts the master on the same
+// address while the workers keep running: their heartbeats fail during
+// the outage, they re-register automatically, and block reports
+// repopulate the new master's block map so existing data stays
+// readable.
+func TestMasterRestartWithLiveWorkers(t *testing.T) {
+	metaDir := t.TempDir()
+	cfg := DefaultClusterConfig(t.TempDir())
+	cfg.MetaDir = metaDir
+	c, err := StartCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	fs, _ := c.Client("")
+	defer fs.Close()
+	data := randomBytes(2<<20, 101)
+	if err := fs.WriteFile("/sticky", data, core.NewReplicationVector(0, 1, 1, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart the master on the exact same address.
+	addr := c.Master.Addr()
+	if err := c.Master.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := master.New(master.Config{
+		ListenAddr:      addr,
+		MetaDir:         metaDir,
+		BlockSize:       cfg.BlockSize,
+		WorkerTimeout:   2 * time.Second,
+		MonitorInterval: 50 * time.Millisecond,
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatalf("restarting master on %s: %v", addr, err)
+	}
+	c.Master = m2 // so Cleanup closes the right instance
+
+	// The running workers re-register on their next failed heartbeat.
+	waitFor(t, 10*time.Second, "workers to re-register", func() bool {
+		return m2.NumWorkers() == cfg.NumWorkers
+	})
+
+	// Data written before the restart is readable again once block
+	// reports arrive.
+	fs2, err := c.Client("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	waitFor(t, 10*time.Second, "block map to repopulate", func() bool {
+		blocks, err := fs2.GetFileBlockLocations("/sticky", 0, -1)
+		if err != nil || len(blocks) == 0 {
+			return false
+		}
+		for _, b := range blocks {
+			if len(b.Locations) < 2 {
+				return false
+			}
+		}
+		return true
+	})
+	got, err := fs2.ReadFile("/sticky")
+	if err != nil || len(got) != len(data) {
+		t.Fatalf("read after master restart: %v", err)
+	}
+	for i := range got {
+		if got[i] != data[i] {
+			t.Fatal("content differs after master restart")
+		}
+	}
+
+	// And the cluster still accepts new writes.
+	if err := fs2.WriteFile("/fresh", randomBytes(1<<20, 103), core.ReplicationVectorFromFactor(2)); err != nil {
+		t.Fatalf("write after master restart: %v", err)
+	}
+}

@@ -1,0 +1,156 @@
+package master
+
+import (
+	"fmt"
+	"log/slog"
+	netrpc "net/rpc"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/namespace"
+	"repro/internal/rpc"
+)
+
+// BackupConfig configures a Backup Master (paper §2.1).
+type BackupConfig struct {
+	// PrimaryAddr is the primary master's RPC endpoint.
+	PrimaryAddr string
+
+	// CheckpointDir receives the periodic fsimage checkpoints from
+	// which a failed primary can restart.
+	CheckpointDir string
+
+	// Interval paces checkpoint pulls.
+	Interval time.Duration
+
+	// Logger receives operational logs; nil discards them.
+	Logger *slog.Logger
+}
+
+// Backup is a Backup Master: it maintains an up-to-date in-memory
+// image of the primary's namespace and periodically persists
+// checkpoints so the system can restart from the most recent one upon
+// a primary failure (paper §2.1).
+type Backup struct {
+	cfg BackupConfig
+	ns  *namespace.Namespace
+
+	mu     sync.Mutex
+	client *netrpc.Client
+	lastOK time.Time
+
+	done chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewBackup starts a Backup Master syncing from cfg.PrimaryAddr.
+func NewBackup(cfg BackupConfig) (*Backup, error) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("backup: creating checkpoint dir: %w", err)
+		}
+	}
+	ns, err := namespace.Open("")
+	if err != nil {
+		return nil, err
+	}
+	b := &Backup{cfg: cfg, ns: ns, done: make(chan struct{})}
+	if err := b.syncOnce(); err != nil {
+		ns.Close()
+		return nil, err
+	}
+	b.wg.Add(1)
+	go b.loop()
+	return b, nil
+}
+
+// Namespace exposes the backup's standby image (for take-over and
+// tests).
+func (b *Backup) Namespace() *namespace.Namespace { return b.ns }
+
+// LastSync returns the time of the last successful checkpoint pull.
+func (b *Backup) LastSync() time.Time {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastOK
+}
+
+// Close stops the backup.
+func (b *Backup) Close() error {
+	b.once.Do(func() { close(b.done) })
+	b.wg.Wait()
+	b.mu.Lock()
+	if b.client != nil {
+		b.client.Close()
+	}
+	b.mu.Unlock()
+	return b.ns.Close()
+}
+
+func (b *Backup) loop() {
+	defer b.wg.Done()
+	ticker := time.NewTicker(b.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-b.done:
+			return
+		case <-ticker.C:
+			if err := b.syncOnce(); err != nil {
+				b.cfg.Logger.Warn("backup sync failed", "err", err)
+			}
+		}
+	}
+}
+
+// syncOnce pulls the primary's namespace image, refreshes the standby
+// copy, and persists a checkpoint file.
+func (b *Backup) syncOnce() error {
+	b.mu.Lock()
+	if b.client == nil {
+		c, err := netrpc.Dial("tcp", b.cfg.PrimaryAddr)
+		if err != nil {
+			b.mu.Unlock()
+			return fmt.Errorf("backup: dialling primary: %w", err)
+		}
+		b.client = c
+	}
+	c := b.client
+	b.mu.Unlock()
+
+	var reply ImageReply
+	if err := c.Call("Master.GetImage", &ImageArgs{}, &reply); err != nil {
+		b.mu.Lock()
+		if b.client == c {
+			b.client.Close()
+			b.client = nil
+		}
+		b.mu.Unlock()
+		return rpc.WrapRemote(err)
+	}
+	if err := b.ns.LoadImageBytes(reply.Image); err != nil {
+		return err
+	}
+	if b.cfg.CheckpointDir != "" {
+		tmp := filepath.Join(b.cfg.CheckpointDir, "fsimage.tmp")
+		if err := os.WriteFile(tmp, reply.Image, 0o644); err != nil {
+			return fmt.Errorf("backup: writing checkpoint: %w", err)
+		}
+		if err := os.Rename(tmp, filepath.Join(b.cfg.CheckpointDir, "fsimage")); err != nil {
+			return fmt.Errorf("backup: committing checkpoint: %w", err)
+		}
+	}
+	b.mu.Lock()
+	b.lastOK = time.Now()
+	b.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,600 @@
+// Package master implements the OctopusFS Primary and Backup Masters
+// (paper §2.1): the directory namespace service, the block-location
+// map, worker registration and heartbeating, tier statistics, and the
+// replication monitor that keeps every block at its intended per-tier
+// replica counts (paper §5). Placement and retrieval decisions are
+// delegated to the pluggable policies of internal/policy.
+package master
+
+import (
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"net"
+	netrpc "net/rpc"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/blockmgmt"
+	"repro/internal/core"
+	"repro/internal/namespace"
+	"repro/internal/policy"
+	"repro/internal/rpc"
+	"repro/internal/topology"
+)
+
+// Config configures a Master.
+type Config struct {
+	// ListenAddr is the RPC endpoint ("host:port"; ":0" for tests).
+	ListenAddr string
+
+	// MetaDir persists the namespace (fsimage + edit log). Empty runs
+	// the namespace in memory only.
+	MetaDir string
+
+	// Placement chooses replica locations; nil selects the default
+	// MOOP policy (paper §3.3).
+	Placement policy.PlacementPolicy
+
+	// Retrieval orders replica locations for readers; nil selects the
+	// default OctopusFS rate-based policy (paper §4.2).
+	Retrieval policy.RetrievalPolicy
+
+	// BlockSize is the default block size for new files.
+	BlockSize int64
+
+	// WorkerTimeout expires workers that stop heartbeating.
+	WorkerTimeout time.Duration
+
+	// MonitorInterval paces the replication monitor.
+	MonitorInterval time.Duration
+
+	// LeaseTimeout abandons under-construction files whose writer has
+	// gone silent (simplified HDFS lease recovery).
+	LeaseTimeout time.Duration
+
+	// ReportGrace exempts replicas added within this window from
+	// block-report reconciliation (a report generated before a
+	// pipeline write completed must not erase the fresh replica).
+	ReportGrace time.Duration
+
+	// Seed seeds the randomness used for placement tie-breaking.
+	Seed int64
+
+	// Logger receives operational logs; nil discards them.
+	Logger *slog.Logger
+}
+
+func (c *Config) fillDefaults() {
+	if c.Placement == nil {
+		c.Placement = policy.NewMOOPPolicy(policy.DefaultMOOPConfig())
+	}
+	if c.Retrieval == nil {
+		c.Retrieval = policy.NewOctopusRetrievalPolicy()
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = core.DefaultBlockSize
+	}
+	if c.WorkerTimeout <= 0 {
+		c.WorkerTimeout = 10 * time.Second
+	}
+	if c.MonitorInterval <= 0 {
+		c.MonitorInterval = 500 * time.Millisecond
+	}
+	if c.LeaseTimeout <= 0 {
+		c.LeaseTimeout = time.Minute
+	}
+	if c.ReportGrace == 0 {
+		c.ReportGrace = 5 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+}
+
+// workerState is the master-side record of one live worker.
+type workerState struct {
+	id       core.WorkerID
+	node     string
+	rack     string
+	dataAddr string
+	netMBps  float64
+	netConns int
+	media    map[core.StorageID]rpc.MediaStat
+	lastSeen time.Time
+}
+
+// Master is a Primary Master instance.
+type Master struct {
+	cfg    Config
+	ns     *namespace.Namespace
+	blocks *blockmgmt.Manager
+	topo   *topology.Map
+
+	mu      sync.RWMutex
+	workers map[core.WorkerID]*workerState
+	pending map[core.WorkerID][]rpc.Command
+	// scheduled tracks write pipelines handed out but not yet
+	// confirmed via BlockReceived, so placement sees in-flight load
+	// between heartbeats.
+	scheduled map[core.StorageID]int
+	// repairing de-duplicates replication work across monitor ticks.
+	repairing map[core.BlockID]time.Time
+
+	started time.Time
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	snapMu    sync.Mutex
+	snapshot_ *policy.Snapshot
+	snapTime  time.Time
+
+	ln     net.Listener
+	srv    *netrpc.Server
+	done   chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+}
+
+// New starts a Master listening on cfg.ListenAddr.
+func New(cfg Config) (*Master, error) {
+	cfg.fillDefaults()
+	ns, err := namespace.Open(cfg.MetaDir)
+	if err != nil {
+		return nil, err
+	}
+	m := &Master{
+		cfg:       cfg,
+		ns:        ns,
+		blocks:    blockmgmt.NewManager(),
+		topo:      topology.NewMap(),
+		workers:   make(map[core.WorkerID]*workerState),
+		pending:   make(map[core.WorkerID][]rpc.Command),
+		scheduled: make(map[core.StorageID]int),
+		repairing: make(map[core.BlockID]time.Time),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		done:      make(chan struct{}),
+		conns:     make(map[net.Conn]struct{}),
+		started:   time.Now(),
+	}
+	// Rebuild the block map from the recovered namespace; replica
+	// locations arrive via the workers' block reports.
+	ns.ForEachFile(func(path string, blocks []core.Block, rv core.ReplicationVector) {
+		for _, b := range blocks {
+			m.blocks.AddBlock(b, rv)
+			// Recovered blocks are committed: release them to the
+			// replication monitor right away.
+			m.blocks.CommitBlock(b)
+		}
+	})
+
+	m.srv = netrpc.NewServer()
+	if err := m.srv.RegisterName("Master", &Service{m: m}); err != nil {
+		ns.Close()
+		return nil, fmt.Errorf("master: registering RPC service: %w", err)
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		ns.Close()
+		return nil, fmt.Errorf("master: listening on %s: %w", cfg.ListenAddr, err)
+	}
+	m.ln = ln
+	m.wg.Add(2)
+	go m.serve()
+	go m.monitor()
+	m.cfg.Logger.Info("master started", "addr", ln.Addr().String())
+	return m, nil
+}
+
+// Addr returns the master's RPC address.
+func (m *Master) Addr() string { return m.ln.Addr().String() }
+
+// Namespace exposes the namespace for checkpoint orchestration.
+func (m *Master) Namespace() *namespace.Namespace { return m.ns }
+
+// Close shuts the master down.
+func (m *Master) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.done)
+	m.ln.Close()
+	// Close accepted RPC connections too, so clients and workers
+	// notice the shutdown immediately instead of talking to a dead
+	// master object over surviving TCP connections.
+	m.connMu.Lock()
+	for conn := range m.conns {
+		conn.Close()
+	}
+	m.connMu.Unlock()
+	m.wg.Wait()
+	return m.ns.Close()
+}
+
+func (m *Master) serve() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			select {
+			case <-m.done:
+				return
+			default:
+				m.cfg.Logger.Warn("accept failed", "err", err)
+				continue
+			}
+		}
+		m.connMu.Lock()
+		m.conns[conn] = struct{}{}
+		m.connMu.Unlock()
+		go func() {
+			m.srv.ServeConn(conn)
+			m.connMu.Lock()
+			delete(m.conns, conn)
+			m.connMu.Unlock()
+			conn.Close()
+		}()
+	}
+}
+
+// withRand runs fn with the master's seeded rng under its lock.
+func (m *Master) withRand(fn func(*rand.Rand)) {
+	m.rngMu.Lock()
+	defer m.rngMu.Unlock()
+	fn(m.rng)
+}
+
+// snapshotTTL bounds how stale a cached policy snapshot may be. Worker
+// statistics only change on heartbeats anyway, so a short cache keeps
+// the per-request cost of read-path policy decisions near zero (the
+// paper's §7.4 finding that tier management adds <1%% overhead).
+const snapshotTTL = 20 * time.Millisecond
+
+// snapshot returns the policy view of the current cluster state,
+// cached for snapshotTTL. Callers must not hold m.mu.
+func (m *Master) snapshot() *policy.Snapshot {
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
+	if m.snapshot_ != nil && time.Since(m.snapTime) < snapshotTTL {
+		return m.snapshot_
+	}
+	m.mu.RLock()
+	snap := m.snapshotLocked()
+	m.mu.RUnlock()
+	m.snapshot_ = snap
+	m.snapTime = time.Now()
+	return snap
+}
+
+func (m *Master) snapshotLocked() *policy.Snapshot {
+	s := &policy.Snapshot{
+		Workers:  make(map[core.WorkerID]policy.WorkerInfo, len(m.workers)),
+		NumRacks: m.topo.NumRacks(),
+	}
+	for id, w := range m.workers {
+		s.Workers[id] = policy.WorkerInfo{
+			ID:          id,
+			Node:        w.node,
+			Rack:        w.rack,
+			NetThruMBps: w.netMBps,
+			Connections: w.netConns,
+		}
+		for sid, ms := range w.media {
+			s.Media = append(s.Media, policy.Media{
+				ID:            sid,
+				Worker:        id,
+				Node:          w.node,
+				Tier:          ms.Tier,
+				Rack:          w.rack,
+				Capacity:      ms.Capacity,
+				Remaining:     ms.Remaining,
+				Connections:   ms.Connections + m.scheduled[sid],
+				WriteThruMBps: ms.WriteMBps,
+				ReadThruMBps:  ms.ReadMBps,
+			})
+		}
+	}
+	policy.SortMediaStable(s.Media)
+	return s
+}
+
+// locationFor converts a block-map replica into a client-visible
+// BlockLocation; ok=false if the hosting worker is gone.
+func (m *Master) locationFor(r blockmgmt.Replica) (core.BlockLocation, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	w, ok := m.workers[r.Worker]
+	if !ok {
+		return core.BlockLocation{}, false
+	}
+	return core.BlockLocation{
+		Worker:  r.Worker,
+		Address: w.dataAddr,
+		Storage: r.Storage,
+		Tier:    r.Tier,
+		Rack:    w.rack,
+	}, true
+}
+
+// mediaFor converts replicas into policy.Media descriptors with
+// live statistics for the retrieval policy.
+func (m *Master) mediaFor(replicas []blockmgmt.Replica) []policy.Media {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]policy.Media, 0, len(replicas))
+	for _, r := range replicas {
+		w, ok := m.workers[r.Worker]
+		if !ok {
+			continue
+		}
+		ms, ok := w.media[r.Storage]
+		if !ok {
+			continue
+		}
+		out = append(out, policy.Media{
+			ID:            r.Storage,
+			Worker:        r.Worker,
+			Node:          w.node,
+			Tier:          r.Tier,
+			Rack:          w.rack,
+			Capacity:      ms.Capacity,
+			Remaining:     ms.Remaining,
+			Connections:   ms.Connections,
+			WriteThruMBps: ms.WriteMBps,
+			ReadThruMBps:  ms.ReadMBps,
+		})
+	}
+	return out
+}
+
+// enqueue appends a command for a worker to pick up on its next
+// heartbeat.
+func (m *Master) enqueue(w core.WorkerID, cmd rpc.Command) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pending[w] = append(m.pending[w], cmd)
+}
+
+// monitor is the background loop that expires dead workers and repairs
+// under- and over-replicated blocks (paper §5).
+func (m *Master) monitor() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.MonitorInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-ticker.C:
+			m.expireWorkers()
+			m.recoverLeases()
+			m.repairBlocks()
+		}
+	}
+}
+
+// recoverLeases abandons under-construction files whose writer went
+// silent, invalidating any blocks they allocated (simplified HDFS
+// lease recovery).
+func (m *Master) recoverLeases() {
+	cutoff := time.Now().Add(-m.cfg.LeaseTimeout).UnixNano()
+	for _, path := range m.ns.StaleOpenFiles(cutoff) {
+		blocks, err := m.ns.Abandon(path)
+		if err != nil {
+			continue // e.g. completed concurrently
+		}
+		m.cfg.Logger.Warn("lease expired; abandoned file", "path", path)
+		m.invalidateBlocks(blocks)
+	}
+}
+
+func (m *Master) expireWorkers() {
+	cutoff := time.Now().Add(-m.cfg.WorkerTimeout)
+	var expired []core.WorkerID
+	m.mu.Lock()
+	for id, w := range m.workers {
+		if w.lastSeen.Before(cutoff) {
+			expired = append(expired, id)
+			delete(m.workers, id)
+			delete(m.pending, id)
+			m.topo.Remove(w.node)
+		}
+	}
+	m.mu.Unlock()
+	for _, id := range expired {
+		m.cfg.Logger.Warn("worker expired", "worker", id)
+		m.blocks.RemoveWorker(id)
+	}
+}
+
+// repairBlocks scans for unhealthy blocks and issues replication or
+// deletion commands.
+func (m *Master) repairBlocks() {
+	snap := m.snapshot()
+	if len(snap.Media) == 0 {
+		return
+	}
+	now := time.Now()
+	m.blocks.ScanUnhealthy(func(info blockmgmt.BlockInfo, st blockmgmt.ReplicationState) {
+		m.mu.Lock()
+		if until, busy := m.repairing[info.Block.ID]; busy && now.Before(until) {
+			m.mu.Unlock()
+			return
+		}
+		m.repairing[info.Block.ID] = now.Add(5 * m.cfg.MonitorInterval)
+		m.mu.Unlock()
+
+		if st.MissingTotal() > 0 && len(info.Replicas) > 0 {
+			m.replicateBlock(snap, info, st)
+		}
+		if st.Excess > 0 {
+			m.removeExcess(snap, info, st)
+		}
+	})
+	// Drop stale repair markers.
+	m.mu.Lock()
+	for id, until := range m.repairing {
+		if now.After(until) {
+			delete(m.repairing, id)
+		}
+	}
+	m.mu.Unlock()
+}
+
+// replicateBlock selects targets for the missing replicas via the
+// placement policy (with the surviving replicas as context, paper §5)
+// and instructs the chosen workers to copy the block from the most
+// efficient source.
+func (m *Master) replicateBlock(snap *policy.Snapshot, info blockmgmt.BlockInfo, st blockmgmt.ReplicationState) {
+	missing := core.ReplicationVector(0)
+	for tier, n := range st.MissingPerTier {
+		missing = missing.WithTier(tier, n)
+	}
+	missing = missing.WithTier(core.TierUnspecified, st.MissingAny)
+
+	existing := m.mediaFor(info.Replicas)
+	if len(existing) == 0 {
+		return // nothing to copy from
+	}
+	var targets []policy.Media
+	var err error
+	m.withRand(func(rng *rand.Rand) {
+		targets, err = m.cfg.Placement.PlaceReplicas(policy.PlacementRequest{
+			Snapshot:  snap,
+			RepVector: missing,
+			BlockSize: info.Block.NumBytes,
+			Existing:  existing,
+			Rand:      rng,
+		})
+	})
+	if err != nil && len(targets) == 0 {
+		m.cfg.Logger.Warn("re-replication placement failed", "block", info.Block.ID, "err", err)
+		return
+	}
+
+	// Order sources once with the retrieval policy; each target worker
+	// copies from the best available replica.
+	var sources []core.BlockLocation
+	var ordered []policy.Media
+	m.withRand(func(rng *rand.Rand) {
+		ordered = m.cfg.Retrieval.Order(policy.RetrievalRequest{
+			Snapshot: snap,
+			Replicas: existing,
+			Rand:     rng,
+		})
+	})
+	for _, src := range ordered {
+		if loc, ok := m.locationFor(blockmgmt.Replica{Worker: src.Worker, Storage: src.ID, Tier: src.Tier}); ok {
+			sources = append(sources, loc)
+		}
+	}
+	for _, tgt := range targets {
+		m.enqueue(tgt.Worker, rpc.Command{
+			Kind:    rpc.CmdReplicate,
+			Block:   info.Block,
+			Target:  tgt.ID,
+			Sources: sources,
+		})
+		m.cfg.Logger.Info("scheduled re-replication",
+			"block", info.Block.ID, "target", tgt.ID)
+	}
+}
+
+// removeExcess picks the replicas whose removal leaves the
+// best-scoring remaining set (paper §5) and instructs their workers to
+// delete them.
+func (m *Master) removeExcess(snap *policy.Snapshot, info blockmgmt.BlockInfo, st blockmgmt.ReplicationState) {
+	replicas := append([]blockmgmt.Replica(nil), info.Replicas...)
+	for n := 0; n < st.Excess; n++ {
+		media := m.mediaFor(replicas)
+		if len(media) == 0 {
+			return
+		}
+		// Restrict removal to the tiers with surplus replicas.
+		idx := -1
+		for _, tier := range st.ExcessTiers {
+			if i, ok := policy.SelectExcessReplica(snap, info.Block.NumBytes, media, tier); ok {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			var ok bool
+			idx, ok = policy.SelectExcessReplica(snap, info.Block.NumBytes, media, core.TierUnspecified)
+			if !ok {
+				return
+			}
+		}
+		victim := media[idx]
+		// media and replicas may diverge in order; find the replica.
+		for i, r := range replicas {
+			if r.Storage == victim.ID {
+				m.blocks.RemoveReplica(info.Block.ID, r.Storage)
+				m.enqueue(r.Worker, rpc.Command{
+					Kind: rpc.CmdDelete, Block: info.Block, Target: r.Storage,
+				})
+				m.cfg.Logger.Info("scheduled excess removal",
+					"block", info.Block.ID, "storage", r.Storage)
+				replicas = append(replicas[:i], replicas[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// tierReports aggregates per-tier statistics for the
+// getStorageTierReports API (paper Table 1).
+func (m *Master) tierReports() []core.StorageTierReport {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	type agg struct {
+		report  core.StorageTierReport
+		workers map[core.WorkerID]struct{}
+		wSum    float64
+		rSum    float64
+	}
+	aggs := make(map[core.StorageTier]*agg)
+	for id, w := range m.workers {
+		for _, ms := range w.media {
+			a, ok := aggs[ms.Tier]
+			if !ok {
+				a = &agg{workers: make(map[core.WorkerID]struct{})}
+				a.report.Tier = ms.Tier
+				aggs[ms.Tier] = a
+			}
+			a.report.NumMedia++
+			a.report.Capacity += ms.Capacity
+			a.report.Remaining += ms.Remaining
+			a.wSum += ms.WriteMBps
+			a.rSum += ms.ReadMBps
+			a.workers[id] = struct{}{}
+		}
+	}
+	out := make([]core.StorageTierReport, 0, len(aggs))
+	for _, a := range aggs {
+		a.report.NumWorkers = len(a.workers)
+		if a.report.NumMedia > 0 {
+			a.report.WriteThruMBps = a.wSum / float64(a.report.NumMedia)
+			a.report.ReadThruMBps = a.rSum / float64(a.report.NumMedia)
+		}
+		out = append(out, a.report)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tier < out[j].Tier })
+	return out
+}
+
+// NumWorkers returns the number of live workers.
+func (m *Master) NumWorkers() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.workers)
+}

@@ -1,0 +1,540 @@
+package master
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/blockmgmt"
+	"repro/internal/core"
+	"repro/internal/namespace"
+	"repro/internal/policy"
+	"repro/internal/rpc"
+	"repro/internal/topology"
+)
+
+// Service exposes the master protocols over net/rpc. Every method
+// converts internal errors into their stable wire representation so
+// clients keep matching with errors.Is.
+type Service struct {
+	m *Master
+}
+
+// wire converts an internal error for the RPC boundary.
+func wire(err error) error {
+	if err == nil {
+		return nil
+	}
+	return errors.New(rpc.EncodeError(err))
+}
+
+// clientLocation resolves the caller's topology location from the node
+// name it supplied ("" = off-cluster).
+func (s *Service) clientLocation(node string) topology.Location {
+	if node == "" {
+		return topology.Location{}
+	}
+	return s.m.topo.LocationOf(node)
+}
+
+// Mkdir creates a directory.
+func (s *Service) Mkdir(args *rpc.MkdirArgs, _ *rpc.MkdirReply) error {
+	return wire(s.m.ns.Mkdir(args.Path, args.Parents, args.Owner))
+}
+
+// Create registers a new file for writing (paper Table 1).
+func (s *Service) Create(args *rpc.CreateArgs, _ *rpc.CreateReply) error {
+	if args.BlockSize <= 0 {
+		args.BlockSize = s.m.cfg.BlockSize
+	}
+	removed, err := s.m.ns.Create(args.Path, args.RepVector, args.BlockSize, args.Overwrite, args.Owner)
+	if err != nil {
+		return wire(err)
+	}
+	s.m.invalidateBlocks(removed)
+	return nil
+}
+
+// AddBlock commits the previous block (if any) and allocates the next
+// block with replica locations chosen by the placement policy.
+func (s *Service) AddBlock(args *rpc.AddBlockArgs, reply *rpc.AddBlockReply) error {
+	if args.Previous != nil {
+		if err := s.m.commitBlock(args.Path, *args.Previous); err != nil {
+			return wire(err)
+		}
+	}
+	blocks, rv, blockSize, err := s.m.ns.FileBlocks(args.Path)
+	if err != nil {
+		return wire(err)
+	}
+	var offset int64
+	for _, b := range blocks {
+		offset += b.NumBytes
+	}
+
+	snap := s.m.snapshot()
+	var targets []policy.Media
+	var perr error
+	s.m.withRand(func(rng *rand.Rand) {
+		targets, perr = s.m.cfg.Placement.PlaceReplicas(policy.PlacementRequest{
+			Snapshot:  snap,
+			Client:    s.clientLocation(args.ClientNode),
+			RepVector: rv,
+			BlockSize: blockSize,
+			Rand:      rng,
+		})
+	})
+	if perr != nil && len(targets) == 0 {
+		return wire(perr)
+	}
+
+	blk, err := s.m.ns.AddBlock(args.Path)
+	if err != nil {
+		return wire(err)
+	}
+	s.m.blocks.AddBlock(blk, rv)
+
+	located := core.LocatedBlock{Block: blk, Offset: offset}
+	s.m.mu.Lock()
+	for _, t := range targets {
+		s.m.scheduled[t.ID]++
+		w := s.m.workers[t.Worker]
+		if w == nil {
+			continue
+		}
+		located.Locations = append(located.Locations, core.BlockLocation{
+			Worker:  t.Worker,
+			Address: w.dataAddr,
+			Storage: t.ID,
+			Tier:    t.Tier,
+			Rack:    t.Rack,
+		})
+	}
+	s.m.mu.Unlock()
+	if len(located.Locations) == 0 {
+		return wire(core.ErrNoWorkers)
+	}
+	reply.Located = located
+	return nil
+}
+
+// commitBlock records a finished block in both metadata collections.
+func (m *Master) commitBlock(path string, b core.Block) error {
+	if err := m.ns.CommitBlock(path, b); err != nil {
+		return err
+	}
+	m.blocks.CommitBlock(b)
+	return nil
+}
+
+// Complete seals a file after its final block.
+func (s *Service) Complete(args *rpc.CompleteArgs, _ *rpc.CompleteReply) error {
+	if args.Last != nil {
+		s.m.blocks.CommitBlock(*args.Last)
+	}
+	return wire(s.m.ns.Complete(args.Path, args.Last))
+}
+
+// Abandon drops an under-construction file after a failed write.
+func (s *Service) Abandon(args *rpc.AbandonArgs, _ *rpc.AbandonReply) error {
+	blocks, err := s.m.ns.Abandon(args.Path)
+	if err != nil {
+		return wire(err)
+	}
+	s.m.invalidateBlocks(blocks)
+	return nil
+}
+
+// AbandonBlock drops a failed block from an under-construction file
+// and invalidates any replicas that were stored before the pipeline
+// broke.
+func (s *Service) AbandonBlock(args *rpc.AbandonBlockArgs, _ *rpc.AbandonBlockReply) error {
+	if err := s.m.ns.AbandonBlock(args.Path, args.Block.ID); err != nil {
+		return wire(err)
+	}
+	s.m.invalidateBlocks([]core.Block{args.Block})
+	return nil
+}
+
+// invalidateBlocks forgets blocks and schedules replica deletion on
+// their workers.
+func (m *Master) invalidateBlocks(blocks []core.Block) {
+	for _, b := range blocks {
+		for _, r := range m.blocks.RemoveBlock(b.ID) {
+			m.enqueue(r.Worker, rpc.Command{Kind: rpc.CmdDelete, Block: b, Target: r.Storage})
+		}
+	}
+}
+
+// GetBlockLocations returns the blocks overlapping a byte range with
+// replica locations ordered by the retrieval policy (paper §4).
+func (s *Service) GetBlockLocations(args *rpc.GetBlockLocationsArgs, reply *rpc.GetBlockLocationsReply) error {
+	blocks, _, _, err := s.m.ns.FileBlocks(args.Path)
+	if err != nil {
+		return wire(err)
+	}
+	var fileLen int64
+	for _, b := range blocks {
+		fileLen += b.NumBytes
+	}
+	reply.FileLength = fileLen
+	length := args.Length
+	if length < 0 {
+		length = fileLen
+	}
+	end := args.Offset + length
+
+	snap := s.m.snapshot()
+	client := s.clientLocation(args.ClientNode)
+	var offset int64
+	for _, b := range blocks {
+		blockEnd := offset + b.NumBytes
+		if blockEnd > args.Offset && offset < end {
+			located := core.LocatedBlock{Block: b, Offset: offset}
+			media := s.m.mediaFor(s.m.blocks.Replicas(b.ID))
+			var ordered []policy.Media
+			s.m.withRand(func(rng *rand.Rand) {
+				ordered = s.m.cfg.Retrieval.Order(policy.RetrievalRequest{
+					Snapshot: snap,
+					Client:   client,
+					Replicas: media,
+					Rand:     rng,
+				})
+			})
+			for _, om := range ordered {
+				if loc, ok := s.m.locationFor(blockmgmt.Replica{
+					Worker: om.Worker, Storage: om.ID, Tier: om.Tier,
+				}); ok {
+					located.Locations = append(located.Locations, loc)
+				}
+			}
+			reply.Blocks = append(reply.Blocks, located)
+		}
+		offset = blockEnd
+	}
+	return nil
+}
+
+// GetFileInfo returns one path's status.
+func (s *Service) GetFileInfo(args *rpc.GetFileInfoArgs, reply *rpc.GetFileInfoReply) error {
+	info, err := s.m.ns.Status(args.Path)
+	if err != nil {
+		return wire(err)
+	}
+	reply.Status = toFileStatus(info)
+	return nil
+}
+
+// List returns a directory's entries.
+func (s *Service) List(args *rpc.ListArgs, reply *rpc.ListReply) error {
+	infos, err := s.m.ns.List(args.Path)
+	if err != nil {
+		return wire(err)
+	}
+	reply.Entries = make([]rpc.FileStatus, len(infos))
+	for i, info := range infos {
+		reply.Entries[i] = toFileStatus(info)
+	}
+	return nil
+}
+
+func toFileStatus(info namespace.FileInfo) rpc.FileStatus {
+	return rpc.FileStatus{
+		Path:      info.Path,
+		IsDir:     info.IsDir,
+		Length:    info.Length,
+		RepVector: info.RepVector,
+		BlockSize: info.BlockSize,
+		ModTime:   info.ModTime,
+		Owner:     info.Owner,
+	}
+}
+
+// Delete removes a path and invalidates its blocks.
+func (s *Service) Delete(args *rpc.DeleteArgs, _ *rpc.DeleteReply) error {
+	blocks, err := s.m.ns.Delete(args.Path, args.Recursive)
+	if err != nil {
+		return wire(err)
+	}
+	s.m.invalidateBlocks(blocks)
+	return nil
+}
+
+// Rename moves a path.
+func (s *Service) Rename(args *rpc.RenameArgs, _ *rpc.RenameReply) error {
+	return wire(s.m.ns.Rename(args.Src, args.Dst))
+}
+
+// SetReplication changes a file's replication vector; the replication
+// monitor then moves, copies, or deletes replicas asynchronously
+// (paper §2.3, §5).
+func (s *Service) SetReplication(args *rpc.SetReplicationArgs, _ *rpc.SetReplicationReply) error {
+	if _, err := s.m.ns.SetRepVector(args.Path, args.RepVector); err != nil {
+		return wire(err)
+	}
+	blocks, _, _, err := s.m.ns.FileBlocks(args.Path)
+	if err != nil {
+		return wire(err)
+	}
+	for _, b := range blocks {
+		s.m.blocks.SetExpected(b.ID, args.RepVector)
+	}
+	return nil
+}
+
+// GetStorageTierReports returns per-tier capacity and throughput
+// aggregates (paper Table 1).
+func (s *Service) GetStorageTierReports(_ *rpc.TierReportsArgs, reply *rpc.TierReportsReply) error {
+	reply.Reports = s.m.tierReports()
+	return nil
+}
+
+// SetQuota sets a per-tier byte quota on a directory.
+func (s *Service) SetQuota(args *rpc.SetQuotaArgs, _ *rpc.SetQuotaReply) error {
+	return wire(s.m.ns.SetQuota(args.Path, args.Tier, args.Bytes))
+}
+
+// ReportBadBlockArgs / -Reply implement client corruption reports.
+type ReportBadBlockArgs struct {
+	Block   core.Block
+	Storage core.StorageID
+	Worker  core.WorkerID
+}
+type ReportBadBlockReply struct{}
+
+// ReportBadBlock drops a corrupt replica from the block map and
+// schedules its deletion; re-replication restores the count.
+func (s *Service) ReportBadBlock(args *ReportBadBlockArgs, _ *ReportBadBlockReply) error {
+	s.m.blocks.RemoveReplica(args.Block.ID, args.Storage)
+	s.m.enqueue(args.Worker, rpc.Command{Kind: rpc.CmdDelete, Block: args.Block, Target: args.Storage})
+	return nil
+}
+
+// Register adds a worker to the cluster (paper §2.2).
+func (s *Service) Register(args *rpc.RegisterArgs, reply *rpc.RegisterReply) error {
+	if args.ID == "" || args.Node == "" {
+		return wire(fmt.Errorf("master: registration missing worker identity: %w", core.ErrNotFound))
+	}
+	rack := topology.NormalizeRack(args.Rack)
+	w := &workerState{
+		id:       args.ID,
+		node:     args.Node,
+		rack:     rack,
+		dataAddr: args.DataAddr,
+		netMBps:  args.NetMBps,
+		media:    make(map[core.StorageID]rpc.MediaStat, len(args.Media)),
+		lastSeen: time.Now(),
+	}
+	for _, ms := range args.Media {
+		w.media[ms.ID] = ms
+	}
+	s.m.topo.Add(args.Node, rack)
+	s.m.mu.Lock()
+	s.m.workers[args.ID] = w
+	s.m.mu.Unlock()
+	s.m.cfg.Logger.Info("worker registered",
+		"worker", args.ID, "rack", rack, "media", len(args.Media))
+	reply.Registered = args.ID
+	return nil
+}
+
+// Heartbeat refreshes a worker's statistics and delivers pending
+// commands (paper §2.2).
+func (s *Service) Heartbeat(args *rpc.HeartbeatArgs, reply *rpc.HeartbeatReply) error {
+	s.m.mu.Lock()
+	w, ok := s.m.workers[args.ID]
+	if !ok {
+		s.m.mu.Unlock()
+		return wire(fmt.Errorf("master: unknown worker %s, re-register: %w", args.ID, core.ErrNotFound))
+	}
+	w.lastSeen = time.Now()
+	w.netConns = args.NetConns
+	if args.NetMBps > 0 {
+		w.netMBps = args.NetMBps
+	}
+	for _, ms := range args.Media {
+		w.media[ms.ID] = ms
+	}
+	reply.Commands = s.m.pending[args.ID]
+	delete(s.m.pending, args.ID)
+	s.m.mu.Unlock()
+	return nil
+}
+
+// BlockReport reconciles the master's replica map with a worker's full
+// listing (paper §5: under-/over-replication is detected during block
+// reports).
+func (s *Service) BlockReport(args *rpc.BlockReportArgs, _ *rpc.BlockReportReply) error {
+	s.m.mu.Lock()
+	w, ok := s.m.workers[args.ID]
+	var tiers map[core.StorageID]core.StorageTier
+	if ok {
+		w.lastSeen = time.Now() // a block report proves liveness
+		tiers = make(map[core.StorageID]core.StorageTier, len(w.media))
+		for sid, ms := range w.media {
+			tiers[sid] = ms.Tier
+		}
+	}
+	s.m.mu.Unlock()
+	if !ok {
+		return wire(fmt.Errorf("master: unknown worker %s: %w", args.ID, core.ErrNotFound))
+	}
+
+	reported := make(map[core.StorageID]map[core.BlockID]struct{})
+	for _, sb := range args.Blocks {
+		tier, known := tiers[sb.Storage]
+		if !known {
+			continue
+		}
+		accepted, _ := s.m.blocks.AddReplica(sb.Block, blockmgmt.Replica{
+			Worker: args.ID, Storage: sb.Storage, Tier: tier,
+		})
+		if !accepted {
+			// Unknown or stale block: have the worker delete it.
+			s.m.enqueue(args.ID, rpc.Command{Kind: rpc.CmdDelete, Block: sb.Block, Target: sb.Storage})
+			continue
+		}
+		set, ok := reported[sb.Storage]
+		if !ok {
+			set = make(map[core.BlockID]struct{})
+			reported[sb.Storage] = set
+		}
+		set[sb.Block.ID] = struct{}{}
+	}
+	// Reconcile: any replica the map attributes to this worker that
+	// the report omitted has been lost (media failure, manual wipe).
+	// Replicas added within the last report interval are exempt: the
+	// report may have been generated before their write completed.
+	grace := time.Now().Add(-s.m.cfg.ReportGrace)
+	for blockID, storage := range s.m.blocks.ReplicasOnWorker(args.ID, grace) {
+		if set, ok := reported[storage]; ok {
+			if _, present := set[blockID]; present {
+				continue
+			}
+		}
+		s.m.blocks.RemoveReplica(blockID, storage)
+	}
+	return nil
+}
+
+// BlockReceived records a freshly stored replica (sent by workers
+// right after a pipeline write or replication completes).
+func (s *Service) BlockReceived(args *rpc.BlockReceivedArgs, _ *rpc.BlockReceivedReply) error {
+	s.m.mu.Lock()
+	w, ok := s.m.workers[args.ID]
+	var tier core.StorageTier
+	if ok {
+		w.lastSeen = time.Now() // a stored block proves liveness
+		if ms, found := w.media[args.Storage]; found {
+			tier = ms.Tier
+		} else {
+			ok = false
+		}
+	}
+	s.m.mu.Unlock()
+	if !ok {
+		return wire(fmt.Errorf("master: unknown worker/media %s/%s: %w", args.ID, args.Storage, core.ErrNotFound))
+	}
+	s.m.blocks.AddReplica(args.Block, blockmgmt.Replica{
+		Worker: args.ID, Storage: args.Storage, Tier: tier,
+	})
+	s.m.mu.Lock()
+	if s.m.scheduled[args.Storage] > 0 {
+		s.m.scheduled[args.Storage]--
+	}
+	s.m.mu.Unlock()
+	return nil
+}
+
+// BlockDeleted records a replica removal acknowledged by a worker.
+func (s *Service) BlockDeleted(args *rpc.BlockDeletedArgs, _ *rpc.BlockDeletedReply) error {
+	s.m.blocks.RemoveReplica(args.Block.ID, args.Storage)
+	return nil
+}
+
+// ImageArgs / ImageReply implement Backup Master synchronisation: the
+// backup periodically fetches a serialized namespace checkpoint
+// (paper §2.1).
+type ImageArgs struct{}
+type ImageReply struct {
+	Image []byte
+}
+
+// GetImage serialises the namespace for a Backup Master.
+func (s *Service) GetImage(_ *ImageArgs, reply *ImageReply) error {
+	data, err := s.m.ns.ImageBytes()
+	if err != nil {
+		return wire(err)
+	}
+	reply.Image = data
+	return nil
+}
+
+// GetContentSummary aggregates usage over a subtree (`du`).
+func (s *Service) GetContentSummary(args *rpc.ContentSummaryArgs, reply *rpc.ContentSummaryReply) error {
+	sum, err := s.m.ns.ContentSummary(args.Path)
+	if err != nil {
+		return wire(err)
+	}
+	reply.Summary = rpc.ContentSummary{
+		Path:        args.Path,
+		Files:       sum.Files,
+		Directories: sum.Directories,
+		Bytes:       sum.Bytes,
+	}
+	copy(reply.Summary.TierBytes[:], sum.TierBytes[:])
+	return nil
+}
+
+// Fsck reports per-file replication health over a subtree, computed
+// from the block map's per-tier replication states (paper §5).
+func (s *Service) Fsck(args *rpc.FsckArgs, reply *rpc.FsckReply) error {
+	err := s.m.ns.WalkFiles(args.Path, func(path string, blocks []core.Block, rv core.ReplicationVector, uc bool) {
+		f := rpc.FsckFile{
+			Path:              path,
+			Expected:          rv,
+			Blocks:            len(blocks),
+			UnderConstruction: uc,
+		}
+		for _, b := range blocks {
+			st, ok := s.m.blocks.State(b.ID)
+			if !ok {
+				f.MissingBlocks++
+				continue
+			}
+			if len(s.m.blocks.Replicas(b.ID)) == 0 {
+				f.MissingBlocks++
+			}
+			if st.Satisfied() {
+				f.HealthyBlocks++
+				continue
+			}
+			f.MissingReplicas += st.MissingTotal()
+			f.ExcessReplicas += st.Excess
+		}
+		reply.Files = append(reply.Files, f)
+	})
+	return wire(err)
+}
+
+// GetWorkerReports lists every live worker with its per-media
+// statistics (the dfsadmin -report equivalent).
+func (s *Service) GetWorkerReports(_ *rpc.WorkerReportsArgs, reply *rpc.WorkerReportsReply) error {
+	s.m.mu.RLock()
+	defer s.m.mu.RUnlock()
+	for _, w := range s.m.workers {
+		wr := rpc.WorkerReport{
+			ID: w.id, Node: w.node, Rack: w.rack,
+			DataAddr: w.dataAddr, NetMBps: w.netMBps,
+		}
+		for _, ms := range w.media {
+			wr.Media = append(wr.Media, ms)
+		}
+		sort.Slice(wr.Media, func(i, j int) bool { return wr.Media[i].ID < wr.Media[j].ID })
+		reply.Workers = append(reply.Workers, wr)
+	}
+	sort.Slice(reply.Workers, func(i, j int) bool { return reply.Workers[i].ID < reply.Workers[j].ID })
+	return nil
+}

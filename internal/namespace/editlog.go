@@ -1,0 +1,108 @@
+package namespace
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+)
+
+// EditOp identifies one namespace mutation in the edit log.
+type EditOp byte
+
+// Edit log operation codes.
+const (
+	EditMkdir EditOp = iota + 1
+	EditCreate
+	EditAddBlock
+	EditCommitBlock
+	EditComplete
+	EditAbandon
+	EditDelete
+	EditRename
+	EditSetRepVector
+	EditSetQuota
+	EditAbandonBlock
+)
+
+// EditRecord is one entry of the write-ahead edit log. A single sparse
+// struct keeps the gob stream simple and append-only.
+type EditRecord struct {
+	TxID uint64
+	Op   EditOp
+
+	Path      string
+	Dst       string // rename destination
+	Owner     string
+	RepVector core.ReplicationVector
+	BlockSize int64
+	Block     core.Block
+	Parents   bool
+	Overwrite bool
+	Recursive bool
+	Tier      core.StorageTier
+	Bytes     int64
+	Time      int64 // mutation time, Unix nanoseconds
+}
+
+// EditLog is an append-only, gob-encoded log of namespace mutations.
+// Mutations are logged before being applied (write-ahead), so a
+// restart replays exactly the committed operations.
+type EditLog struct {
+	f   *os.File
+	enc *gob.Encoder
+}
+
+// OpenEditLog opens (creating or appending to) the edit log at path.
+func OpenEditLog(path string) (*EditLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("namespace: opening edit log: %w", err)
+	}
+	return &EditLog{f: f, enc: gob.NewEncoder(f)}, nil
+}
+
+// Append writes one record to the log.
+func (l *EditLog) Append(rec EditRecord) error {
+	if err := l.enc.Encode(rec); err != nil {
+		return fmt.Errorf("namespace: appending edit %d: %w", rec.Op, err)
+	}
+	return nil
+}
+
+// Sync flushes the log to stable storage.
+func (l *EditLog) Sync() error { return l.f.Sync() }
+
+// Close closes the log file.
+func (l *EditLog) Close() error { return l.f.Close() }
+
+// ReadEdits decodes every record in an edit log file, tolerating a
+// truncated trailing record (the torn-write case after a crash).
+func ReadEdits(path string) ([]EditRecord, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("namespace: opening edit log: %w", err)
+	}
+	defer f.Close()
+	dec := gob.NewDecoder(f)
+	var out []EditRecord
+	for {
+		var rec EditRecord
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return out, nil // torn tail record: ignore
+			}
+			return out, fmt.Errorf("namespace: decoding edit log: %w", err)
+		}
+		out = append(out, rec)
+	}
+}

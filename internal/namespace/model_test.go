@@ -1,0 +1,261 @@
+package namespace
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// modelFS is a trivial reference model of the namespace: a flat map
+// from path to kind. The real namespace must agree with it after any
+// sequence of operations.
+type modelFS struct {
+	dirs  map[string]bool
+	files map[string]int64 // path -> length
+}
+
+func newModel() *modelFS {
+	return &modelFS{dirs: map[string]bool{"/": true}, files: map[string]int64{}}
+}
+
+func (m *modelFS) mkdirAll(p string) {
+	parts := SplitPath(p)
+	cur := ""
+	for _, part := range parts {
+		cur = cur + "/" + part
+		m.dirs[cur] = true
+	}
+}
+
+func (m *modelFS) create(p string, length int64) bool {
+	if m.dirs[p] || m.files[p] != 0 {
+		return false
+	}
+	if _, exists := m.files[p]; exists {
+		return false
+	}
+	if !m.dirs[ParentPath(p)] {
+		return false
+	}
+	m.files[p] = length
+	return true
+}
+
+func (m *modelFS) deleteTree(p string) {
+	delete(m.files, p)
+	delete(m.dirs, p)
+	for f := range m.files {
+		if IsAncestor(p, f) {
+			delete(m.files, f)
+		}
+	}
+	for d := range m.dirs {
+		if IsAncestor(p, d) {
+			delete(m.dirs, d)
+		}
+	}
+}
+
+func (m *modelFS) rename(src, dst string) bool {
+	if src == "/" || IsAncestor(src, dst) {
+		return false
+	}
+	if m.dirs[dst] || hasFile(m, dst) {
+		return false
+	}
+	if !m.dirs[ParentPath(dst)] {
+		return false
+	}
+	if l, ok := m.files[src]; ok {
+		delete(m.files, src)
+		m.files[dst] = l
+		return true
+	}
+	if m.dirs[src] {
+		// Move the whole subtree.
+		moved := map[string]int64{}
+		for f, l := range m.files {
+			if IsAncestor(src, f) {
+				moved[dst+strings.TrimPrefix(f, src)] = l
+				delete(m.files, f)
+			}
+		}
+		for f, l := range moved {
+			m.files[f] = l
+		}
+		movedDirs := []string{}
+		for d := range m.dirs {
+			if IsAncestor(src, d) {
+				movedDirs = append(movedDirs, d)
+			}
+		}
+		for _, d := range movedDirs {
+			delete(m.dirs, d)
+			m.dirs[dst+strings.TrimPrefix(d, src)] = true
+		}
+		return true
+	}
+	return false
+}
+
+func hasFile(m *modelFS, p string) bool {
+	_, ok := m.files[p]
+	return ok
+}
+
+// TestNamespaceAgainstModel applies a long random operation sequence
+// to both the real namespace and the flat reference model, then
+// verifies they contain exactly the same tree.
+func TestNamespaceAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	ns := volatileNS(t)
+	model := newModel()
+
+	names := []string{"a", "b", "c", "d"}
+	randPath := func(depth int) string {
+		var sb strings.Builder
+		for i := 0; i < depth; i++ {
+			sb.WriteString("/")
+			sb.WriteString(names[rng.Intn(len(names))])
+		}
+		if sb.Len() == 0 {
+			return "/"
+		}
+		return sb.String()
+	}
+
+	for op := 0; op < 2000; op++ {
+		switch rng.Intn(5) {
+		case 0: // mkdir -p
+			p := randPath(1 + rng.Intn(3))
+			if p == "/" {
+				continue
+			}
+			err := ns.Mkdir(p, true, "u")
+			// mkdir -p fails only if a file is in the way.
+			blocked := false
+			probe := p
+			for probe != "/" {
+				if hasFile(model, probe) {
+					blocked = true
+					break
+				}
+				probe = ParentPath(probe)
+			}
+			if blocked {
+				if err == nil {
+					t.Fatalf("op %d: mkdir %s succeeded over a file", op, p)
+				}
+			} else if err != nil {
+				t.Fatalf("op %d: mkdir %s: %v", op, p, err)
+			} else {
+				model.mkdirAll(p)
+			}
+		case 1: // create + complete a small file
+			p := randPath(1 + rng.Intn(3))
+			if p == "/" {
+				continue
+			}
+			length := int64(rng.Intn(1000) + 1)
+			want := model.create(p, length)
+			_, err := ns.Create(p, rv3, 1024, false, "u")
+			if want != (err == nil) {
+				t.Fatalf("op %d: create %s: model=%v real err=%v", op, p, want, err)
+			}
+			if err == nil {
+				b, err := ns.AddBlock(p)
+				if err != nil {
+					t.Fatalf("op %d: addblock %s: %v", op, p, err)
+				}
+				b.NumBytes = length
+				if err := ns.Complete(p, &b); err != nil {
+					t.Fatalf("op %d: complete %s: %v", op, p, err)
+				}
+			}
+		case 2: // recursive delete
+			p := randPath(1 + rng.Intn(3))
+			if p == "/" {
+				continue
+			}
+			exists := model.dirs[p] || hasFile(model, p)
+			_, err := ns.Delete(p, true)
+			if exists != (err == nil) {
+				t.Fatalf("op %d: delete %s: model exists=%v real err=%v", op, p, exists, err)
+			}
+			if err == nil {
+				model.deleteTree(p)
+			}
+		case 3: // rename
+			src := randPath(1 + rng.Intn(3))
+			dst := randPath(1 + rng.Intn(3))
+			if src == "/" || dst == "/" {
+				continue
+			}
+			srcExists := model.dirs[src] || hasFile(model, src)
+			want := srcExists && model.rename2Check(dst, src)
+			err := ns.Rename(src, dst)
+			if want != (err == nil) {
+				t.Fatalf("op %d: rename %s -> %s: model=%v real err=%v", op, src, dst, err == nil, err)
+			}
+			if err == nil {
+				model.rename(src, dst)
+			}
+		case 4: // status check on a random path
+			p := randPath(1 + rng.Intn(3))
+			info, err := ns.Status(p)
+			switch {
+			case hasFile(model, p):
+				if err != nil || info.IsDir {
+					t.Fatalf("op %d: status %s: want file, got %+v %v", op, p, info, err)
+				}
+				if info.Length != model.files[p] {
+					t.Fatalf("op %d: status %s length %d, model %d", op, p, info.Length, model.files[p])
+				}
+			case model.dirs[p] || p == "/":
+				if err != nil || !info.IsDir {
+					t.Fatalf("op %d: status %s: want dir, got %+v %v", op, p, info, err)
+				}
+			default:
+				if err == nil {
+					t.Fatalf("op %d: status %s: want error, got %+v", op, p, info)
+				}
+			}
+		}
+	}
+
+	// Final full-tree comparison.
+	var realFiles []string
+	ns.ForEachFile(func(p string, _ []core.Block, _ core.ReplicationVector) {
+		realFiles = append(realFiles, p)
+	})
+	var modelFiles []string
+	for f := range model.files {
+		modelFiles = append(modelFiles, f)
+	}
+	sort.Strings(realFiles)
+	sort.Strings(modelFiles)
+	if len(realFiles) != len(modelFiles) {
+		t.Fatalf("final trees diverge: real %d files %v vs model %d files %v",
+			len(realFiles), realFiles, len(modelFiles), modelFiles)
+	}
+	for i := range realFiles {
+		if realFiles[i] != modelFiles[i] {
+			t.Fatalf("final trees diverge at %d: %s vs %s", i, realFiles[i], modelFiles[i])
+		}
+	}
+}
+
+// rename2Check mirrors the real namespace's rename preconditions on
+// the destination side.
+func (m *modelFS) rename2Check(dst, src string) bool {
+	if IsAncestor(src, dst) {
+		return false
+	}
+	if m.dirs[dst] || hasFile(m, dst) {
+		return false
+	}
+	return m.dirs[ParentPath(dst)]
+}

@@ -1,0 +1,48 @@
+package policy_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// ExampleMOOPPolicy places three replicas on the paper's 9-worker
+// cluster: one pinned to each of the memory, SSD, and HDD tiers.
+func ExampleMOOPPolicy() {
+	cluster := sim.NewCluster(sim.PaperClusterConfig())
+	p := policy.NewMOOPPolicy(policy.DefaultMOOPConfig())
+
+	chosen, err := p.PlaceReplicas(policy.PlacementRequest{
+		Snapshot:  cluster.Snapshot(),
+		RepVector: core.NewReplicationVector(1, 1, 1, 0, 0),
+		BlockSize: 128 << 20,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range chosen {
+		fmt.Println(m.Tier)
+	}
+	// Output:
+	// MEMORY
+	// SSD
+	// HDD
+}
+
+// ExampleOctopusRetrievalPolicy orders replicas by expected transfer
+// rate (paper Eq. 12): the memory replica is read first.
+func ExampleOctopusRetrievalPolicy() {
+	cluster := sim.NewCluster(sim.PaperClusterConfig())
+	snap := cluster.Snapshot()
+	mem, _ := snap.MediaByID("node1:mem0")
+	hdd, _ := snap.MediaByID("node2:hdd0")
+	ordered := policy.NewOctopusRetrievalPolicy().Order(policy.RetrievalRequest{
+		Snapshot: snap,
+		Replicas: []policy.Media{hdd, mem},
+	})
+	fmt.Println("read from:", ordered[0].Tier)
+	// Output:
+	// read from: MEMORY
+}

@@ -1,0 +1,174 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// HDFSPolicy reimplements the default HDFS block placement policy used
+// as the baseline in the paper's evaluation (§7.2): the first replica
+// goes on the writer's node, the second on a node in a different rack,
+// the third on a different node in the second replica's rack, and any
+// further replicas on random nodes — with no awareness of storage
+// tiers. Media on a chosen node are picked uniformly at random among
+// the allowed media types, mirroring HDFS's round-robin volume choice.
+type HDFSPolicy struct {
+	name    string
+	allowed map[core.StorageTier]bool
+}
+
+// NewHDFSPolicy builds the "Original HDFS" baseline, which stores
+// replicas on HDD media only.
+func NewHDFSPolicy() *HDFSPolicy {
+	return &HDFSPolicy{
+		name:    "OriginalHDFS",
+		allowed: map[core.StorageTier]bool{core.TierHDD: true},
+	}
+}
+
+// NewHDFSWithSSDPolicy builds the "HDFS with SSD" baseline of §7.2:
+// HDFS using both HDDs and SSDs for storing replicas but without
+// differentiating between the two media types.
+func NewHDFSWithSSDPolicy() *HDFSPolicy {
+	return &HDFSPolicy{
+		name:    "HDFSwithSSD",
+		allowed: map[core.StorageTier]bool{core.TierHDD: true, core.TierSSD: true},
+	}
+}
+
+// Name implements PlacementPolicy.
+func (p *HDFSPolicy) Name() string { return p.name }
+
+// PlaceReplicas implements PlacementPolicy using the HDFS default
+// placement rules. The replication vector's tier pins are ignored —
+// HDFS cannot express them — so only the total replica count matters.
+func (p *HDFSPolicy) PlaceReplicas(req PlacementRequest) ([]Media, error) {
+	if req.Snapshot == nil || len(req.Snapshot.Media) == 0 {
+		return nil, core.ErrNoWorkers
+	}
+	r := req.RepVector.Total()
+	if r == 0 {
+		return nil, fmt.Errorf("policy: empty replication vector: %w", core.ErrNoSpace)
+	}
+
+	chosen := append([]Media(nil), req.Existing...)
+	placed := make([]Media, 0, r)
+	for i := 0; i < r; i++ {
+		m, ok := p.next(req, chosen)
+		if !ok {
+			if len(placed) == 0 {
+				return nil, fmt.Errorf("policy: HDFS placement found no feasible media: %w", core.ErrNoSpace)
+			}
+			return placed, fmt.Errorf("policy: placed %d of %d replicas: %w", len(placed), r, core.ErrNoSpace)
+		}
+		chosen = append(chosen, m)
+		placed = append(placed, m)
+	}
+	return placed, nil
+}
+
+// next picks the media for the (len(chosen)+1)-th replica.
+func (p *HDFSPolicy) next(req PlacementRequest, chosen []Media) (Media, bool) {
+	type rule func(m Media) bool
+	usedNodes := make(map[string]struct{}, len(chosen))
+	usedIDs := make(map[core.StorageID]struct{}, len(chosen))
+	for _, c := range chosen {
+		usedNodes[c.Node] = struct{}{}
+		usedIDs[c.ID] = struct{}{}
+	}
+	feasible := func(m Media) bool {
+		if _, dup := usedIDs[m.ID]; dup {
+			return false
+		}
+		if !p.allowed[m.Tier] {
+			return false
+		}
+		return m.Remaining-req.BlockSize >= 0
+	}
+	newNode := func(m Media) bool {
+		_, used := usedNodes[m.Node]
+		return !used
+	}
+
+	// Placement preference ladder for this replica index, tried in
+	// order until one yields candidates.
+	var ladder []rule
+	switch len(chosen) {
+	case 0:
+		if req.Client.Node != "" {
+			ladder = append(ladder, func(m Media) bool { return m.Node == req.Client.Node })
+		}
+		ladder = append(ladder, func(Media) bool { return true })
+	case 1:
+		firstRack := chosen[0].Rack
+		ladder = append(ladder,
+			func(m Media) bool { return m.Rack != firstRack && newNode(m) },
+			newNode,
+			func(Media) bool { return true })
+	case 2:
+		secondRack := chosen[1].Rack
+		ladder = append(ladder,
+			func(m Media) bool { return m.Rack == secondRack && newNode(m) },
+			newNode,
+			func(Media) bool { return true })
+	default:
+		ladder = append(ladder, newNode, func(Media) bool { return true })
+	}
+
+	for _, want := range ladder {
+		var candidates []Media
+		for _, m := range req.Snapshot.Media {
+			if feasible(m) && want(m) {
+				candidates = append(candidates, m)
+			}
+		}
+		if len(candidates) == 0 {
+			continue
+		}
+		SortMediaStable(candidates)
+		// HDFS picks a target node first, then round-robins across
+		// the node's volumes; approximate the volume rotation by
+		// choosing the least-loaded media on the chosen node.
+		nodes := make([]string, 0, len(candidates))
+		seen := map[string]struct{}{}
+		for _, m := range candidates {
+			if _, ok := seen[m.Node]; !ok {
+				seen[m.Node] = struct{}{}
+				nodes = append(nodes, m.Node)
+			}
+		}
+		node := nodes[0]
+		if req.Rand != nil {
+			node = nodes[req.Rand.Intn(len(nodes))]
+		}
+		var onNode []Media
+		for _, m := range candidates {
+			if m.Node == node {
+				onNode = append(onNode, m)
+			}
+		}
+		minConns := onNode[0].Connections
+		for _, m := range onNode[1:] {
+			if m.Connections < minConns {
+				minConns = m.Connections
+			}
+		}
+		var least []Media
+		for _, m := range onNode {
+			if m.Connections == minConns {
+				least = append(least, m)
+			}
+		}
+		return pickRandom(least, req.Rand), true
+	}
+	return Media{}, false
+}
+
+func pickRandom(candidates []Media, rng *rand.Rand) Media {
+	if rng == nil || len(candidates) == 1 {
+		return candidates[0]
+	}
+	return candidates[rng.Intn(len(candidates))]
+}

@@ -1,0 +1,196 @@
+package policy
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func TestHDFSPolicyUsesOnlyHDD(t *testing.T) {
+	s := paperCluster(9, 3)
+	p := NewHDFSPolicy()
+	for trial := 0; trial < 20; trial++ {
+		got, err := p.PlaceReplicas(moopRequest(s, core.ReplicationVectorFromFactor(3)))
+		if err != nil {
+			t.Fatalf("PlaceReplicas: %v", err)
+		}
+		for _, m := range got {
+			if m.Tier != core.TierHDD {
+				t.Fatalf("OriginalHDFS placed a replica on %v, want HDD only", m.Tier)
+			}
+		}
+	}
+}
+
+func TestHDFSWithSSDUsesBothButNotMemory(t *testing.T) {
+	s := paperCluster(9, 3)
+	p := NewHDFSWithSSDPolicy()
+	sawSSD := false
+	for trial := 0; trial < 50; trial++ {
+		got, err := p.PlaceReplicas(moopRequest(s, core.ReplicationVectorFromFactor(3)))
+		if err != nil {
+			t.Fatalf("PlaceReplicas: %v", err)
+		}
+		for _, m := range got {
+			switch m.Tier {
+			case core.TierMemory, core.TierRemote:
+				t.Fatalf("HDFSwithSSD placed a replica on %v", m.Tier)
+			case core.TierSSD:
+				sawSSD = true
+			}
+		}
+	}
+	if !sawSSD {
+		t.Error("HDFSwithSSD never used an SSD across 50 trials")
+	}
+}
+
+func TestHDFSPlacementRackRules(t *testing.T) {
+	s := paperCluster(9, 3)
+	p := NewHDFSPolicy()
+	req := moopRequest(s, core.ReplicationVectorFromFactor(3))
+	req.Client = topology.Location{Rack: "/rack1", Node: "node1"}
+	for trial := 0; trial < 20; trial++ {
+		got, err := p.PlaceReplicas(req)
+		if err != nil {
+			t.Fatalf("PlaceReplicas: %v", err)
+		}
+		if len(got) != 3 {
+			t.Fatalf("placed %d replicas, want 3", len(got))
+		}
+		// Rule 1: first replica on the writer's node.
+		if got[0].Node != "node1" {
+			t.Errorf("first replica on %s, want node1", got[0].Node)
+		}
+		// Rule 2: second replica off the first rack.
+		if got[1].Rack == got[0].Rack {
+			t.Errorf("second replica on same rack %s as first", got[1].Rack)
+		}
+		// Rule 3: third replica on the second replica's rack, new node.
+		if got[2].Rack != got[1].Rack {
+			t.Errorf("third replica on rack %s, want %s", got[2].Rack, got[1].Rack)
+		}
+		if got[2].Node == got[1].Node {
+			t.Errorf("third replica reuses node %s", got[2].Node)
+		}
+		if hasDuplicates(got) {
+			t.Error("duplicate media in HDFS placement")
+		}
+	}
+}
+
+func TestHDFSPlacementSingleRackDegradesGracefully(t *testing.T) {
+	s := paperCluster(4, 1)
+	p := NewHDFSPolicy()
+	got, err := p.PlaceReplicas(moopRequest(s, core.ReplicationVectorFromFactor(3)))
+	if err != nil {
+		t.Fatalf("PlaceReplicas: %v", err)
+	}
+	if n := distinctNodes(got); n != 3 {
+		t.Errorf("single-rack placement on %d nodes, want 3 distinct", n)
+	}
+}
+
+func TestHDFSPolicyNoFeasibleMedia(t *testing.T) {
+	s := paperCluster(2, 1)
+	for i := range s.Media {
+		if s.Media[i].Tier == core.TierHDD {
+			s.Media[i].Remaining = 0
+		}
+	}
+	p := NewHDFSPolicy()
+	if _, err := p.PlaceReplicas(moopRequest(s, core.ReplicationVectorFromFactor(1))); !errors.Is(err, core.ErrNoSpace) {
+		t.Errorf("err = %v, want ErrNoSpace (all HDDs full, SSD/memory off-limits)", err)
+	}
+}
+
+func TestHDFSPolicyPartialPlacement(t *testing.T) {
+	s := paperCluster(1, 1) // one node: 3 HDDs only
+	p := NewHDFSPolicy()
+	got, err := p.PlaceReplicas(moopRequest(s, core.ReplicationVectorFromFactor(5)))
+	if !errors.Is(err, core.ErrNoSpace) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	if len(got) != 3 {
+		t.Errorf("placed %d replicas, want 3 (every HDD once)", len(got))
+	}
+	if hasDuplicates(got) {
+		t.Error("partial placement duplicated media")
+	}
+}
+
+func TestHDFSPolicyEmptyCluster(t *testing.T) {
+	p := NewHDFSPolicy()
+	_, err := p.PlaceReplicas(PlacementRequest{Snapshot: &Snapshot{}, RepVector: core.ReplicationVectorFromFactor(1)})
+	if !errors.Is(err, core.ErrNoWorkers) {
+		t.Errorf("err = %v, want ErrNoWorkers", err)
+	}
+}
+
+func TestRuleBasedRoundRobinTiers(t *testing.T) {
+	s := paperCluster(9, 3)
+	p := NewRuleBasedPolicy()
+	req := moopRequest(s, core.ReplicationVectorFromFactor(3))
+	req.Rand = nil // rotation starts at the fastest tier
+	got, err := p.PlaceReplicas(req)
+	if err != nil {
+		t.Fatalf("PlaceReplicas: %v", err)
+	}
+	wantTiers := []core.StorageTier{core.TierMemory, core.TierSSD, core.TierHDD}
+	for i, m := range got {
+		if m.Tier != wantTiers[i] {
+			t.Errorf("replica %d on %v, want %v (round-robin)", i, m.Tier, wantTiers[i])
+		}
+	}
+}
+
+func TestRuleBasedTwoRackConstraint(t *testing.T) {
+	s := paperCluster(9, 3)
+	p := NewRuleBasedPolicy()
+	for trial := 0; trial < 30; trial++ {
+		got, err := p.PlaceReplicas(moopRequest(s, core.ReplicationVectorFromFactor(4)))
+		if err != nil {
+			t.Fatalf("PlaceReplicas: %v", err)
+		}
+		if n := distinctRacks(got); n > 2 {
+			t.Errorf("rule-based placement spans %d racks, want <= 2", n)
+		}
+		if hasDuplicates(got) {
+			t.Error("duplicate media in rule-based placement")
+		}
+	}
+}
+
+func TestRuleBasedSkipsExhaustedTier(t *testing.T) {
+	s := paperCluster(4, 2)
+	for i := range s.Media {
+		if s.Media[i].Tier == core.TierMemory {
+			s.Media[i].Remaining = 0
+		}
+	}
+	p := NewRuleBasedPolicy()
+	req := moopRequest(s, core.ReplicationVectorFromFactor(3))
+	req.Rand = nil
+	got, err := p.PlaceReplicas(req)
+	if err != nil {
+		t.Fatalf("PlaceReplicas: %v", err)
+	}
+	for _, m := range got {
+		if m.Tier == core.TierMemory {
+			t.Errorf("placed on exhausted memory media %s", m.ID)
+		}
+	}
+}
+
+func TestRuleBasedEmptyAndZeroVector(t *testing.T) {
+	p := NewRuleBasedPolicy()
+	if _, err := p.PlaceReplicas(PlacementRequest{Snapshot: &Snapshot{}, RepVector: core.ReplicationVectorFromFactor(1)}); !errors.Is(err, core.ErrNoWorkers) {
+		t.Errorf("empty cluster err = %v, want ErrNoWorkers", err)
+	}
+	s := paperCluster(2, 1)
+	if _, err := p.PlaceReplicas(moopRequest(s, 0)); err == nil {
+		t.Error("zero vector: got nil error")
+	}
+}

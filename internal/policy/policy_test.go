@@ -1,0 +1,107 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Throughputs from paper Table 2 (MB/s), used by all policy tests.
+const (
+	memWrite = 1897.4
+	memRead  = 3224.8
+	ssdWrite = 340.6
+	ssdRead  = 419.5
+	hddWrite = 126.3
+	hddRead  = 177.1
+
+	netThru = 1250.0 // 10 Gbps NIC in MB/s
+
+	gb = int64(1 << 30)
+)
+
+// paperCluster builds a snapshot mirroring the paper's evaluation
+// cluster: 9 workers split across racks, each with one memory media
+// (4 GB), one SSD (64 GB), and three HDDs (400 GB split across
+// drives), with Table 2 throughputs, all idle.
+func paperCluster(numWorkers, numRacks int) *Snapshot {
+	s := &Snapshot{Workers: make(map[core.WorkerID]WorkerInfo), NumRacks: numRacks}
+	for w := 0; w < numWorkers; w++ {
+		node := fmt.Sprintf("node%d", w+1)
+		rack := fmt.Sprintf("/rack%d", w%numRacks+1)
+		id := core.WorkerID(node)
+		s.Workers[id] = WorkerInfo{ID: id, Node: node, Rack: rack, NetThruMBps: netThru}
+		add := func(kind string, idx int, tier core.StorageTier, capBytes int64, wtp, rtp float64) {
+			s.Media = append(s.Media, Media{
+				ID:            core.StorageID(fmt.Sprintf("%s:%s%d", node, kind, idx)),
+				Worker:        id,
+				Node:          node,
+				Tier:          tier,
+				Rack:          rack,
+				Capacity:      capBytes,
+				Remaining:     capBytes,
+				WriteThruMBps: wtp,
+				ReadThruMBps:  rtp,
+			})
+		}
+		add("mem", 0, core.TierMemory, 4*gb, memWrite, memRead)
+		add("ssd", 0, core.TierSSD, 64*gb, ssdWrite, ssdRead)
+		for d := 0; d < 3; d++ {
+			add("hdd", d, core.TierHDD, 133*gb, hddWrite, hddRead)
+		}
+	}
+	return s
+}
+
+// findMedia returns the snapshot media with the given ID, failing the
+// lookup loudly if absent.
+func findMedia(s *Snapshot, id core.StorageID) *Media {
+	for i := range s.Media {
+		if s.Media[i].ID == id {
+			return &s.Media[i]
+		}
+	}
+	panic("test media not found: " + string(id))
+}
+
+func testRand() *rand.Rand { return rand.New(rand.NewSource(42)) }
+
+// countByTier tallies a selection per tier.
+func countByTier(ms []Media) map[core.StorageTier]int {
+	out := make(map[core.StorageTier]int)
+	for _, m := range ms {
+		out[m.Tier]++
+	}
+	return out
+}
+
+// distinctNodes returns the number of distinct nodes in a selection.
+func distinctNodes(ms []Media) int {
+	seen := make(map[string]struct{})
+	for _, m := range ms {
+		seen[m.Node] = struct{}{}
+	}
+	return len(seen)
+}
+
+// distinctRacks returns the number of distinct racks in a selection.
+func distinctRacks(ms []Media) int {
+	seen := make(map[string]struct{})
+	for _, m := range ms {
+		seen[m.Rack] = struct{}{}
+	}
+	return len(seen)
+}
+
+// assertNoDuplicates fails if a selection reuses a media.
+func hasDuplicates(ms []Media) bool {
+	seen := make(map[core.StorageID]struct{})
+	for _, m := range ms {
+		if _, dup := seen[m.ID]; dup {
+			return true
+		}
+		seen[m.ID] = struct{}{}
+	}
+	return false
+}

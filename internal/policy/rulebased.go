@@ -1,0 +1,115 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// RuleBasedPolicy reimplements the rule-based baseline of paper §7.2:
+// it is both network-topology and storage-tier aware, placing replicas
+// across the tiers in a round-robin fashion on randomly selected nodes
+// spread across two racks — but it consults no statistics, so it
+// ignores current load and remaining capacity beyond feasibility.
+type RuleBasedPolicy struct {
+	// tierOrder is the round-robin tier rotation, fastest tier first.
+	tierOrder []core.StorageTier
+}
+
+// NewRuleBasedPolicy builds the rule-based baseline rotating over the
+// memory, SSD, and HDD tiers (the tiers present in the paper's
+// cluster). Tiers absent from the snapshot are skipped at decision
+// time.
+func NewRuleBasedPolicy() *RuleBasedPolicy {
+	return &RuleBasedPolicy{
+		tierOrder: []core.StorageTier{core.TierMemory, core.TierSSD, core.TierHDD, core.TierRemote},
+	}
+}
+
+// Name implements PlacementPolicy.
+func (p *RuleBasedPolicy) Name() string { return "RuleBased" }
+
+// PlaceReplicas implements PlacementPolicy. Replica i goes to the
+// i-th tier of the rotation (skipping tiers with no feasible media),
+// on a random node constrained to at most two racks.
+func (p *RuleBasedPolicy) PlaceReplicas(req PlacementRequest) ([]Media, error) {
+	if req.Snapshot == nil || len(req.Snapshot.Media) == 0 {
+		return nil, core.ErrNoWorkers
+	}
+	r := req.RepVector.Total()
+	if r == 0 {
+		return nil, fmt.Errorf("policy: empty replication vector: %w", core.ErrNoSpace)
+	}
+
+	chosen := append([]Media(nil), req.Existing...)
+	placed := make([]Media, 0, r)
+	rot := p.rotationStart(req)
+	for i := 0; i < r; i++ {
+		m, ok := p.next(req, chosen, rot+i)
+		if !ok {
+			if len(placed) == 0 {
+				return nil, fmt.Errorf("policy: rule-based placement found no feasible media: %w", core.ErrNoSpace)
+			}
+			return placed, fmt.Errorf("policy: placed %d of %d replicas: %w", len(placed), r, core.ErrNoSpace)
+		}
+		chosen = append(chosen, m)
+		placed = append(placed, m)
+	}
+	return placed, nil
+}
+
+// rotationStart staggers the tier rotation across blocks so that
+// successive blocks do not all start on the same tier. It derives the
+// offset from the request's randomness; with a nil Rand the rotation
+// always starts at the fastest tier.
+func (p *RuleBasedPolicy) rotationStart(req PlacementRequest) int {
+	if req.Rand == nil {
+		return 0
+	}
+	return req.Rand.Intn(len(p.tierOrder))
+}
+
+func (p *RuleBasedPolicy) next(req PlacementRequest, chosen []Media, rotation int) (Media, bool) {
+	usedIDs := make(map[core.StorageID]struct{}, len(chosen))
+	usedRacks := make(map[string]struct{}, len(chosen))
+	usedNodes := make(map[string]struct{}, len(chosen))
+	for _, c := range chosen {
+		usedIDs[c.ID] = struct{}{}
+		usedRacks[c.Rack] = struct{}{}
+		usedNodes[c.Node] = struct{}{}
+	}
+	rackOK := func(rack string) bool {
+		if len(usedRacks) < 2 {
+			return true
+		}
+		_, ok := usedRacks[rack]
+		return ok
+	}
+	// Try each tier of the rotation starting at the requested offset.
+	for k := 0; k < len(p.tierOrder); k++ {
+		tier := p.tierOrder[(rotation+k)%len(p.tierOrder)]
+		var candidates []Media
+		var fallback []Media // same tier but reused node
+		for _, m := range req.Snapshot.Media {
+			if _, dup := usedIDs[m.ID]; dup {
+				continue
+			}
+			if m.Tier != tier || m.Remaining-req.BlockSize < 0 || !rackOK(m.Rack) {
+				continue
+			}
+			if _, used := usedNodes[m.Node]; used {
+				fallback = append(fallback, m)
+				continue
+			}
+			candidates = append(candidates, m)
+		}
+		if len(candidates) == 0 {
+			candidates = fallback
+		}
+		if len(candidates) > 0 {
+			SortMediaStable(candidates)
+			return pickRandom(candidates, req.Rand), true
+		}
+	}
+	return Media{}, false
+}

@@ -1,0 +1,180 @@
+// Package policy implements the data placement and data retrieval
+// policies of OctopusFS (paper §3–§5): the multi-objective
+// optimization (MOOP) placement policy with its four objectives and
+// greedy solver (Algorithms 1 and 2), the four single-objective
+// policies, the Original-HDFS and Rule-based baseline policies used in
+// the paper's evaluation, the rate-based replica-ordering retrieval
+// policy (Eq. 12) with the locality-only HDFS baseline, and the
+// MOOP-based excess-replica selection used by replication management.
+//
+// All policies are pure functions over a Snapshot of cluster state, so
+// the exact same policy code runs inside the live master and inside
+// the flow-level cluster simulator used by the benchmark harness.
+package policy
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// Media is the policy-visible description of one storage media
+// instance: where it lives (worker, tier, rack), how full it is, how
+// loaded it is, and how fast it is. The master assembles these from
+// worker heartbeats (paper §3.2); the simulator synthesises them.
+type Media struct {
+	ID          core.StorageID
+	Worker      core.WorkerID
+	Node        string // topology node name of the hosting worker
+	Tier        core.StorageTier
+	Rack        string
+	Capacity    int64 // total bytes
+	Remaining   int64 // remaining bytes
+	Connections int   // active I/O connections to this media
+
+	// Sustained throughputs measured by the worker's startup I/O
+	// probe, averaged per tier by the master (paper §3.2, Table 2).
+	WriteThruMBps float64
+	ReadThruMBps  float64
+}
+
+// RemainingPercent returns Remaining/Capacity in [0,1], the quantity
+// the data-balancing objective maximises. Zero-capacity media score 0.
+func (m Media) RemainingPercent() float64 {
+	if m.Capacity <= 0 {
+		return 0
+	}
+	return float64(m.Remaining) / float64(m.Capacity)
+}
+
+// WorkerInfo is the policy-visible description of one live worker:
+// its position in the topology, its NIC throughput, and the number of
+// active network connections it is serving. Used by the retrieval
+// policy's transfer-rate estimate (paper Eq. 12).
+type WorkerInfo struct {
+	ID          core.WorkerID
+	Node        string
+	Rack        string
+	NetThruMBps float64 // average network transfer rate from this worker
+	Connections int     // active network connections
+}
+
+// Location returns the worker's network location.
+func (w WorkerInfo) Location() topology.Location {
+	return topology.Location{Rack: w.Rack, Node: w.Node}
+}
+
+// Snapshot is an immutable point-in-time view of the cluster used for
+// one policy decision. Policies never mutate a snapshot.
+type Snapshot struct {
+	Media    []Media
+	Workers  map[core.WorkerID]WorkerInfo
+	NumRacks int // racks with at least one live worker (t in Eq. 5)
+}
+
+// NumWorkers returns the number of live workers (n in Eq. 5).
+func (s *Snapshot) NumWorkers() int { return len(s.Workers) }
+
+// NumTiers returns the number of storage tiers with at least one live
+// media (k in Eq. 5).
+func (s *Snapshot) NumTiers() int {
+	var seen [core.NumTiers]bool
+	n := 0
+	for _, m := range s.Media {
+		if !seen[m.Tier] {
+			seen[m.Tier] = true
+			n++
+		}
+	}
+	return n
+}
+
+// MaxRemainingPercent returns max over all media of Rem/Cap, the
+// anchor of the ideal data-balancing value (Eq. 2).
+func (s *Snapshot) MaxRemainingPercent() float64 {
+	best := 0.0
+	for _, m := range s.Media {
+		if p := m.RemainingPercent(); p > best {
+			best = p
+		}
+	}
+	return best
+}
+
+// MinConnections returns the minimum number of active I/O connections
+// across all media, the anchor of the ideal load-balancing value
+// (Eq. 4).
+func (s *Snapshot) MinConnections() int {
+	if len(s.Media) == 0 {
+		return 0
+	}
+	best := s.Media[0].Connections
+	for _, m := range s.Media[1:] {
+		if m.Connections < best {
+			best = m.Connections
+		}
+	}
+	return best
+}
+
+// MaxWriteThru returns the maximum sustained write throughput across
+// all media, the normaliser of the throughput objective (Eq. 7).
+func (s *Snapshot) MaxWriteThru() float64 {
+	best := 0.0
+	for _, m := range s.Media {
+		if m.WriteThruMBps > best {
+			best = m.WriteThruMBps
+		}
+	}
+	return best
+}
+
+// MediaByID returns the media with the given ID, if present.
+func (s *Snapshot) MediaByID(id core.StorageID) (Media, bool) {
+	for _, m := range s.Media {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return Media{}, false
+}
+
+// SortMediaStable sorts a media slice by ID. Policies sort candidate
+// lists before randomised selection so that decisions are reproducible
+// under a seeded rand.Rand regardless of map iteration order upstream.
+func SortMediaStable(media []Media) {
+	sort.Slice(media, func(i, j int) bool { return media[i].ID < media[j].ID })
+}
+
+// shuffleMedia shuffles a media slice in place using rng, falling back
+// to no-op when rng is nil (callers that want determinism pass nil).
+func shuffleMedia(media []Media, rng *rand.Rand) {
+	if rng == nil {
+		return
+	}
+	rng.Shuffle(len(media), func(i, j int) { media[i], media[j] = media[j], media[i] })
+}
+
+// distinctCounts returns the number of distinct tiers, nodes, and
+// racks appearing in the media list (NrTiers, NrNodes, NrRacks in
+// Eq. 5).
+func distinctCounts(media []Media) (tiers, nodes, racks int) {
+	var tierSeen [core.NumTiers + 1]bool
+	nodeSeen := make(map[string]struct{}, len(media))
+	rackSeen := make(map[string]struct{}, len(media))
+	for _, m := range media {
+		ti := int(m.Tier)
+		if ti > core.NumTiers {
+			ti = core.NumTiers
+		}
+		if !tierSeen[ti] {
+			tierSeen[ti] = true
+			tiers++
+		}
+		nodeSeen[m.Node] = struct{}{}
+		rackSeen[m.Rack] = struct{}{}
+	}
+	return tiers, len(nodeSeen), len(rackSeen)
+}

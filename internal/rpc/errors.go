@@ -1,0 +1,75 @@
+// Package rpc provides the wire-level building blocks shared by the
+// OctopusFS master, workers, and client: stable error codes that
+// survive net/rpc boundaries, and the framed, checksummed streaming
+// protocol used on the workers' data-transfer port.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// codes maps stable wire codes to the core sentinel errors. Codes — not
+// message text — are what cross the network, so errors.Is keeps working
+// on the client side after a round trip.
+var codes = []struct {
+	code string
+	err  error
+}{
+	{"E_NOTFOUND", core.ErrNotFound},
+	{"E_EXISTS", core.ErrExists},
+	{"E_NOTDIR", core.ErrNotDirectory},
+	{"E_ISDIR", core.ErrIsDirectory},
+	{"E_NOTEMPTY", core.ErrNotEmpty},
+	{"E_NOSPACE", core.ErrNoSpace},
+	{"E_QUOTA", core.ErrQuotaExceeded},
+	{"E_PERM", core.ErrPermission},
+	{"E_OPEN", core.ErrFileOpen},
+	{"E_CLOSED", core.ErrFileClosed},
+	{"E_CORRUPT", core.ErrCorrupt},
+	{"E_NOWORKERS", core.ErrNoWorkers},
+	{"E_SHUTDOWN", core.ErrShutdown},
+}
+
+// EncodeError converts an error into its wire representation:
+// "<CODE>: <message>" for recognised sentinels, the bare message
+// otherwise. A nil error encodes to "".
+func EncodeError(err error) string {
+	if err == nil {
+		return ""
+	}
+	for _, c := range codes {
+		if errors.Is(err, c.err) {
+			return c.code + ": " + err.Error()
+		}
+	}
+	return err.Error()
+}
+
+// DecodeError reverses EncodeError: a recognised code prefix yields an
+// error wrapping the corresponding sentinel, so errors.Is works across
+// the RPC boundary. An empty string decodes to nil.
+func DecodeError(s string) error {
+	if s == "" {
+		return nil
+	}
+	for _, c := range codes {
+		if strings.HasPrefix(s, c.code+": ") {
+			msg := strings.TrimPrefix(s, c.code+": ")
+			return fmt.Errorf("%s: %w", strings.TrimSuffix(msg, ": "+c.err.Error()), c.err)
+		}
+	}
+	return errors.New(s)
+}
+
+// WrapRemote maps an error returned by net/rpc (which flattens server
+// errors to strings) back onto the core sentinels.
+func WrapRemote(err error) error {
+	if err == nil {
+		return nil
+	}
+	return DecodeError(err.Error())
+}

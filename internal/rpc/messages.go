@@ -1,0 +1,300 @@
+package rpc
+
+import "repro/internal/core"
+
+// This file defines the net/rpc message types of the two master
+// protocols: the client protocol (file system operations, paper §2.3)
+// and the worker protocol (registration, heartbeats, block reports,
+// paper §2.1–§2.2).
+
+// FileStatus describes one file or directory to clients.
+type FileStatus struct {
+	Path      string
+	IsDir     bool
+	Length    int64 // total file bytes (0 for directories)
+	RepVector core.ReplicationVector
+	BlockSize int64
+	ModTime   int64 // Unix nanoseconds
+	Owner     string
+}
+
+// MkdirArgs / MkdirReply implement Master.Mkdir.
+type MkdirArgs struct {
+	Path    string
+	Parents bool // create missing parents like mkdir -p
+	Owner   string
+}
+type MkdirReply struct{}
+
+// CreateArgs / CreateReply implement Master.Create (paper Table 1:
+// create with a replication vector instead of a replication factor).
+type CreateArgs struct {
+	Path      string
+	RepVector core.ReplicationVector
+	BlockSize int64
+	Overwrite bool
+	Owner     string
+	// ClientNode is the topology node the writer runs on ("" if
+	// off-cluster); the placement policy uses it for collocation.
+	ClientNode string
+}
+type CreateReply struct{}
+
+// AddBlockArgs / AddBlockReply implement Master.AddBlock: commit the
+// previous block (if any) and allocate the next one with replica
+// locations chosen by the placement policy.
+type AddBlockArgs struct {
+	Path       string
+	ClientNode string
+	// Previous is the just-finished block with its final length; nil
+	// for the first block of a file.
+	Previous *core.Block
+}
+type AddBlockReply struct {
+	Located core.LocatedBlock
+}
+
+// CompleteArgs / CompleteReply implement Master.Complete: commit the
+// final block and seal the file.
+type CompleteArgs struct {
+	Path string
+	Last *core.Block // nil for an empty file
+}
+type CompleteReply struct{}
+
+// AbandonArgs / AbandonReply implement Master.Abandon: drop an
+// under-construction file after a failed write.
+type AbandonArgs struct {
+	Path string
+}
+type AbandonReply struct{}
+
+// AbandonBlockArgs / -Reply implement Master.AbandonBlock: drop the
+// last, uncommitted block of an under-construction file after a
+// failed pipeline write so the client can allocate a replacement.
+type AbandonBlockArgs struct {
+	Path  string
+	Block core.Block
+}
+type AbandonBlockReply struct{}
+
+// GetBlockLocationsArgs / -Reply implement Master.GetBlockLocations
+// (paper Table 1: getFileBlockLocations exposing storage tiers).
+type GetBlockLocationsArgs struct {
+	Path       string
+	Offset     int64
+	Length     int64
+	ClientNode string // for locality-aware replica ordering
+}
+type GetBlockLocationsReply struct {
+	FileLength int64
+	Blocks     []core.LocatedBlock
+}
+
+// GetFileInfoArgs / -Reply implement Master.GetFileInfo.
+type GetFileInfoArgs struct {
+	Path string
+}
+type GetFileInfoReply struct {
+	Status FileStatus
+}
+
+// ListArgs / ListReply implement Master.List.
+type ListArgs struct {
+	Path string
+}
+type ListReply struct {
+	Entries []FileStatus
+}
+
+// DeleteArgs / DeleteReply implement Master.Delete.
+type DeleteArgs struct {
+	Path      string
+	Recursive bool
+}
+type DeleteReply struct{}
+
+// RenameArgs / RenameReply implement Master.Rename.
+type RenameArgs struct {
+	Src, Dst string
+}
+type RenameReply struct{}
+
+// SetReplicationArgs / -Reply implement Master.SetReplication (paper
+// Table 1: setReplication with a replication vector, driving
+// move/copy/delete of replicas across tiers).
+type SetReplicationArgs struct {
+	Path      string
+	RepVector core.ReplicationVector
+}
+type SetReplicationReply struct{}
+
+// TierReportsArgs / -Reply implement Master.GetStorageTierReports
+// (paper Table 1).
+type TierReportsArgs struct{}
+type TierReportsReply struct {
+	Reports []core.StorageTierReport
+}
+
+// SetQuotaArgs / SetQuotaReply implement Master.SetQuota: per-tier
+// byte quotas on a directory (paper §1: quota mechanisms per storage
+// media for multi-tenancy).
+type SetQuotaArgs struct {
+	Path  string
+	Tier  core.StorageTier // TierUnspecified sets the total-space quota
+	Bytes int64            // -1 clears the quota
+}
+type SetQuotaReply struct{}
+
+// MediaStat is a worker's per-media statistics report, delivered at
+// registration and in every heartbeat (paper §3.2).
+type MediaStat struct {
+	ID          core.StorageID
+	Tier        core.StorageTier
+	Capacity    int64
+	Remaining   int64
+	Connections int
+	WriteMBps   float64
+	ReadMBps    float64
+}
+
+// RegisterArgs / RegisterReply implement Master.Register.
+type RegisterArgs struct {
+	ID       core.WorkerID
+	Node     string
+	Rack     string
+	DataAddr string // host:port of the worker's data-transfer endpoint
+	NetMBps  float64
+	Media    []MediaStat
+}
+type RegisterReply struct {
+	// Registered echoes the accepted worker ID.
+	Registered core.WorkerID
+}
+
+// CommandKind discriminates the commands a master piggybacks on
+// heartbeat replies (paper §2.2: block creation, deletion, and
+// replication upon instructions from the Masters).
+type CommandKind int
+
+// Heartbeat command kinds.
+const (
+	// CmdReplicate instructs the worker to copy a block from Sources
+	// onto its media Target.
+	CmdReplicate CommandKind = iota + 1
+
+	// CmdDelete instructs the worker to delete its replica of a block
+	// from media Target.
+	CmdDelete
+)
+
+// Command is one instruction to a worker.
+type Command struct {
+	Kind    CommandKind
+	Block   core.Block
+	Target  core.StorageID
+	Sources []core.BlockLocation
+}
+
+// HeartbeatArgs / HeartbeatReply implement Master.Heartbeat.
+type HeartbeatArgs struct {
+	ID       core.WorkerID
+	Media    []MediaStat
+	NetConns int
+	NetMBps  float64
+}
+type HeartbeatReply struct {
+	Commands []Command
+}
+
+// StoredBlock locates one replica within a worker's block report.
+type StoredBlock struct {
+	Storage core.StorageID
+	Block   core.Block
+}
+
+// BlockReportArgs / -Reply implement Master.BlockReport, the periodic
+// full listing from which the master detects under- and
+// over-replication (paper §5).
+type BlockReportArgs struct {
+	ID     core.WorkerID
+	Blocks []StoredBlock
+}
+type BlockReportReply struct{}
+
+// BlockReceivedArgs / -Reply implement Master.BlockReceived, the
+// incremental notification sent right after a worker stores a replica.
+type BlockReceivedArgs struct {
+	ID      core.WorkerID
+	Storage core.StorageID
+	Block   core.Block
+}
+type BlockReceivedReply struct{}
+
+// BlockDeletedArgs / -Reply implement Master.BlockDeleted.
+type BlockDeletedArgs struct {
+	ID      core.WorkerID
+	Storage core.StorageID
+	Block   core.Block
+}
+type BlockDeletedReply struct{}
+
+// ContentSummaryArgs / -Reply implement Master.GetContentSummary:
+// recursive usage accounting for a directory subtree, including the
+// per-tier byte usage that tier quotas charge against.
+type ContentSummaryArgs struct {
+	Path string
+}
+type ContentSummary struct {
+	Path        string
+	Files       int
+	Directories int
+	Bytes       int64 // logical file bytes
+	// TierBytes charges replicas to their pinned tiers; index by
+	// core.StorageTier. The last slot accumulates the total across
+	// all replicas (the total-space quota's view).
+	TierBytes [5]int64
+}
+type ContentSummaryReply struct {
+	Summary ContentSummary
+}
+
+// FsckArgs / FsckReply implement Master.Fsck: per-file replication
+// health over a subtree.
+type FsckArgs struct {
+	Path string
+}
+
+// FsckFile reports one file's replication health.
+type FsckFile struct {
+	Path              string
+	Expected          core.ReplicationVector
+	Blocks            int
+	HealthyBlocks     int
+	MissingReplicas   int // replicas to create across all blocks
+	ExcessReplicas    int // replicas to remove across all blocks
+	MissingBlocks     int // blocks with zero live replicas (data loss)
+	UnderConstruction bool
+}
+
+type FsckReply struct {
+	Files []FsckFile
+}
+
+// WorkerReportsArgs / -Reply implement Master.GetWorkerReports, the
+// dfsadmin-report equivalent: per-worker, per-media statistics.
+type WorkerReportsArgs struct{}
+
+// WorkerReport describes one live worker and its media.
+type WorkerReport struct {
+	ID       core.WorkerID
+	Node     string
+	Rack     string
+	DataAddr string
+	NetMBps  float64
+	Media    []MediaStat
+}
+
+type WorkerReportsReply struct {
+	Workers []WorkerReport
+}

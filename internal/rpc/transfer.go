@@ -1,0 +1,109 @@
+package rpc
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"repro/internal/core"
+)
+
+// DialTimeout bounds data-connection establishment.
+const DialTimeout = 5 * time.Second
+
+// OpenBlockReader connects to a worker's data port and starts an
+// OpReadBlock exchange. The returned ReadCloser streams exactly
+// length bytes of verified block content; closing it closes the
+// connection. length == -1 requests the remainder of the block.
+func OpenBlockReader(addr string, block core.Block, storageID core.StorageID, offset, length int64) (io.ReadCloser, int64, error) {
+	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	if err != nil {
+		return nil, 0, fmt.Errorf("rpc: dialling %s: %w", addr, err)
+	}
+	if _, err := conn.Write([]byte{OpReadBlock}); err != nil {
+		conn.Close()
+		return nil, 0, fmt.Errorf("rpc: sending read opcode: %w", err)
+	}
+	hdr := ReadBlockHeader{Block: block, Storage: storageID, Offset: offset, Length: length}
+	if err := WriteFrame(conn, hdr); err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	var resp ReadBlockResponse
+	if err := ReadFrame(conn, &resp); err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	if resp.Err != "" {
+		conn.Close()
+		return nil, 0, DecodeError(resp.Err)
+	}
+	return &blockReadCloser{r: NewPacketReader(conn), conn: conn}, resp.Length, nil
+}
+
+type blockReadCloser struct {
+	r    *PacketReader
+	conn net.Conn
+}
+
+func (b *blockReadCloser) Read(p []byte) (int, error) { return b.r.Read(p) }
+func (b *blockReadCloser) Close() error               { return b.conn.Close() }
+
+// BlockWriter streams one block into a worker write pipeline. Create
+// it with OpenBlockWriter, Write the content, then Commit to collect
+// the pipeline acknowledgement.
+type BlockWriter struct {
+	conn net.Conn
+	pw   *PacketWriter
+	n    int64
+}
+
+// OpenBlockWriter connects to the first pipeline stage and sends the
+// write header. pipeline[0] is the stage being dialled.
+func OpenBlockWriter(block core.Block, pipeline []PipelineTarget, client string) (*BlockWriter, error) {
+	if len(pipeline) == 0 {
+		return nil, fmt.Errorf("rpc: empty write pipeline: %w", core.ErrNoWorkers)
+	}
+	conn, err := net.DialTimeout("tcp", pipeline[0].Address, DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dialling %s: %w", pipeline[0].Address, err)
+	}
+	if _, err := conn.Write([]byte{OpWriteBlock}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("rpc: sending write opcode: %w", err)
+	}
+	hdr := WriteBlockHeader{Block: block, Pipeline: pipeline, Client: client}
+	if err := WriteFrame(conn, hdr); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &BlockWriter{conn: conn, pw: NewPacketWriter(conn)}, nil
+}
+
+// Write implements io.Writer.
+func (w *BlockWriter) Write(p []byte) (int, error) {
+	n, err := w.pw.Write(p)
+	w.n += int64(n)
+	return n, err
+}
+
+// Written returns the bytes written so far.
+func (w *BlockWriter) Written() int64 { return w.n }
+
+// Commit terminates the stream, waits for the pipeline ack, and
+// closes the connection.
+func (w *BlockWriter) Commit() error {
+	defer w.conn.Close()
+	if err := w.pw.Close(); err != nil {
+		return err
+	}
+	var ack WriteBlockAck
+	if err := ReadFrame(w.conn, &ack); err != nil {
+		return fmt.Errorf("rpc: reading pipeline ack: %w", err)
+	}
+	return DecodeError(ack.Err)
+}
+
+// Abort closes the connection without completing the stream.
+func (w *BlockWriter) Abort() error { return w.conn.Close() }

@@ -1,0 +1,263 @@
+package rpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/core"
+)
+
+// The data-transfer protocol spoken on a worker's data port. Every
+// exchange starts with a one-byte opcode followed by a gob-encoded
+// header frame; block content then flows as checksummed packets.
+const (
+	// OpWriteBlock streams a block into a pipeline of workers
+	// (paper §3.1: Worker-to-Worker pipeline).
+	OpWriteBlock = byte(iota + 1)
+
+	// OpReadBlock streams a block (or a byte range of it) to a reader.
+	OpReadBlock
+
+	// OpReplicateBlock instructs a worker to fetch a block from
+	// another worker and store it locally (paper §5).
+	OpReplicateBlock
+)
+
+// MaxPacketSize bounds one data packet. 64 KiB balances syscall
+// overhead against pipelining latency, like HDFS's packet size.
+const MaxPacketSize = 64 << 10
+
+// PipelineTarget identifies one stage of a write pipeline: the worker
+// address to forward to and the media that stage must store on.
+type PipelineTarget struct {
+	Worker  core.WorkerID
+	Address string
+	Storage core.StorageID
+}
+
+// WriteBlockHeader opens an OpWriteBlock exchange.
+type WriteBlockHeader struct {
+	Block core.Block // NumBytes may be 0; the packet stream defines it
+	// Pipeline lists this worker's stage first; the worker stores on
+	// Pipeline[0].Storage and forwards to Pipeline[1:].
+	Pipeline []PipelineTarget
+	// Client names the writing client for log and audit purposes.
+	Client string
+}
+
+// WriteBlockAck closes an OpWriteBlock exchange, reporting per-stage
+// success upstream.
+type WriteBlockAck struct {
+	// Err is the EncodeError representation of the first failure in
+	// this stage or any downstream stage ("" = success).
+	Err string
+	// Stored is the number of bytes persisted by this stage.
+	Stored int64
+}
+
+// ReadBlockHeader opens an OpReadBlock exchange.
+type ReadBlockHeader struct {
+	Block   core.Block
+	Storage core.StorageID
+	Offset  int64 // starting byte within the block
+	Length  int64 // bytes to read; -1 = to end of block
+}
+
+// ReadBlockResponse precedes the packet stream of an OpReadBlock.
+type ReadBlockResponse struct {
+	Err    string // EncodeError representation; "" = data follows
+	Length int64  // number of bytes that will be streamed
+}
+
+// ReplicateBlockHeader opens an OpReplicateBlock exchange, telling the
+// receiving worker to copy a block from a source location onto one of
+// its own media.
+type ReplicateBlockHeader struct {
+	Block   core.Block
+	Target  core.StorageID       // local media to store on
+	Sources []core.BlockLocation // replica locations to copy from, best first
+}
+
+// ReplicateBlockAck closes an OpReplicateBlock exchange.
+type ReplicateBlockAck struct {
+	Err string
+}
+
+// WriteFrame gob-encodes v as one length-prefixed frame.
+func WriteFrame(w io.Writer, v any) error {
+	var buf []byte
+	{
+		var bw lenWriter
+		if err := gob.NewEncoder(&bw).Encode(v); err != nil {
+			return fmt.Errorf("rpc: encoding frame: %w", err)
+		}
+		buf = bw.buf
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(buf)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("rpc: writing frame header: %w", err)
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("rpc: writing frame body: %w", err)
+	}
+	return nil
+}
+
+// maxFrameSize bounds a control frame; headers are small, so anything
+// bigger indicates a corrupt or hostile stream.
+const maxFrameSize = 1 << 20
+
+// ReadFrame decodes one length-prefixed gob frame into v.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameSize {
+		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("rpc: reading frame body: %w", err)
+	}
+	if err := gob.NewDecoder(&frameReader{buf}).Decode(v); err != nil {
+		return fmt.Errorf("rpc: decoding frame: %w", err)
+	}
+	return nil
+}
+
+type lenWriter struct{ buf []byte }
+
+func (w *lenWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+type frameReader struct{ buf []byte }
+
+func (r *frameReader) Read(p []byte) (int, error) {
+	if len(r.buf) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.buf)
+	r.buf = r.buf[n:]
+	return n, nil
+}
+
+// castagnoli is the CRC-32C table used for packet checksums, the same
+// polynomial HDFS uses for block checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// PacketWriter streams block content as checksummed packets:
+// [uint32 length][uint32 crc32c][payload]; a zero-length packet
+// terminates the stream.
+type PacketWriter struct {
+	w   *bufio.Writer
+	buf [8]byte
+}
+
+// NewPacketWriter wraps w for packet output.
+func NewPacketWriter(w io.Writer) *PacketWriter {
+	return &PacketWriter{w: bufio.NewWriterSize(w, MaxPacketSize+64)}
+}
+
+// Write implements io.Writer, splitting p into packets of at most
+// MaxPacketSize bytes.
+func (pw *PacketWriter) Write(p []byte) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		chunk := p
+		if len(chunk) > MaxPacketSize {
+			chunk = chunk[:MaxPacketSize]
+		}
+		binary.BigEndian.PutUint32(pw.buf[0:4], uint32(len(chunk)))
+		binary.BigEndian.PutUint32(pw.buf[4:8], crc32.Checksum(chunk, castagnoli))
+		if _, err := pw.w.Write(pw.buf[:]); err != nil {
+			return total, fmt.Errorf("rpc: writing packet header: %w", err)
+		}
+		if _, err := pw.w.Write(chunk); err != nil {
+			return total, fmt.Errorf("rpc: writing packet payload: %w", err)
+		}
+		total += len(chunk)
+		p = p[len(chunk):]
+	}
+	return total, nil
+}
+
+// Close terminates the stream with an empty packet and flushes.
+func (pw *PacketWriter) Close() error {
+	binary.BigEndian.PutUint32(pw.buf[0:4], 0)
+	binary.BigEndian.PutUint32(pw.buf[4:8], 0)
+	if _, err := pw.w.Write(pw.buf[:]); err != nil {
+		return fmt.Errorf("rpc: writing end packet: %w", err)
+	}
+	return pw.w.Flush()
+}
+
+// PacketReader consumes a packet stream, verifying each packet's
+// checksum. It implements io.Reader and reports core.ErrCorrupt on a
+// checksum mismatch.
+type PacketReader struct {
+	r       *bufio.Reader
+	pending []byte
+	done    bool
+	scratch []byte
+}
+
+// NewPacketReader wraps r for packet input.
+func NewPacketReader(r io.Reader) *PacketReader {
+	return &PacketReader{r: bufio.NewReaderSize(r, MaxPacketSize+64)}
+}
+
+// Read implements io.Reader.
+func (pr *PacketReader) Read(p []byte) (int, error) {
+	for len(pr.pending) == 0 {
+		if pr.done {
+			return 0, io.EOF
+		}
+		if err := pr.fill(); err != nil {
+			return 0, err
+		}
+	}
+	n := copy(p, pr.pending)
+	pr.pending = pr.pending[n:]
+	return n, nil
+}
+
+func (pr *PacketReader) fill() error {
+	var hdr [8]byte
+	if _, err := io.ReadFull(pr.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return io.ErrUnexpectedEOF // stream ended without end packet
+		}
+		return err
+	}
+	length := binary.BigEndian.Uint32(hdr[0:4])
+	want := binary.BigEndian.Uint32(hdr[4:8])
+	if length == 0 {
+		pr.done = true
+		return nil
+	}
+	if length > MaxPacketSize {
+		return fmt.Errorf("rpc: packet of %d bytes exceeds limit", length)
+	}
+	if cap(pr.scratch) < int(length) {
+		pr.scratch = make([]byte, length)
+	}
+	buf := pr.scratch[:length]
+	if _, err := io.ReadFull(pr.r, buf); err != nil {
+		return fmt.Errorf("rpc: reading packet payload: %w", err)
+	}
+	if got := crc32.Checksum(buf, castagnoli); got != want {
+		return fmt.Errorf("rpc: packet checksum mismatch (got %08x, want %08x): %w",
+			got, want, core.ErrCorrupt)
+	}
+	pr.pending = buf
+	return nil
+}

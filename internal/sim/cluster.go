@@ -1,0 +1,417 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/topology"
+)
+
+// MediaSim is one simulated storage media.
+type MediaSim struct {
+	ID        core.StorageID
+	Tier      core.StorageTier
+	Capacity  int64 // bytes
+	Used      int64 // bytes, charged at placement time
+	WriteMBps float64
+	ReadMBps  float64
+
+	// Write and Read are the bandwidth resources flows cross.
+	Write *Resource
+	Read  *Resource
+
+	node *NodeSim
+}
+
+// Remaining returns the media's free bytes.
+func (m *MediaSim) Remaining() int64 {
+	r := m.Capacity - m.Used
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Connections returns the media's active I/O flow count (read+write).
+func (m *MediaSim) Connections() int { return m.Write.Load() + m.Read.Load() }
+
+// NodeSim is one simulated worker node.
+type NodeSim struct {
+	Name    string
+	Rack    string
+	NetMBps float64
+	// NetIn / NetOut model the full-duplex NIC.
+	NetIn  *Resource
+	NetOut *Resource
+	Media  []*MediaSim
+}
+
+// Connections returns the node's active network flow count.
+func (n *NodeSim) Connections() int { return n.NetIn.Load() + n.NetOut.Load() }
+
+// ClusterConfig shapes a simulated cluster. The defaults mirror the
+// paper's evaluation cluster (§7): 9 workers, one 4 GB memory media,
+// one 64 GB SSD, three 133 GB HDDs per worker, 10 Gbps network,
+// Table 2 media throughputs.
+type ClusterConfig struct {
+	NumWorkers  int
+	NumRacks    int
+	NetMBps     float64
+	MemCapacity int64
+	SSDCapacity int64
+	HDDCapacity int64 // total per worker, split across NumHDDs
+	NumHDDs     int
+
+	MemWriteMBps, MemReadMBps float64
+	SSDWriteMBps, SSDReadMBps float64
+	HDDWriteMBps, HDDReadMBps float64
+
+	Placement policy.PlacementPolicy
+	Retrieval policy.RetrievalPolicy
+	Seed      int64
+}
+
+// PaperClusterConfig returns the §7 evaluation cluster shape.
+func PaperClusterConfig() ClusterConfig {
+	const gb = int64(1) << 30
+	return ClusterConfig{
+		NumWorkers:   9,
+		NumRacks:     3,
+		NetMBps:      1250, // 10 Gbps
+		MemCapacity:  4 * gb,
+		SSDCapacity:  64 * gb,
+		HDDCapacity:  400 * gb,
+		NumHDDs:      3,
+		MemWriteMBps: 1897.4, MemReadMBps: 3224.8,
+		SSDWriteMBps: 340.6, SSDReadMBps: 419.5,
+		HDDWriteMBps: 126.3, HDDReadMBps: 177.1,
+		Seed: 1,
+	}
+}
+
+// Cluster is a simulated OctopusFS deployment: nodes, media, a block
+// registry, and the placement/retrieval policies under test.
+type Cluster struct {
+	cfg       ClusterConfig
+	Engine    *Engine
+	Nodes     []*NodeSim
+	placement policy.PlacementPolicy
+	retrieval policy.RetrievalPolicy
+	rng       *rand.Rand
+
+	mediaByID map[core.StorageID]*MediaSim
+	files     map[string]*FileSim
+	nextBlock uint64
+}
+
+// FileSim tracks a simulated file's blocks and replica locations.
+type FileSim struct {
+	Path      string
+	RepVector core.ReplicationVector
+	Blocks    []BlockSim
+}
+
+// BlockSim is one simulated block with its replica media.
+type BlockSim struct {
+	Block    core.Block
+	Replicas []*MediaSim
+}
+
+// NewCluster builds a simulated cluster.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.Placement == nil {
+		cfg.Placement = policy.NewMOOPPolicy(policy.DefaultMOOPConfig())
+	}
+	if cfg.Retrieval == nil {
+		cfg.Retrieval = policy.NewOctopusRetrievalPolicy()
+	}
+	if cfg.NumRacks <= 0 {
+		cfg.NumRacks = 1
+	}
+	if cfg.NumHDDs <= 0 {
+		cfg.NumHDDs = 1
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		Engine:    NewEngine(),
+		placement: cfg.Placement,
+		retrieval: cfg.Retrieval,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		mediaByID: make(map[core.StorageID]*MediaSim),
+		files:     make(map[string]*FileSim),
+		nextBlock: 1,
+	}
+	for i := 0; i < cfg.NumWorkers; i++ {
+		node := &NodeSim{
+			Name:    fmt.Sprintf("node%d", i+1),
+			Rack:    fmt.Sprintf("/rack%d", i%cfg.NumRacks+1),
+			NetMBps: cfg.NetMBps,
+			NetIn:   &Resource{Name: fmt.Sprintf("node%d:net-in", i+1), Capacity: cfg.NetMBps},
+			NetOut:  &Resource{Name: fmt.Sprintf("node%d:net-out", i+1), Capacity: cfg.NetMBps},
+		}
+		addMedia := func(kind string, idx int, tier core.StorageTier, capBytes int64, w, r float64) {
+			if capBytes <= 0 {
+				return
+			}
+			id := core.StorageID(fmt.Sprintf("%s:%s%d", node.Name, kind, idx))
+			m := &MediaSim{
+				ID: id, Tier: tier, Capacity: capBytes,
+				WriteMBps: w, ReadMBps: r,
+				Write: &Resource{Name: string(id) + ":w", Capacity: w},
+				Read:  &Resource{Name: string(id) + ":r", Capacity: r},
+				node:  node,
+			}
+			node.Media = append(node.Media, m)
+			c.mediaByID[id] = m
+		}
+		addMedia("mem", 0, core.TierMemory, cfg.MemCapacity, cfg.MemWriteMBps, cfg.MemReadMBps)
+		addMedia("ssd", 0, core.TierSSD, cfg.SSDCapacity, cfg.SSDWriteMBps, cfg.SSDReadMBps)
+		for d := 0; d < cfg.NumHDDs; d++ {
+			addMedia("hdd", d, core.TierHDD, cfg.HDDCapacity/int64(cfg.NumHDDs), cfg.HDDWriteMBps, cfg.HDDReadMBps)
+		}
+		c.Nodes = append(c.Nodes, node)
+	}
+	return c
+}
+
+// Node returns the i-th node (round-robin on overflow), mirroring task
+// slots spread across the cluster.
+func (c *Cluster) Node(i int) *NodeSim { return c.Nodes[i%len(c.Nodes)] }
+
+// Rand exposes the cluster's seeded randomness for workload drivers.
+func (c *Cluster) Rand() *rand.Rand { return c.rng }
+
+// Snapshot builds the policy view of the current simulated state.
+func (c *Cluster) Snapshot() *policy.Snapshot {
+	s := &policy.Snapshot{Workers: make(map[core.WorkerID]policy.WorkerInfo, len(c.Nodes))}
+	racks := map[string]struct{}{}
+	for _, n := range c.Nodes {
+		racks[n.Rack] = struct{}{}
+		id := core.WorkerID(n.Name)
+		s.Workers[id] = policy.WorkerInfo{
+			ID:          id,
+			Node:        n.Name,
+			Rack:        n.Rack,
+			NetThruMBps: n.NetMBps,
+			Connections: n.Connections(),
+		}
+		for _, m := range n.Media {
+			s.Media = append(s.Media, policy.Media{
+				ID:            m.ID,
+				Worker:        id,
+				Node:          n.Name,
+				Tier:          m.Tier,
+				Rack:          n.Rack,
+				Capacity:      m.Capacity,
+				Remaining:     m.Remaining(),
+				Connections:   m.Connections(),
+				WriteThruMBps: m.WriteMBps,
+				ReadThruMBps:  m.ReadMBps,
+			})
+		}
+	}
+	s.NumRacks = len(racks)
+	policy.SortMediaStable(s.Media)
+	return s
+}
+
+// PlaceBlock runs the placement policy for one block of blockSize
+// bytes written from clientNode, charges the chosen media, and
+// registers the block under path.
+func (c *Cluster) PlaceBlock(path string, clientNode *NodeSim, rv core.ReplicationVector, blockSize int64) (BlockSim, error) {
+	req := policy.PlacementRequest{
+		Snapshot:  c.Snapshot(),
+		RepVector: rv,
+		BlockSize: blockSize,
+		Rand:      c.rng,
+	}
+	if clientNode != nil {
+		req.Client = topology.Location{Rack: clientNode.Rack, Node: clientNode.Name}
+	}
+	targets, err := c.placement.PlaceReplicas(req)
+	if err != nil && len(targets) == 0 {
+		return BlockSim{}, err
+	}
+	blk := BlockSim{Block: core.Block{ID: core.BlockID(c.nextBlock), GenStamp: 1, NumBytes: blockSize}}
+	c.nextBlock++
+	for _, t := range targets {
+		m := c.mediaByID[t.ID]
+		m.Used += blockSize
+		blk.Replicas = append(blk.Replicas, m)
+	}
+	f, ok := c.files[path]
+	if !ok {
+		f = &FileSim{Path: path, RepVector: rv}
+		c.files[path] = f
+	}
+	f.Blocks = append(f.Blocks, blk)
+	return blk, nil
+}
+
+// File returns a simulated file's record.
+func (c *Cluster) File(path string) (*FileSim, bool) {
+	f, ok := c.files[path]
+	return f, ok
+}
+
+// OrderReplicas runs the retrieval policy for a block read from
+// clientNode and returns the replica media in read order.
+func (c *Cluster) OrderReplicas(blk BlockSim, clientNode *NodeSim) []*MediaSim {
+	replicas := make([]policy.Media, len(blk.Replicas))
+	for i, m := range blk.Replicas {
+		replicas[i] = policy.Media{
+			ID:            m.ID,
+			Worker:        core.WorkerID(m.node.Name),
+			Node:          m.node.Name,
+			Tier:          m.Tier,
+			Rack:          m.node.Rack,
+			Capacity:      m.Capacity,
+			Remaining:     m.Remaining(),
+			Connections:   m.Connections(),
+			WriteThruMBps: m.WriteMBps,
+			ReadThruMBps:  m.ReadMBps,
+		}
+	}
+	req := policy.RetrievalRequest{
+		Snapshot: c.Snapshot(),
+		Replicas: replicas,
+		Rand:     c.rng,
+	}
+	if clientNode != nil {
+		req.Client = topology.Location{Rack: clientNode.Rack, Node: clientNode.Name}
+	}
+	ordered := c.retrieval.Order(req)
+	out := make([]*MediaSim, len(ordered))
+	for i, om := range ordered {
+		out[i] = c.mediaByID[om.ID]
+	}
+	return out
+}
+
+// WriteResources assembles the resource chain of a pipelined block
+// write from clientNode through the replica media in order (paper
+// §3.1): each inter-node hop crosses the sender's NIC-out and the
+// receiver's NIC-in, and each stage crosses its media's write
+// bandwidth.
+func WriteResources(clientNode *NodeSim, replicas []*MediaSim) []*Resource {
+	var rs []*Resource
+	prev := clientNode
+	for _, m := range replicas {
+		if prev != nil && prev != m.node {
+			rs = append(rs, prev.NetOut, m.node.NetIn)
+		} else if prev == nil {
+			// Off-cluster client: only the receiver's NIC-in applies.
+			rs = append(rs, m.node.NetIn)
+		}
+		rs = append(rs, m.Write)
+		prev = m.node
+	}
+	return rs
+}
+
+// ReadResources assembles the resource chain of a block read from one
+// replica media to clientNode (paper §4.1).
+func ReadResources(clientNode *NodeSim, m *MediaSim) []*Resource {
+	rs := []*Resource{m.Read}
+	if clientNode != m.node {
+		rs = append(rs, m.node.NetOut)
+		if clientNode != nil {
+			rs = append(rs, clientNode.NetIn)
+		}
+	}
+	return rs
+}
+
+// TierUsage reports used and capacity bytes per tier.
+func (c *Cluster) TierUsage() map[core.StorageTier][2]int64 {
+	out := make(map[core.StorageTier][2]int64)
+	for _, n := range c.Nodes {
+		for _, m := range n.Media {
+			u := out[m.Tier]
+			u[0] += m.Used
+			u[1] += m.Capacity
+			out[m.Tier] = u
+		}
+	}
+	return out
+}
+
+// Reset clears all stored data (between experiment phases) while
+// keeping the cluster shape.
+func (c *Cluster) Reset() {
+	for _, n := range c.Nodes {
+		for _, m := range n.Media {
+			m.Used = 0
+		}
+	}
+	c.files = make(map[string]*FileSim)
+	c.nextBlock = 1
+	c.Engine = NewEngine()
+}
+
+// Node returns the node hosting this media.
+func (m *MediaSim) Node() *NodeSim { return m.node }
+
+// RemoveFile forgets a file's registry entry. Capacity accounting is
+// the caller's responsibility (see workloads.DeleteDataset).
+func (c *Cluster) RemoveFile(path string) {
+	delete(c.files, path)
+}
+
+// AddMemoryReplica places one replica of the block on a memory media
+// chosen by the placement policy, modelling a replication-vector
+// change that copies (move=false) or moves (move=true) data into the
+// memory tier (paper §2.3). With move=true the slowest existing
+// replica is dropped and its capacity released.
+func (c *Cluster) AddMemoryReplica(blk *BlockSim, move bool) error {
+	for _, m := range blk.Replicas {
+		if m.Tier == core.TierMemory {
+			return nil // already has a memory replica
+		}
+	}
+	existing := make([]policy.Media, 0, len(blk.Replicas))
+	for _, m := range blk.Replicas {
+		existing = append(existing, policy.Media{
+			ID: m.ID, Worker: core.WorkerID(m.node.Name), Node: m.node.Name,
+			Tier: m.Tier, Rack: m.node.Rack,
+			Capacity: m.Capacity, Remaining: m.Remaining(),
+			Connections: m.Connections(), WriteThruMBps: m.WriteMBps, ReadThruMBps: m.ReadMBps,
+		})
+	}
+	targets, err := c.placement.PlaceReplicas(policy.PlacementRequest{
+		Snapshot:  c.Snapshot(),
+		RepVector: core.NewReplicationVector(1, 0, 0, 0, 0),
+		BlockSize: blk.Block.NumBytes,
+		Existing:  existing,
+		Rand:      c.rng,
+	})
+	if err != nil && len(targets) == 0 {
+		return err
+	}
+	m := c.mediaByID[targets[0].ID]
+	m.Used += blk.Block.NumBytes
+	blk.Replicas = append(blk.Replicas, m)
+	if move && len(blk.Replicas) > 1 {
+		// Drop the slowest (highest-tier-number) non-memory replica.
+		worst := -1
+		for i, r := range blk.Replicas {
+			if r.Tier == core.TierMemory {
+				continue
+			}
+			if worst < 0 || r.Tier > blk.Replicas[worst].Tier {
+				worst = i
+			}
+		}
+		if worst >= 0 {
+			victim := blk.Replicas[worst]
+			victim.Used -= blk.Block.NumBytes
+			if victim.Used < 0 {
+				victim.Used = 0
+			}
+			blk.Replicas = append(blk.Replicas[:worst], blk.Replicas[worst+1:]...)
+		}
+	}
+	return nil
+}

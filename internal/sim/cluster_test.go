@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+)
+
+func testCluster() *Cluster {
+	cfg := PaperClusterConfig()
+	return NewCluster(cfg)
+}
+
+func TestClusterShapeMatchesPaper(t *testing.T) {
+	c := testCluster()
+	if len(c.Nodes) != 9 {
+		t.Fatalf("nodes = %d, want 9", len(c.Nodes))
+	}
+	s := c.Snapshot()
+	if s.NumRacks != 3 {
+		t.Errorf("racks = %d, want 3", s.NumRacks)
+	}
+	if got := len(s.Media); got != 9*5 {
+		t.Errorf("media = %d, want 45 (5 per node)", got)
+	}
+	if s.NumTiers() != 3 {
+		t.Errorf("tiers = %d, want 3", s.NumTiers())
+	}
+	if got := s.MaxWriteThru(); got != 1897.4 {
+		t.Errorf("max write thru = %v", got)
+	}
+}
+
+func TestPlaceBlockChargesCapacityAndRegistersFile(t *testing.T) {
+	c := testCluster()
+	rv := core.NewReplicationVector(1, 1, 1, 0, 0)
+	blk, err := c.PlaceBlock("/f", c.Node(0), rv, 128<<20)
+	if err != nil {
+		t.Fatalf("PlaceBlock: %v", err)
+	}
+	if len(blk.Replicas) != 3 {
+		t.Fatalf("replicas = %d, want 3", len(blk.Replicas))
+	}
+	tiers := map[core.StorageTier]int{}
+	for _, m := range blk.Replicas {
+		tiers[m.Tier]++
+		if m.Used != 128<<20 {
+			t.Errorf("media %s used = %d, want charged block", m.ID, m.Used)
+		}
+	}
+	if tiers[core.TierMemory] != 1 || tiers[core.TierSSD] != 1 || tiers[core.TierHDD] != 1 {
+		t.Errorf("tiers = %v", tiers)
+	}
+	f, ok := c.File("/f")
+	if !ok || len(f.Blocks) != 1 {
+		t.Errorf("file registry: %+v ok=%v", f, ok)
+	}
+}
+
+func TestPlaceBlockRunsOutOfSpace(t *testing.T) {
+	cfg := PaperClusterConfig()
+	cfg.MemCapacity = 1 << 20 // 1 MB memory per node
+	c := NewCluster(cfg)
+	// Pin to memory with blocks bigger than the media.
+	_, err := c.PlaceBlock("/f", nil, core.NewReplicationVector(1, 0, 0, 0, 0), 2<<20)
+	if err == nil {
+		t.Error("oversized memory placement succeeded")
+	}
+}
+
+func TestOrderReplicasPrefersMemory(t *testing.T) {
+	c := testCluster()
+	blk, err := c.PlaceBlock("/f", nil, core.NewReplicationVector(1, 1, 1, 0, 0), 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered := c.OrderReplicas(blk, c.Node(0))
+	if ordered[0].Tier != core.TierMemory {
+		t.Errorf("first replica tier = %v, want MEMORY", ordered[0].Tier)
+	}
+}
+
+func TestWriteResourcesPipelineShape(t *testing.T) {
+	c := testCluster()
+	blk, err := c.PlaceBlock("/f", c.Node(0), core.NewReplicationVector(0, 0, 3, 0, 0), 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := WriteResources(c.Node(0), blk.Replicas)
+	// 3 media write resources plus 2 NIC resources per inter-node hop.
+	mediaCount, nicCount := 0, 0
+	for _, r := range rs {
+		switch {
+		case r == blk.Replicas[0].Write || r == blk.Replicas[1].Write || r == blk.Replicas[2].Write:
+			mediaCount++
+		default:
+			nicCount++
+		}
+	}
+	if mediaCount != 3 {
+		t.Errorf("media stages = %d, want 3", mediaCount)
+	}
+	if nicCount%2 != 0 || nicCount == 0 {
+		t.Errorf("nic stages = %d, want even and positive", nicCount)
+	}
+}
+
+func TestReadResourcesLocalVsRemote(t *testing.T) {
+	c := testCluster()
+	m := c.Nodes[0].Media[0]
+	local := ReadResources(c.Nodes[0], m)
+	if len(local) != 1 || local[0] != m.Read {
+		t.Errorf("local read resources = %v, want just media read", local)
+	}
+	remote := ReadResources(c.Nodes[1], m)
+	if len(remote) != 3 {
+		t.Errorf("remote read resources = %d, want media+out+in", len(remote))
+	}
+	offCluster := ReadResources(nil, m)
+	if len(offCluster) != 2 {
+		t.Errorf("off-cluster read resources = %d, want media+out", len(offCluster))
+	}
+}
+
+func TestSimulatedPipelineWriteBottleneck(t *testing.T) {
+	// A single pipelined write with one HDD replica runs at the HDD
+	// write rate (126.3 MB/s), regardless of the memory stage — the
+	// paper's observation that mixed-tier writes are bottlenecked by
+	// the slowest stage at low parallelism.
+	c := testCluster()
+	blk, err := c.PlaceBlock("/f", c.Node(0), core.NewReplicationVector(1, 1, 1, 0, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sizeMB = 1263 // 10x the HDD rate => expect ~10s
+	c.Engine.StartFlow("w", sizeMB, WriteResources(c.Node(0), blk.Replicas), nil)
+	elapsed, err := c.Engine.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(elapsed, 10, 0.01) {
+		t.Errorf("pipeline write took %.3fs, want ~10s (HDD-bound)", elapsed)
+	}
+}
+
+func TestTierUsageAndReset(t *testing.T) {
+	c := testCluster()
+	if _, err := c.PlaceBlock("/f", nil, core.NewReplicationVector(0, 0, 2, 0, 0), 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	usage := c.TierUsage()
+	if usage[core.TierHDD][0] != 2<<20 {
+		t.Errorf("hdd used = %d, want 2MB", usage[core.TierHDD][0])
+	}
+	c.Reset()
+	usage = c.TierUsage()
+	if usage[core.TierHDD][0] != 0 {
+		t.Errorf("hdd used after reset = %d", usage[core.TierHDD][0])
+	}
+	if _, ok := c.File("/f"); ok {
+		t.Error("file survived reset")
+	}
+}
+
+func TestClusterWithBaselinePolicy(t *testing.T) {
+	cfg := PaperClusterConfig()
+	cfg.Placement = policy.NewHDFSPolicy()
+	c := NewCluster(cfg)
+	blk, err := c.PlaceBlock("/f", c.Node(0), core.ReplicationVectorFromFactor(3), 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range blk.Replicas {
+		if m.Tier != core.TierHDD {
+			t.Errorf("HDFS baseline placed on %v", m.Tier)
+		}
+	}
+}
+
+// TestAggregateBandwidthScalesLinearly validates the paper's premise
+// that "the total bandwidth is linear with the number of nodes" (§7.1)
+// in the simulator: doubling the cluster doubles aggregate write
+// throughput for a proportionally scaled workload.
+func TestAggregateBandwidthScalesLinearly(t *testing.T) {
+	aggregate := func(workers int) float64 {
+		cfg := PaperClusterConfig()
+		cfg.NumWorkers = workers
+		c := NewCluster(cfg)
+		// One writer per node, each writing 10 x 128MB blocks, all-HDD.
+		done := 0
+		for i := 0; i < workers; i++ {
+			node := c.Node(i)
+			remaining := 10
+			var next func(e *Engine)
+			next = func(e *Engine) {
+				if remaining == 0 {
+					return
+				}
+				remaining--
+				blk, err := c.PlaceBlock("/f", node, core.NewReplicationVector(0, 0, 3, 0, 0), 128<<20)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e.StartFlow("w", 128, WriteResources(node, blk.Replicas), func(e *Engine) {
+					done++
+					next(e)
+				})
+			}
+			next(c.Engine)
+		}
+		elapsed, err := c.Engine.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(done) * 128 / elapsed
+	}
+	small := aggregate(9)
+	big := aggregate(18)
+	ratio := big / small
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("aggregate bandwidth ratio 18w/9w = %.2f, want ~2 (linear scaling)", ratio)
+	}
+}
+
+// TestEngineByteConservation property-checks the event loop: the sum
+// of simulated transfer times equals work/rate for isolated flows, and
+// every started flow completes exactly once.
+func TestEngineByteConservation(t *testing.T) {
+	e := NewEngine()
+	r1 := &Resource{Name: "a", Capacity: 50}
+	r2 := &Resource{Name: "b", Capacity: 200}
+	completions := map[string]int{}
+	sizes := map[string]float64{"x": 100, "y": 400, "z": 50}
+	e.StartFlow("x", sizes["x"], []*Resource{r1}, func(*Engine) { completions["x"]++ })
+	e.StartFlow("y", sizes["y"], []*Resource{r2}, func(*Engine) { completions["y"]++ })
+	e.StartFlow("z", sizes["z"], []*Resource{r1, r2}, func(*Engine) { completions["z"]++ })
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for name, n := range completions {
+		if n != 1 {
+			t.Errorf("flow %s completed %d times", name, n)
+		}
+	}
+	if len(completions) != 3 {
+		t.Errorf("only %d flows completed", len(completions))
+	}
+	if r1.Load() != 0 || r2.Load() != 0 {
+		t.Errorf("resources still loaded after Run: %d, %d", r1.Load(), r2.Load())
+	}
+}

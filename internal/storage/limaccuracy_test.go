@@ -1,0 +1,27 @@
+package storage
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+// TestRateLimiterAccuracyAcrossRates checks the limiter emulates
+// device rates from HDD to memory speed within tolerance.
+func TestRateLimiterAccuracyAcrossRates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	data := make([]byte, 16<<20)
+	for _, rateMBps := range []float64{126.3, 340.6, 1897.4, 3224.8} {
+		l := NewRateLimiter(rateMBps * 1e6)
+		t0 := time.Now()
+		io.Copy(io.Discard, LimitReader(bytes.NewReader(data), l))
+		measured := 16 * 1024 * 1024 / 1e6 / time.Since(t0).Seconds()
+		t.Logf("target %7.1f MB/s -> measured %7.1f MB/s", rateMBps, measured)
+		if measured < rateMBps*0.6 || measured > rateMBps*1.6 {
+			t.Errorf("target %.1f: measured %.1f outside tolerance", rateMBps, measured)
+		}
+	}
+}

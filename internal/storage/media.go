@@ -1,0 +1,261 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// MediaConfig describes one storage media attached to a worker.
+type MediaConfig struct {
+	// ID uniquely identifies the media within the cluster, e.g.
+	// "worker1:hdd0". The worker prefixes its own ID when empty.
+	ID core.StorageID
+
+	// Tier is the media's storage tier.
+	Tier core.StorageTier
+
+	// Capacity is the number of bytes OctopusFS may use on this media
+	// (paper §7: e.g. 4 GB memory, 64 GB SSD, 400 GB HDD per worker).
+	Capacity int64
+
+	// Dir is the backing directory for non-memory tiers. Memory-tier
+	// media ignore it and use an in-memory store.
+	Dir string
+
+	// WriteMBps / ReadMBps optionally throttle the media to emulate a
+	// device with these sustained throughputs. Zero means unthrottled.
+	WriteMBps float64
+	ReadMBps  float64
+
+	// AdvertiseWriteMBps / AdvertiseReadMBps seed the throughput the
+	// media reports before (or instead of) a startup probe. When zero,
+	// the throttle rates are advertised. Useful for unthrottled test
+	// media that should still expose realistic tier speeds to the
+	// policies.
+	AdvertiseWriteMBps float64
+	AdvertiseReadMBps  float64
+}
+
+// Media is one storage media instance managed by a worker: a block
+// store plus capacity accounting, connection tracking, and measured
+// throughput.
+type Media struct {
+	id    core.StorageID
+	tier  core.StorageTier
+	cap   int64
+	store Store
+
+	writeLimit *RateLimiter
+	readLimit  *RateLimiter
+
+	conns atomic.Int64
+
+	// measured sustained throughputs from the startup probe, MB/s
+	writeMBps atomic.Uint64 // math.Float64bits
+	readMBps  atomic.Uint64
+}
+
+// OpenMedia builds a Media from its configuration: an in-memory store
+// for the memory tier, a directory store otherwise.
+func OpenMedia(cfg MediaConfig) (*Media, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("storage: media %s: capacity must be positive", cfg.ID)
+	}
+	var store Store
+	if cfg.Tier == core.TierMemory {
+		store = NewMemStore()
+	} else {
+		if cfg.Dir == "" {
+			return nil, fmt.Errorf("storage: media %s: tier %v requires a directory", cfg.ID, cfg.Tier)
+		}
+		ds, err := NewDiskStore(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		store = ds
+	}
+	m := &Media{
+		id:         cfg.ID,
+		tier:       cfg.Tier,
+		cap:        cfg.Capacity,
+		store:      store,
+		writeLimit: NewRateLimiter(cfg.WriteMBps * 1e6),
+		readLimit:  NewRateLimiter(cfg.ReadMBps * 1e6),
+	}
+	advW, advR := cfg.AdvertiseWriteMBps, cfg.AdvertiseReadMBps
+	if advW == 0 {
+		advW = cfg.WriteMBps
+	}
+	if advR == 0 {
+		advR = cfg.ReadMBps
+	}
+	m.setThroughput(advW, advR)
+	return m, nil
+}
+
+// ID returns the media's cluster-unique identifier.
+func (m *Media) ID() core.StorageID { return m.id }
+
+// Tier returns the media's storage tier.
+func (m *Media) Tier() core.StorageTier { return m.tier }
+
+// Capacity returns the bytes OctopusFS may store on this media.
+func (m *Media) Capacity() int64 { return m.cap }
+
+// Used returns the bytes currently stored.
+func (m *Media) Used() int64 { return m.store.Used() }
+
+// Remaining returns Capacity − Used, floored at zero.
+func (m *Media) Remaining() int64 {
+	r := m.cap - m.store.Used()
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Connections returns the number of active I/O connections, the
+// NrConn[m] statistic reported in heartbeats (paper §3.2).
+func (m *Media) Connections() int { return int(m.conns.Load()) }
+
+// WriteThruMBps returns the measured sustained write throughput.
+func (m *Media) WriteThruMBps() float64 {
+	return float64FromBits(m.writeMBps.Load())
+}
+
+// ReadThruMBps returns the measured sustained read throughput.
+func (m *Media) ReadThruMBps() float64 {
+	return float64FromBits(m.readMBps.Load())
+}
+
+func (m *Media) setThroughput(w, r float64) {
+	m.writeMBps.Store(float64Bits(w))
+	m.readMBps.Store(float64Bits(r))
+}
+
+// Put stores a block replica, throttled at the media's write rate, and
+// counted as an active connection for its duration. ErrNoSpace is
+// returned when the content would exceed the media's capacity.
+func (m *Media) Put(b core.Block, r io.Reader) (int64, error) {
+	if b.NumBytes > 0 && b.NumBytes > m.Remaining() && !m.store.Has(b) {
+		return 0, fmt.Errorf("storage: media %s: %w", m.id, core.ErrNoSpace)
+	}
+	m.conns.Add(1)
+	defer m.conns.Add(-1)
+	n, err := m.store.Put(b, LimitReader(r, m.writeLimit))
+	if err != nil {
+		return n, err
+	}
+	if m.store.Used() > m.cap {
+		// The writer lied about NumBytes; roll back.
+		m.store.Delete(b)
+		return 0, fmt.Errorf("storage: media %s: %w", m.id, core.ErrNoSpace)
+	}
+	return n, nil
+}
+
+// Open returns a throttled reader over a stored replica. The media's
+// connection count stays elevated until the reader is closed.
+func (m *Media) Open(b core.Block) (io.ReadCloser, error) {
+	rc, err := m.store.Open(b)
+	if err != nil {
+		return nil, err
+	}
+	m.conns.Add(1)
+	return &connTrackingReadCloser{
+		ReadCloser: LimitReadCloser(rc, m.readLimit),
+		conns:      &m.conns,
+	}, nil
+}
+
+// Verify recomputes a stored replica's checksum against the one
+// recorded at write time, returning core.ErrCorrupt on mismatch.
+// Verification bypasses the throughput throttle and connection
+// accounting: it models a local scrub, not a served read.
+func (m *Media) Verify(b core.Block) error { return m.store.Verify(b) }
+
+// Delete removes a stored replica.
+func (m *Media) Delete(b core.Block) error { return m.store.Delete(b) }
+
+// Has reports whether the media holds a replica of the block.
+func (m *Media) Has(b core.Block) bool { return m.store.Has(b) }
+
+// Blocks lists the stored replicas.
+func (m *Media) Blocks() []core.Block { return m.store.Blocks() }
+
+// Close shuts the media down.
+func (m *Media) Close() error { return m.store.Close() }
+
+// connTrackingReadCloser decrements the connection counter once on
+// Close, tolerating double-Close.
+type connTrackingReadCloser struct {
+	io.ReadCloser
+	conns  *atomic.Int64
+	closed atomic.Bool
+}
+
+func (c *connTrackingReadCloser) Close() error {
+	if c.closed.CompareAndSwap(false, true) {
+		c.conns.Add(-1)
+	}
+	return c.ReadCloser.Close()
+}
+
+// Probe measures the media's sustained write and read throughput by
+// writing and reading back a probe block of the given size, mirroring
+// the short I/O-intensive test each worker runs at launch (paper
+// §3.2). The measured values are stored on the media and returned in
+// MB/s. The probe block is deleted afterwards.
+func (m *Media) Probe(probeBytes int64) (writeMBps, readMBps float64, err error) {
+	if probeBytes <= 0 {
+		probeBytes = 4 << 20
+	}
+	if probeBytes > m.Remaining() {
+		probeBytes = m.Remaining() / 2
+	}
+	if probeBytes < 1<<16 {
+		return 0, 0, fmt.Errorf("storage: media %s: not enough space to probe", m.id)
+	}
+	probe := core.Block{ID: 0, GenStamp: 0, NumBytes: probeBytes}
+	data := make([]byte, probeBytes)
+	// Fill with a non-trivial pattern quickly (doubling copy).
+	for i := 0; i < 256; i++ {
+		data[i] = byte(i*31 + 7)
+	}
+	for filled := 256; filled < len(data); filled *= 2 {
+		copy(data[filled:], data[:filled])
+	}
+
+	start := time.Now()
+	if _, err := m.Put(probe, bytes.NewReader(data)); err != nil {
+		return 0, 0, fmt.Errorf("storage: probe write: %w", err)
+	}
+	writeMBps = float64(probeBytes) / 1e6 / time.Since(start).Seconds()
+
+	start = time.Now()
+	rc, err := m.Open(probe)
+	if err != nil {
+		return 0, 0, fmt.Errorf("storage: probe read: %w", err)
+	}
+	_, err = io.Copy(io.Discard, rc)
+	rc.Close()
+	if err != nil {
+		return 0, 0, fmt.Errorf("storage: probe read: %w", err)
+	}
+	readMBps = float64(probeBytes) / 1e6 / time.Since(start).Seconds()
+
+	if err := m.Delete(probe); err != nil {
+		return 0, 0, fmt.Errorf("storage: probe cleanup: %w", err)
+	}
+	m.setThroughput(writeMBps, readMBps)
+	return writeMBps, readMBps, nil
+}
+
+func float64Bits(f float64) uint64     { return math.Float64bits(f) }
+func float64FromBits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,272 @@
+package worker
+
+import (
+	"fmt"
+	"io"
+	"net"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+)
+
+// serveData accepts and dispatches data-transfer connections.
+func (w *Worker) serveData() {
+	defer w.wg.Done()
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			select {
+			case <-w.done:
+				return
+			default:
+				w.cfg.Logger.Warn("data accept failed", "err", err)
+				continue
+			}
+		}
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			w.handleConn(conn)
+		}()
+	}
+}
+
+func (w *Worker) handleConn(conn net.Conn) {
+	defer conn.Close()
+	w.netConns.Add(1)
+	defer w.netConns.Add(-1)
+
+	var op [1]byte
+	if _, err := io.ReadFull(conn, op[:]); err != nil {
+		return
+	}
+	switch op[0] {
+	case rpc.OpWriteBlock:
+		w.handleWriteBlock(conn)
+	case rpc.OpReadBlock:
+		w.handleReadBlock(conn)
+	case rpc.OpReplicateBlock:
+		w.handleReplicateBlock(conn)
+	default:
+		w.cfg.Logger.Warn("unknown data opcode", "op", op[0])
+	}
+}
+
+// handleWriteBlock implements one stage of the Worker-to-Worker write
+// pipeline (paper §3.1): store the incoming packet stream on the local
+// media named by the pipeline head while forwarding it verbatim to the
+// next stage, then combine the downstream ack with the local result.
+func (w *Worker) handleWriteBlock(conn net.Conn) {
+	var hdr rpc.WriteBlockHeader
+	if err := rpc.ReadFrame(conn, &hdr); err != nil {
+		w.cfg.Logger.Warn("bad write header", "err", err)
+		return
+	}
+	ack := w.writeBlockPipeline(conn, hdr)
+	if err := rpc.WriteFrame(conn, ack); err != nil {
+		w.cfg.Logger.Warn("write ack failed", "err", err)
+	}
+}
+
+func (w *Worker) writeBlockPipeline(conn net.Conn, hdr rpc.WriteBlockHeader) rpc.WriteBlockAck {
+	if len(hdr.Pipeline) == 0 {
+		return rpc.WriteBlockAck{Err: rpc.EncodeError(fmt.Errorf("worker: empty pipeline: %w", core.ErrNotFound))}
+	}
+	media, ok := w.media[hdr.Pipeline[0].Storage]
+	if !ok {
+		return rpc.WriteBlockAck{Err: rpc.EncodeError(fmt.Errorf("worker: unknown media %s: %w", hdr.Pipeline[0].Storage, core.ErrNotFound))}
+	}
+
+	// Open the downstream stage, if any.
+	var downstream *rpc.BlockWriter
+	if len(hdr.Pipeline) > 1 {
+		var err error
+		downstream, err = rpc.OpenBlockWriter(hdr.Block, hdr.Pipeline[1:], hdr.Client)
+		if err != nil {
+			return rpc.WriteBlockAck{Err: rpc.EncodeError(err)}
+		}
+	}
+
+	// Feed the verified packet stream both into the local media and
+	// down the pipeline.
+	src := rpc.NewPacketReader(conn)
+	pr, pw := io.Pipe()
+	putDone := make(chan error, 1)
+	putStored := make(chan int64, 1)
+	go func() {
+		n, err := media.Put(hdr.Block, pr)
+		// Drain on failure so the producer never blocks forever.
+		if err != nil {
+			io.Copy(io.Discard, pr)
+		}
+		putStored <- n
+		putDone <- err
+	}()
+
+	var streamErr error
+	buf := make([]byte, rpc.MaxPacketSize)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := pw.Write(buf[:n]); werr != nil && streamErr == nil {
+				streamErr = werr
+			}
+			if downstream != nil {
+				if _, werr := downstream.Write(buf[:n]); werr != nil && streamErr == nil {
+					streamErr = werr
+				}
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			streamErr = err
+			break
+		}
+	}
+	pw.Close()
+	putErr := <-putDone
+	stored := <-putStored
+
+	var downErr error
+	if downstream != nil {
+		downErr = downstream.Commit()
+	}
+
+	block := hdr.Block
+	block.NumBytes = stored
+	switch {
+	case streamErr != nil:
+		media.Delete(block) // drop the partial replica
+		return rpc.WriteBlockAck{Err: rpc.EncodeError(fmt.Errorf("worker: pipeline stream: %w", streamErr))}
+	case putErr != nil:
+		return rpc.WriteBlockAck{Err: rpc.EncodeError(putErr), Stored: 0}
+	case downErr != nil:
+		// Local copy is good; report the downstream failure so the
+		// client can decide. The local replica is kept and will be
+		// reported to the master.
+		w.notifyReceived(hdr.Pipeline[0].Storage, block)
+		return rpc.WriteBlockAck{Err: rpc.EncodeError(fmt.Errorf("worker: downstream: %w", downErr)), Stored: stored}
+	default:
+		w.notifyReceived(hdr.Pipeline[0].Storage, block)
+		return rpc.WriteBlockAck{Stored: stored}
+	}
+}
+
+// handleReadBlock streams a block range to a reader (paper §4.1).
+func (w *Worker) handleReadBlock(conn net.Conn) {
+	var hdr rpc.ReadBlockHeader
+	if err := rpc.ReadFrame(conn, &hdr); err != nil {
+		w.cfg.Logger.Warn("bad read header", "err", err)
+		return
+	}
+	media, ok := w.media[hdr.Storage]
+	if !ok {
+		rpc.WriteFrame(conn, rpc.ReadBlockResponse{
+			Err: rpc.EncodeError(fmt.Errorf("worker: unknown media %s: %w", hdr.Storage, core.ErrNotFound)),
+		})
+		return
+	}
+	// Scrub the replica before serving so disk corruption surfaces as
+	// an explicit error the client can report (paper §5 repairs it).
+	if err := media.Verify(hdr.Block); err != nil {
+		rpc.WriteFrame(conn, rpc.ReadBlockResponse{Err: rpc.EncodeError(err)})
+		return
+	}
+	rc, err := media.Open(hdr.Block)
+	if err != nil {
+		rpc.WriteFrame(conn, rpc.ReadBlockResponse{Err: rpc.EncodeError(err)})
+		return
+	}
+	defer rc.Close()
+
+	if hdr.Offset > 0 {
+		if _, err := io.CopyN(io.Discard, rc, hdr.Offset); err != nil {
+			rpc.WriteFrame(conn, rpc.ReadBlockResponse{Err: rpc.EncodeError(fmt.Errorf("worker: seeking to %d: %w", hdr.Offset, err))})
+			return
+		}
+	}
+	length := hdr.Length
+	if length < 0 {
+		length = hdr.Block.NumBytes - hdr.Offset
+	}
+	if length < 0 {
+		length = 0
+	}
+	if err := rpc.WriteFrame(conn, rpc.ReadBlockResponse{Length: length}); err != nil {
+		return
+	}
+	pw := rpc.NewPacketWriter(conn)
+	if _, err := io.CopyN(pw, rc, length); err != nil {
+		w.cfg.Logger.Warn("block read stream failed", "block", hdr.Block.ID, "err", err)
+		return // connection dies; the client fails over
+	}
+	if err := pw.Close(); err != nil {
+		w.cfg.Logger.Warn("block read close failed", "err", err)
+	}
+}
+
+// handleReplicateBlock lets a peer push a replication order directly
+// over the data port (the master normally uses heartbeat commands
+// instead).
+func (w *Worker) handleReplicateBlock(conn net.Conn) {
+	var hdr rpc.ReplicateBlockHeader
+	if err := rpc.ReadFrame(conn, &hdr); err != nil {
+		return
+	}
+	err := w.replicate(hdr.Block, hdr.Target, hdr.Sources)
+	rpc.WriteFrame(conn, rpc.ReplicateBlockAck{Err: rpc.EncodeError(err)})
+}
+
+// replicate copies a block from the best available source replica onto
+// local media (paper §5: the hosting worker uses the retrieval policy's
+// source ordering for copying from the most efficient location).
+func (w *Worker) replicate(block core.Block, target core.StorageID, sources []core.BlockLocation) error {
+	media, ok := w.media[target]
+	if !ok {
+		return fmt.Errorf("worker: unknown media %s: %w", target, core.ErrNotFound)
+	}
+	if media.Has(block) {
+		w.notifyReceived(target, block)
+		return nil
+	}
+	var lastErr error
+	for _, src := range sources {
+		if src.Worker == w.id && src.Storage != target {
+			// Local cross-media copy: read directly.
+			if local, ok := w.media[src.Storage]; ok {
+				rc, err := local.Open(block)
+				if err != nil {
+					lastErr = err
+					continue
+				}
+				_, err = media.Put(block, rc)
+				rc.Close()
+				if err != nil {
+					lastErr = err
+					continue
+				}
+				w.notifyReceived(target, block)
+				return nil
+			}
+		}
+		rc, _, err := rpc.OpenBlockReader(src.Address, block, src.Storage, 0, -1)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		_, err = media.Put(block, rc)
+		rc.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		w.notifyReceived(target, block)
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("worker: no replica source for %s: %w", block.ID, core.ErrNotFound)
+	}
+	return lastErr
+}

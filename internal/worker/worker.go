@@ -1,0 +1,342 @@
+// Package worker implements the OctopusFS Worker (paper §2.2): it
+// manages the heterogeneous storage media attached to one node, serves
+// pipelined block writes and streamed block reads on its data port,
+// and executes replication and deletion commands delivered by the
+// master through heartbeats.
+package worker
+
+import (
+	"fmt"
+	"log/slog"
+	"net"
+	netrpc "net/rpc"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/storage"
+)
+
+// Config configures a Worker.
+type Config struct {
+	// ID is the worker's cluster identity; defaults to the data
+	// address after listen.
+	ID core.WorkerID
+
+	// Node and Rack place the worker in the network topology.
+	Node string
+	Rack string
+
+	// MasterAddr is the master's RPC endpoint.
+	MasterAddr string
+
+	// DataAddr is the data-transfer listen address (":0" for tests).
+	DataAddr string
+
+	// Media lists the storage media to manage. Media IDs are
+	// prefixed with the node name when not cluster-unique already.
+	Media []storage.MediaConfig
+
+	// NetMBps advertises the node's network throughput for the
+	// retrieval policy's rate estimates (paper Eq. 12).
+	NetMBps float64
+
+	// HeartbeatInterval paces heartbeats; BlockReportInterval paces
+	// full block reports.
+	HeartbeatInterval   time.Duration
+	BlockReportInterval time.Duration
+
+	// ProbeBytes sizes the startup throughput probe per media
+	// (paper §3.2). Zero skips probing and trusts the configured
+	// throttle rates.
+	ProbeBytes int64
+
+	// Logger receives operational logs; nil discards them.
+	Logger *slog.Logger
+}
+
+func (c *Config) fillDefaults() {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 250 * time.Millisecond
+	}
+	if c.BlockReportInterval <= 0 {
+		c.BlockReportInterval = 2 * time.Second
+	}
+	if c.NetMBps <= 0 {
+		c.NetMBps = 1250 // 10 Gbps
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+}
+
+// Worker is one running worker daemon.
+type Worker struct {
+	cfg   Config
+	id    core.WorkerID
+	media map[core.StorageID]*storage.Media
+
+	masterMu sync.Mutex
+	master   *netrpc.Client
+
+	ln       net.Listener
+	netConns atomic.Int64
+
+	done   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// New starts a Worker: it opens its media, probes their throughput,
+// registers with the master, and begins serving data requests and
+// heartbeating.
+func New(cfg Config) (*Worker, error) {
+	cfg.fillDefaults()
+	ln, err := net.Listen("tcp", cfg.DataAddr)
+	if err != nil {
+		return nil, fmt.Errorf("worker: listening on %s: %w", cfg.DataAddr, err)
+	}
+	id := cfg.ID
+	if id == "" {
+		id = core.WorkerID(ln.Addr().String())
+	}
+	w := &Worker{
+		cfg:   cfg,
+		id:    id,
+		media: make(map[core.StorageID]*storage.Media, len(cfg.Media)),
+		ln:    ln,
+		done:  make(chan struct{}),
+	}
+	for _, mc := range cfg.Media {
+		if mc.ID == "" {
+			return nil, fmt.Errorf("worker %s: media config missing ID", id)
+		}
+		m, err := storage.OpenMedia(mc)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		if cfg.ProbeBytes > 0 {
+			if _, _, err := m.Probe(cfg.ProbeBytes); err != nil {
+				w.cfg.Logger.Warn("media probe failed", "media", mc.ID, "err", err)
+			}
+		}
+		w.media[mc.ID] = m
+	}
+
+	if err := w.register(); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	w.wg.Add(3)
+	go w.serveData()
+	go w.heartbeatLoop()
+	go w.blockReportLoop()
+	w.cfg.Logger.Info("worker started", "id", id, "data", ln.Addr().String())
+	return w, nil
+}
+
+// ID returns the worker's cluster identity.
+func (w *Worker) ID() core.WorkerID { return w.id }
+
+// DataAddr returns the data-transfer endpoint address.
+func (w *Worker) DataAddr() string { return w.ln.Addr().String() }
+
+// Media returns the managed media keyed by storage ID (for tests).
+func (w *Worker) Media() map[core.StorageID]*storage.Media { return w.media }
+
+// Close shuts the worker down.
+func (w *Worker) Close() error {
+	if !w.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(w.done)
+	w.ln.Close()
+	w.wg.Wait()
+	w.masterMu.Lock()
+	if w.master != nil {
+		w.master.Close()
+	}
+	w.masterMu.Unlock()
+	for _, m := range w.media {
+		m.Close()
+	}
+	return nil
+}
+
+// callMaster invokes a master RPC, (re)dialling as needed.
+func (w *Worker) callMaster(method string, args, reply any) error {
+	w.masterMu.Lock()
+	if w.master == nil {
+		c, err := netrpc.Dial("tcp", w.cfg.MasterAddr)
+		if err != nil {
+			w.masterMu.Unlock()
+			return fmt.Errorf("worker: dialling master: %w", err)
+		}
+		w.master = c
+	}
+	c := w.master
+	w.masterMu.Unlock()
+
+	err := c.Call(method, args, reply)
+	if isTransportError(err) {
+		w.masterMu.Lock()
+		if w.master == c {
+			w.master.Close()
+			w.master = nil
+		}
+		w.masterMu.Unlock()
+	}
+	return rpc.WrapRemote(err)
+}
+
+// isTransportError reports whether an RPC failure came from the
+// connection rather than the server: net/rpc wraps server-side errors
+// in rpc.ServerError, so anything else (EOF, reset, shutdown) means
+// the connection must be re-dialled.
+func isTransportError(err error) bool {
+	if err == nil {
+		return false
+	}
+	_, isServer := err.(netrpc.ServerError)
+	return !isServer
+}
+
+// mediaStats snapshots every media's statistics for registration and
+// heartbeats.
+func (w *Worker) mediaStats() []rpc.MediaStat {
+	stats := make([]rpc.MediaStat, 0, len(w.media))
+	for id, m := range w.media {
+		stats = append(stats, rpc.MediaStat{
+			ID:          id,
+			Tier:        m.Tier(),
+			Capacity:    m.Capacity(),
+			Remaining:   m.Remaining(),
+			Connections: m.Connections(),
+			WriteMBps:   m.WriteThruMBps(),
+			ReadMBps:    m.ReadThruMBps(),
+		})
+	}
+	return stats
+}
+
+func (w *Worker) register() error {
+	args := &rpc.RegisterArgs{
+		ID:       w.id,
+		Node:     w.cfg.Node,
+		Rack:     w.cfg.Rack,
+		DataAddr: w.ln.Addr().String(),
+		NetMBps:  w.cfg.NetMBps,
+		Media:    w.mediaStats(),
+	}
+	var reply rpc.RegisterReply
+	if err := w.callMaster("Master.Register", args, &reply); err != nil {
+		return fmt.Errorf("worker %s: registration failed: %w", w.id, err)
+	}
+	return nil
+}
+
+func (w *Worker) heartbeatLoop() {
+	defer w.wg.Done()
+	ticker := time.NewTicker(w.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-ticker.C:
+			w.heartbeat()
+		}
+	}
+}
+
+func (w *Worker) heartbeat() {
+	args := &rpc.HeartbeatArgs{
+		ID:       w.id,
+		Media:    w.mediaStats(),
+		NetConns: int(w.netConns.Load()),
+		NetMBps:  w.cfg.NetMBps,
+	}
+	var reply rpc.HeartbeatReply
+	if err := w.callMaster("Master.Heartbeat", args, &reply); err != nil {
+		// The master may have expired us (e.g. after its restart):
+		// re-register and retry on the next tick.
+		w.cfg.Logger.Warn("heartbeat failed", "err", err)
+		if err := w.register(); err != nil {
+			w.cfg.Logger.Warn("re-registration failed", "err", err)
+		}
+		return
+	}
+	for _, cmd := range reply.Commands {
+		cmd := cmd
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			w.execute(cmd)
+		}()
+	}
+}
+
+func (w *Worker) blockReportLoop() {
+	defer w.wg.Done()
+	ticker := time.NewTicker(w.cfg.BlockReportInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-ticker.C:
+			w.sendBlockReport()
+		}
+	}
+}
+
+func (w *Worker) sendBlockReport() {
+	var blocks []rpc.StoredBlock
+	for id, m := range w.media {
+		for _, b := range m.Blocks() {
+			blocks = append(blocks, rpc.StoredBlock{Storage: id, Block: b})
+		}
+	}
+	args := &rpc.BlockReportArgs{ID: w.id, Blocks: blocks}
+	var reply rpc.BlockReportReply
+	if err := w.callMaster("Master.BlockReport", args, &reply); err != nil {
+		w.cfg.Logger.Warn("block report failed", "err", err)
+	}
+}
+
+// execute runs one master command.
+func (w *Worker) execute(cmd rpc.Command) {
+	switch cmd.Kind {
+	case rpc.CmdDelete:
+		m, ok := w.media[cmd.Target]
+		if !ok {
+			return
+		}
+		if err := m.Delete(cmd.Block); err != nil {
+			w.cfg.Logger.Warn("delete command failed", "block", cmd.Block.ID, "err", err)
+			return
+		}
+		var reply rpc.BlockDeletedReply
+		w.callMaster("Master.BlockDeleted", &rpc.BlockDeletedArgs{
+			ID: w.id, Storage: cmd.Target, Block: cmd.Block,
+		}, &reply)
+	case rpc.CmdReplicate:
+		if err := w.replicate(cmd.Block, cmd.Target, cmd.Sources); err != nil {
+			w.cfg.Logger.Warn("replication command failed",
+				"block", cmd.Block.ID, "target", cmd.Target, "err", err)
+		}
+	}
+}
+
+// notifyReceived tells the master a replica landed on local media.
+func (w *Worker) notifyReceived(storageID core.StorageID, b core.Block) {
+	var reply rpc.BlockReceivedReply
+	if err := w.callMaster("Master.BlockReceived", &rpc.BlockReceivedArgs{
+		ID: w.id, Storage: storageID, Block: b,
+	}, &reply); err != nil {
+		w.cfg.Logger.Warn("block-received notification failed", "err", err)
+	}
+}

@@ -1,0 +1,257 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+func hdfsCluster() *sim.Cluster {
+	cfg := sim.PaperClusterConfig()
+	cfg.Placement = policy.NewHDFSPolicy()
+	cfg.Retrieval = policy.NewHDFSRetrievalPolicy()
+	return sim.NewCluster(cfg)
+}
+
+func octoCluster() *sim.Cluster {
+	return sim.NewCluster(sim.PaperClusterConfig())
+}
+
+func TestRunJobReadComputeWrite(t *testing.T) {
+	c := octoCluster()
+	if err := LoadDataset(c, "/in", 1280, 128, core.ReplicationVectorFromFactor(3)); err != nil {
+		t.Fatal(err)
+	}
+	sec, err := RunJob(c, JobSpec{
+		Name: "j", ReadPath: "/in", ComputeSecPerTask: 2,
+		WritePath: "/out", WriteMB: 640, WriteRV: core.ReplicationVectorFromFactor(3),
+	}, 9, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec <= 2 {
+		t.Errorf("job finished in %.2fs, must exceed the 2s compute phase", sec)
+	}
+	if _, ok := c.File("/out"); !ok {
+		t.Error("output dataset not registered")
+	}
+}
+
+func TestRunJobComputeOnly(t *testing.T) {
+	c := octoCluster()
+	sec, err := RunJob(c, JobSpec{Name: "cpu", ComputeSecPerTask: 3}, 5, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec < 3-1e-9 || sec > 3.1 {
+		t.Errorf("compute-only job took %.3fs, want ~3s", sec)
+	}
+}
+
+func TestRunJobOverheadFloorsRuntime(t *testing.T) {
+	c := octoCluster()
+	sec, err := RunJob(c, JobSpec{Name: "idle", OverheadSec: 5}, 3, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec < 5-1e-9 {
+		t.Errorf("job with 5s overhead took %.3fs", sec)
+	}
+}
+
+func TestRunJobFallbackRV(t *testing.T) {
+	cfg := sim.PaperClusterConfig()
+	cfg.MemCapacity = 128 << 20 // one block per node's memory
+	c := sim.NewCluster(cfg)
+	// Pinned-memory writes exceed total memory; the fallback keeps the
+	// job alive.
+	_, err := RunJob(c, JobSpec{
+		Name:      "spill",
+		WritePath: "/out", WriteMB: 128 * 30,
+		WriteRV:    core.NewReplicationVector(1, 0, 0, 0, 1),
+		FallbackRV: core.ReplicationVectorFromFactor(2),
+	}, 9, 128)
+	if err != nil {
+		t.Fatalf("fallback did not rescue the job: %v", err)
+	}
+}
+
+func TestDeleteDatasetReleasesCapacity(t *testing.T) {
+	c := octoCluster()
+	if err := LoadDataset(c, "/tmp1", 1280, 128, core.ReplicationVectorFromFactor(3)); err != nil {
+		t.Fatal(err)
+	}
+	used := func() int64 {
+		var total int64
+		for _, u := range c.TierUsage() {
+			total += u[0]
+		}
+		return total
+	}
+	if used() == 0 {
+		t.Fatal("dataset occupied no capacity")
+	}
+	DeleteDataset(c, "/tmp1")
+	if used() != 0 {
+		t.Errorf("capacity not released: %d bytes", used())
+	}
+	DeleteDataset(c, "/tmp1") // idempotent
+}
+
+func TestPromoteToMemory(t *testing.T) {
+	c := octoCluster()
+	if err := LoadDataset(c, "/hot", 640, 128, core.ReplicationVectorFromFactor(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := PromoteToMemory(c, "/hot", true); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := c.File("/hot")
+	for _, blk := range f.Blocks {
+		hasMem := false
+		for _, m := range blk.Replicas {
+			if m.Tier == core.TierMemory {
+				hasMem = true
+			}
+		}
+		if !hasMem {
+			t.Errorf("block %s has no memory replica after promote", blk.Block.ID)
+		}
+		if len(blk.Replicas) != 3 {
+			t.Errorf("move changed replica count to %d, want 3", len(blk.Replicas))
+		}
+	}
+	if err := PromoteToMemory(c, "/missing", false); err == nil {
+		t.Error("promoting a missing file succeeded")
+	}
+}
+
+func TestHiBenchOctopusBeatsHDFSEverywhere(t *testing.T) {
+	// Paper Figure 6: "performance gains for every single workload."
+	for _, engine := range []EngineKind{Hadoop, Spark} {
+		for _, w := range HiBenchSuite() {
+			hdfsSec, err := RunHiBench(hdfsCluster(), w, engine, 27, 128)
+			if err != nil {
+				t.Fatalf("%s/%s hdfs: %v", engine, w.Name, err)
+			}
+			octoSec, err := RunHiBench(octoCluster(), w, engine, 27, 128)
+			if err != nil {
+				t.Fatalf("%s/%s octopus: %v", engine, w.Name, err)
+			}
+			if octoSec > hdfsSec {
+				t.Errorf("%s/%s: OctopusFS slower (%.0fs vs %.0fs)", engine, w.Name, octoSec, hdfsSec)
+			}
+		}
+	}
+}
+
+func TestHiBenchSparkGainsSmallerThanHadoop(t *testing.T) {
+	// Paper §7.5: Spark benefits less because it already keeps data in
+	// executor memory. Compare suite-average normalized times.
+	avg := func(engine EngineKind) float64 {
+		total := 0.0
+		for _, w := range HiBenchSuite() {
+			hdfsSec, err := RunHiBench(hdfsCluster(), w, engine, 27, 128)
+			if err != nil {
+				t.Fatal(err)
+			}
+			octoSec, err := RunHiBench(octoCluster(), w, engine, 27, 128)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += octoSec / hdfsSec
+		}
+		return total / float64(len(HiBenchSuite()))
+	}
+	hadoopNorm, sparkNorm := avg(Hadoop), avg(Spark)
+	if hadoopNorm >= 1 || sparkNorm >= 1 {
+		t.Fatalf("no average gain: hadoop %.2f spark %.2f", hadoopNorm, sparkNorm)
+	}
+	if hadoopNorm > sparkNorm {
+		t.Errorf("hadoop normalized %.3f > spark %.3f; paper expects larger Hadoop gains", hadoopNorm, sparkNorm)
+	}
+}
+
+func TestPegasusOptimisationOrdering(t *testing.T) {
+	// Paper Figure 7: OctopusFS beats HDFS; each optimisation helps;
+	// both together help most.
+	w := PegasusSuite()[0] // Pagerank
+	run := func(c *sim.Cluster, opts PegasusOpts) float64 {
+		sec, err := RunPegasus(c, w, opts, 27, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sec
+	}
+	hdfs := run(hdfsCluster(), PegasusOpts{})
+	plain := run(octoCluster(), PegasusOpts{})
+	prefetch := run(octoCluster(), PegasusOpts{Prefetch: true})
+	interm := run(octoCluster(), PegasusOpts{MemIntermediate: true})
+	both := run(octoCluster(), PegasusOpts{Prefetch: true, MemIntermediate: true})
+
+	if plain >= hdfs {
+		t.Errorf("OctopusFS (%.0fs) not faster than HDFS (%.0fs)", plain, hdfs)
+	}
+	if prefetch > plain {
+		t.Errorf("prefetch (%.0fs) slower than plain (%.0fs)", prefetch, plain)
+	}
+	if interm > plain {
+		t.Errorf("mem-intermediate (%.0fs) slower than plain (%.0fs)", interm, plain)
+	}
+	if both > prefetch || both > interm {
+		t.Errorf("both (%.0fs) slower than single optimisations (%.0f, %.0f)", both, prefetch, interm)
+	}
+}
+
+func TestPegasusHADIFallsBackWhenMemoryTight(t *testing.T) {
+	// HADI writes ~18 GB of intermediate data per iteration; the
+	// memory tier (36 GB) plus prefetched input cannot pin it all, and
+	// the run must complete via the fallback vector.
+	var hadi PegasusWorkload
+	for _, w := range PegasusSuite() {
+		if w.Name == "HADI" {
+			hadi = w
+		}
+	}
+	if _, err := RunPegasus(octoCluster(), hadi,
+		PegasusOpts{Prefetch: true, MemIntermediate: true}, 27, 128); err != nil {
+		t.Fatalf("HADI with both optimisations failed: %v", err)
+	}
+}
+
+func TestHiBenchSuiteStructure(t *testing.T) {
+	suite := HiBenchSuite()
+	if len(suite) != 9 {
+		t.Fatalf("suite has %d workloads, want 9 (paper §7.5)", len(suite))
+	}
+	counts := map[string]int{}
+	for _, w := range suite {
+		counts[w.Category]++
+		if w.InputMB <= 0 || w.Jobs <= 0 {
+			t.Errorf("%s: invalid spec %+v", w.Name, w)
+		}
+		if w.Jobs > 1 && w.InterMB == 0 && !w.IterativeInput {
+			t.Errorf("%s: multi-job workload without intermediates", w.Name)
+		}
+	}
+	if counts["micro"] != 3 || counts["olap"] != 3 || counts["ml"] != 3 {
+		t.Errorf("category mix = %v, want 3/3/3", counts)
+	}
+}
+
+func TestPegasusSuiteStructure(t *testing.T) {
+	suite := PegasusSuite()
+	if len(suite) != 4 {
+		t.Fatalf("suite has %d workloads, want 4 (paper §7.6)", len(suite))
+	}
+	for _, w := range suite {
+		if w.InputMB != 3300 {
+			t.Errorf("%s: input %dMB, want 3300 (the 3.3GB graph)", w.Name, w.InputMB)
+		}
+		if w.Iterations < 1 || w.Iterations > 4 {
+			t.Errorf("%s: %d iterations, want <= 4 (paper: all converge in <= 4)", w.Name, w.Iterations)
+		}
+	}
+}

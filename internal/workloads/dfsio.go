@@ -1,0 +1,208 @@
+// Package workloads implements the workload generators of the paper's
+// evaluation (§7): DFSIO (distributed I/O throughput), the S-Live
+// namespace stress test, HiBench-style Hadoop/Spark job models, and
+// the Pegasus graph-mining workload models. DFSIO, HiBench, and
+// Pegasus run against the flow-level simulator; S-Live runs against
+// the live master.
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// DFSIOConfig parameterises one DFSIO run (paper §7.1: "a distributed
+// I/O benchmark that measures average throughput for write and read
+// operations").
+type DFSIOConfig struct {
+	Cluster *sim.Cluster
+
+	// Threads is the degree of parallelism d; thread i runs on node
+	// i mod numNodes, like DFSIO map tasks.
+	Threads int
+
+	// TotalMB is the aggregate payload to write (excluding replicas).
+	TotalMB int64
+
+	// BlockMB is the file block size.
+	BlockMB int64
+
+	// RepVector controls per-tier replica placement.
+	RepVector core.ReplicationVector
+
+	// PathPrefix namespaces this run's files.
+	PathPrefix string
+}
+
+// Sample is one point of a throughput timeline.
+type Sample struct {
+	TimeSec float64
+	// PayloadMB is the cumulative payload completed by TimeSec.
+	PayloadMB float64
+}
+
+// IOStats summarises one DFSIO phase.
+type IOStats struct {
+	MakespanSec float64
+	PayloadMB   float64
+	// ThroughputPerWorkerMBps is aggregate payload rate divided by the
+	// number of worker nodes — the paper's Figures 2, 3, 5 y-axis.
+	ThroughputPerWorkerMBps float64
+	// PerThreadMBps is the mean per-task I/O rate (DFSIO's "average
+	// I/O rate"), the metric that exhibits the paper's decline with
+	// growing parallelism.
+	PerThreadMBps float64
+	Timeline      []Sample
+	// LocalReads / TotalReads track read locality (§7.1 discussion).
+	LocalReads, TotalReads int
+}
+
+// RunWrite writes TotalMB of payload with the configured parallelism
+// and replication vector, returning throughput statistics.
+func RunWrite(cfg DFSIOConfig) (IOStats, error) {
+	if cfg.Threads <= 0 || cfg.TotalMB <= 0 || cfg.BlockMB <= 0 {
+		return IOStats{}, fmt.Errorf("workloads: invalid DFSIO config %+v", cfg)
+	}
+	c := cfg.Cluster
+	e := c.Engine
+	perThreadMB := cfg.TotalMB / int64(cfg.Threads)
+	blocksPerThread := int(perThreadMB / cfg.BlockMB)
+	if blocksPerThread == 0 {
+		blocksPerThread = 1
+	}
+	blockBytes := cfg.BlockMB << 20
+
+	stats := IOStats{}
+	phaseStart := e.Now()
+	var placementErr error
+	for t := 0; t < cfg.Threads; t++ {
+		node := c.Node(t)
+		path := fmt.Sprintf("%s/part-%04d", cfg.PathPrefix, t)
+		remaining := blocksPerThread
+		var writeNext func(e *sim.Engine)
+		writeNext = func(e *sim.Engine) {
+			if remaining == 0 || placementErr != nil {
+				return
+			}
+			remaining--
+			blk, err := c.PlaceBlock(path, node, cfg.RepVector, blockBytes)
+			if err != nil {
+				placementErr = err
+				return
+			}
+			resources := sim.WriteResources(node, blk.Replicas)
+			e.StartFlow(fmt.Sprintf("w:%s:%d", path, remaining),
+				float64(cfg.BlockMB), resources, func(e *sim.Engine) {
+					stats.PayloadMB += float64(cfg.BlockMB)
+					stats.Timeline = append(stats.Timeline, Sample{
+						TimeSec: e.Now() - phaseStart, PayloadMB: stats.PayloadMB,
+					})
+					writeNext(e)
+				})
+		}
+		writeNext(e)
+	}
+	elapsed, err := e.Run()
+	if err != nil {
+		return stats, err
+	}
+	if placementErr != nil {
+		return stats, placementErr
+	}
+	stats.MakespanSec = elapsed
+	if elapsed > 0 {
+		stats.ThroughputPerWorkerMBps = stats.PayloadMB / elapsed / float64(len(c.Nodes))
+		stats.PerThreadMBps = stats.PayloadMB / elapsed / float64(cfg.Threads)
+	}
+	return stats, nil
+}
+
+// RunRead reads back the files written by RunWrite with the cluster's
+// retrieval policy, shifting each reader one node over so only ~1/3 of
+// reads are node-local like the paper's run (§7.1).
+func RunRead(cfg DFSIOConfig) (IOStats, error) {
+	c := cfg.Cluster
+	e := c.Engine
+	stats := IOStats{}
+	phaseStart := e.Now()
+	var readErr error
+	for t := 0; t < cfg.Threads; t++ {
+		// Offset reader placement versus writer placement.
+		node := c.Node(t + 1)
+		path := fmt.Sprintf("%s/part-%04d", cfg.PathPrefix, t)
+		file, ok := c.File(path)
+		if !ok {
+			return stats, fmt.Errorf("workloads: file %s was not written: %w", path, core.ErrNotFound)
+		}
+		idx := 0
+		var readNext func(e *sim.Engine)
+		readNext = func(e *sim.Engine) {
+			if idx >= len(file.Blocks) || readErr != nil {
+				return
+			}
+			blk := file.Blocks[idx]
+			idx++
+			ordered := c.OrderReplicas(blk, node)
+			if len(ordered) == 0 {
+				readErr = fmt.Errorf("workloads: block %s has no replicas: %w", blk.Block.ID, core.ErrNoWorkers)
+				return
+			}
+			src := ordered[0]
+			stats.TotalReads++
+			if src.Node() == node {
+				stats.LocalReads++
+			}
+			sizeMB := float64(blk.Block.NumBytes >> 20)
+			e.StartFlow(fmt.Sprintf("r:%s:%d", path, idx),
+				sizeMB, sim.ReadResources(node, src), func(e *sim.Engine) {
+					stats.PayloadMB += sizeMB
+					stats.Timeline = append(stats.Timeline, Sample{
+						TimeSec: e.Now() - phaseStart, PayloadMB: stats.PayloadMB,
+					})
+					readNext(e)
+				})
+		}
+		readNext(e)
+	}
+	elapsed, err := e.Run()
+	if err != nil {
+		return stats, err
+	}
+	if readErr != nil {
+		return stats, readErr
+	}
+	stats.MakespanSec = elapsed
+	if elapsed > 0 {
+		stats.ThroughputPerWorkerMBps = stats.PayloadMB / elapsed / float64(len(c.Nodes))
+		stats.PerThreadMBps = stats.PayloadMB / elapsed / float64(cfg.Threads)
+	}
+	return stats, nil
+}
+
+// WindowedThroughput converts a timeline into per-window throughput
+// per worker, for the paper's Figure 3 time series.
+func WindowedThroughput(timeline []Sample, windowSec float64, numWorkers int) []Sample {
+	if len(timeline) == 0 || windowSec <= 0 {
+		return nil
+	}
+	maxT := timeline[len(timeline)-1].TimeSec
+	numWindows := int(maxT/windowSec) + 1
+	out := make([]Sample, 0, numWindows)
+	j, prevCum := 0, 0.0
+	for w := 1; w <= numWindows; w++ {
+		endT := float64(w) * windowSec
+		cum := prevCum
+		for j < len(timeline) && timeline[j].TimeSec <= endT {
+			cum = timeline[j].PayloadMB
+			j++
+		}
+		out = append(out, Sample{
+			TimeSec:   endT,
+			PayloadMB: (cum - prevCum) / windowSec / float64(numWorkers),
+		})
+		prevCum = cum
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func dfsioCluster() *sim.Cluster {
+	return sim.NewCluster(sim.PaperClusterConfig())
+}
+
+func TestRunWriteBasics(t *testing.T) {
+	c := dfsioCluster()
+	stats, err := RunWrite(DFSIOConfig{
+		Cluster: c, Threads: 9, TotalMB: 1152, BlockMB: 128,
+		RepVector: core.NewReplicationVector(0, 0, 3, 0, 0), PathPrefix: "/t",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PayloadMB != 1152 {
+		t.Errorf("PayloadMB = %v, want 1152", stats.PayloadMB)
+	}
+	if stats.MakespanSec <= 0 {
+		t.Error("MakespanSec not positive")
+	}
+	if stats.ThroughputPerWorkerMBps <= 0 || stats.PerThreadMBps <= 0 {
+		t.Error("throughput not positive")
+	}
+	// Single-stream HDD pipelines cannot exceed the HDD write rate.
+	if stats.PerThreadMBps > 126.3+1e-6 {
+		t.Errorf("per-thread write %v exceeds HDD capacity", stats.PerThreadMBps)
+	}
+	// 9 files × 1 block history each? 1152/9 threads = 128MB each = 1 block.
+	f, ok := c.File("/t/part-0000")
+	if !ok || len(f.Blocks) != 1 {
+		t.Errorf("file registry wrong: %+v ok=%v", f, ok)
+	}
+}
+
+func TestMemoryWritesFasterThanHDD(t *testing.T) {
+	run := func(rv core.ReplicationVector) float64 {
+		c := dfsioCluster()
+		stats, err := RunWrite(DFSIOConfig{
+			Cluster: c, Threads: 9, TotalMB: 2304, BlockMB: 128,
+			RepVector: rv, PathPrefix: "/t",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.PerThreadMBps
+	}
+	mem := run(core.NewReplicationVector(3, 0, 0, 0, 0))
+	hdd := run(core.NewReplicationVector(0, 0, 3, 0, 0))
+	if mem <= hdd {
+		t.Errorf("memory writes (%v) not faster than HDD (%v)", mem, hdd)
+	}
+	if mem < 2*hdd {
+		t.Errorf("memory/HDD ratio %.2f, want >= 2 (paper shape)", mem/hdd)
+	}
+}
+
+func TestRunReadAfterWrite(t *testing.T) {
+	c := dfsioCluster()
+	cfg := DFSIOConfig{
+		Cluster: c, Threads: 9, TotalMB: 1152, BlockMB: 128,
+		RepVector: core.ReplicationVectorFromFactor(3), PathPrefix: "/t",
+	}
+	if _, err := RunWrite(cfg); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := RunRead(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PayloadMB != 1152 {
+		t.Errorf("read PayloadMB = %v", stats.PayloadMB)
+	}
+	if stats.TotalReads != 9 {
+		t.Errorf("TotalReads = %d, want 9 blocks", stats.TotalReads)
+	}
+	if stats.LocalReads > stats.TotalReads {
+		t.Error("more local reads than reads")
+	}
+}
+
+func TestRunReadMissingFile(t *testing.T) {
+	c := dfsioCluster()
+	_, err := RunRead(DFSIOConfig{
+		Cluster: c, Threads: 2, TotalMB: 256, BlockMB: 128,
+		RepVector: core.ReplicationVectorFromFactor(1), PathPrefix: "/never-written",
+	})
+	if err == nil {
+		t.Error("reading unwritten files succeeded")
+	}
+}
+
+func TestRunWriteValidation(t *testing.T) {
+	c := dfsioCluster()
+	if _, err := RunWrite(DFSIOConfig{Cluster: c}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestOneMemoryReplicaSpeedsUpReads(t *testing.T) {
+	// Paper §7.1: "by placing just 1 replica in memory, the average
+	// read throughput increases 2–5x over storing all replicas on
+	// HDDs."
+	run := func(rv core.ReplicationVector) float64 {
+		c := dfsioCluster()
+		cfg := DFSIOConfig{
+			Cluster: c, Threads: 27, TotalMB: 3456, BlockMB: 128,
+			RepVector: rv, PathPrefix: "/t",
+		}
+		if _, err := RunWrite(cfg); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := RunRead(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.PerThreadMBps
+	}
+	withMem := run(core.NewReplicationVector(1, 0, 2, 0, 0))
+	allHDD := run(core.NewReplicationVector(0, 0, 3, 0, 0))
+	if ratio := withMem / allHDD; ratio < 2 {
+		t.Errorf("memory-replica read speedup = %.2fx, want >= 2x", ratio)
+	}
+}
+
+func TestWindowedThroughput(t *testing.T) {
+	timeline := []Sample{
+		{TimeSec: 0.5, PayloadMB: 100},
+		{TimeSec: 1.5, PayloadMB: 300},
+		{TimeSec: 2.5, PayloadMB: 300}, // idle window
+		{TimeSec: 3.5, PayloadMB: 400},
+	}
+	got := WindowedThroughput(timeline, 1.0, 10)
+	want := []float64{10, 20, 0, 10} // MB per sec per 10 workers
+	if len(got) != len(want) {
+		t.Fatalf("windows = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i].PayloadMB-want[i]) > 1e-9 {
+			t.Errorf("window %d = %v, want %v", i, got[i].PayloadMB, want[i])
+		}
+	}
+	if got := WindowedThroughput(nil, 1, 1); got != nil {
+		t.Errorf("empty timeline produced %v", got)
+	}
+}

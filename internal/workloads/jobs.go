@@ -1,0 +1,188 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// JobSpec is one framework job (a MapReduce job or a Spark stage
+// boundary): read a dataset from the file system, compute, write a
+// dataset back.
+type JobSpec struct {
+	Name string
+
+	// ReadPath is the dataset to read ("" skips the read phase, e.g.
+	// a Spark stage consuming cached RDDs).
+	ReadPath string
+
+	// ComputeSecPerTask models the CPU part of each task.
+	ComputeSecPerTask float64
+
+	// WritePath / WriteMB / WriteRV describe the output dataset (""
+	// skips the write phase, e.g. Spark keeping an RDD in memory).
+	WritePath string
+	WriteMB   int64
+	WriteRV   core.ReplicationVector
+
+	// FallbackRV, when non-zero, replaces WriteRV for a block whose
+	// pinned-tier placement fails (e.g. the memory tier filled up) —
+	// the application-level fallback Pegasus uses for its in-memory
+	// intermediate data.
+	FallbackRV core.ReplicationVector
+
+	// OverheadSec models fixed framework overhead (job setup, task
+	// scheduling) that is independent of the file system under test.
+	OverheadSec float64
+}
+
+// RunJob executes one job with the given task parallelism on the
+// simulated cluster and returns its makespan in seconds. Tasks are
+// spread round-robin over the nodes; each task reads its share of the
+// input blocks through the retrieval policy, runs its compute delay,
+// and writes its share of the output through the placement policy.
+func RunJob(c *sim.Cluster, job JobSpec, tasks int, blockMB int64) (float64, error) {
+	if tasks <= 0 {
+		return 0, fmt.Errorf("workloads: job %s: tasks must be positive", job.Name)
+	}
+	e := c.Engine
+	start := e.Now()
+	var taskErr error
+	if job.OverheadSec > 0 {
+		e.StartDelay(job.Name+":overhead", job.OverheadSec, nil)
+	}
+
+	// Partition the input blocks across tasks.
+	var inputBlocks []sim.BlockSim
+	if job.ReadPath != "" {
+		f, ok := c.File(job.ReadPath)
+		if !ok {
+			return 0, fmt.Errorf("workloads: job %s: input %s missing: %w", job.Name, job.ReadPath, core.ErrNotFound)
+		}
+		inputBlocks = f.Blocks
+	}
+	writeBlocks := int(job.WriteMB / blockMB)
+	if job.WriteMB > 0 && writeBlocks == 0 {
+		writeBlocks = 1
+	}
+
+	for t := 0; t < tasks; t++ {
+		node := c.Node(t)
+		taskID := t
+
+		// The task's slice of input blocks and output block count.
+		var myBlocks []sim.BlockSim
+		for i := taskID; i < len(inputBlocks); i += tasks {
+			myBlocks = append(myBlocks, inputBlocks[i])
+		}
+		myWrites := writeBlocks / tasks
+		if taskID < writeBlocks%tasks {
+			myWrites++
+		}
+
+		readIdx := 0
+		writesLeft := myWrites
+		var doRead, doWrite func(e *sim.Engine)
+		doCompute := func(e *sim.Engine) {
+			if job.ComputeSecPerTask > 0 {
+				e.StartDelay(fmt.Sprintf("%s:c%d", job.Name, taskID), job.ComputeSecPerTask, doWrite)
+			} else {
+				doWrite(e)
+			}
+		}
+		doRead = func(e *sim.Engine) {
+			if taskErr != nil {
+				return
+			}
+			if readIdx >= len(myBlocks) {
+				doCompute(e)
+				return
+			}
+			blk := myBlocks[readIdx]
+			readIdx++
+			ordered := c.OrderReplicas(blk, node)
+			if len(ordered) == 0 {
+				taskErr = fmt.Errorf("workloads: job %s: block %s unreadable", job.Name, blk.Block.ID)
+				return
+			}
+			e.StartFlow(fmt.Sprintf("%s:r%d.%d", job.Name, taskID, readIdx),
+				float64(blk.Block.NumBytes>>20), sim.ReadResources(node, ordered[0]), doRead)
+		}
+		doWrite = func(e *sim.Engine) {
+			if taskErr != nil || writesLeft == 0 {
+				return
+			}
+			writesLeft--
+			blk, err := c.PlaceBlock(job.WritePath, node, job.WriteRV, blockMB<<20)
+			if err != nil && !job.FallbackRV.IsZero() {
+				blk, err = c.PlaceBlock(job.WritePath, node, job.FallbackRV, blockMB<<20)
+			}
+			if err != nil {
+				taskErr = fmt.Errorf("workloads: job %s write: %w", job.Name, err)
+				return
+			}
+			e.StartFlow(fmt.Sprintf("%s:w%d.%d", job.Name, taskID, writesLeft),
+				float64(blockMB), sim.WriteResources(node, blk.Replicas), doWrite)
+		}
+		doRead(e)
+	}
+
+	if _, err := e.Run(); err != nil {
+		return 0, err
+	}
+	if taskErr != nil {
+		return 0, taskErr
+	}
+	return e.Now() - start, nil
+}
+
+// LoadDataset places a dataset's blocks without simulating transfer
+// time (data-generation happens before the timed run, paper §7.5).
+func LoadDataset(c *sim.Cluster, path string, sizeMB, blockMB int64, rv core.ReplicationVector) error {
+	blocks := int(sizeMB / blockMB)
+	if blocks == 0 {
+		blocks = 1
+	}
+	for i := 0; i < blocks; i++ {
+		if _, err := c.PlaceBlock(path, c.Node(i), rv, blockMB<<20); err != nil {
+			return fmt.Errorf("workloads: loading %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// DeleteDataset releases a dataset's capacity (short-lived
+// intermediate data between jobs).
+func DeleteDataset(c *sim.Cluster, path string) {
+	f, ok := c.File(path)
+	if !ok {
+		return
+	}
+	for _, blk := range f.Blocks {
+		for _, m := range blk.Replicas {
+			m.Used -= blk.Block.NumBytes
+			if m.Used < 0 {
+				m.Used = 0
+			}
+		}
+	}
+	c.RemoveFile(path)
+}
+
+// PromoteToMemory adds (or moves) one replica of every block of a file
+// into the memory tier, modelling the prefetch optimisation of paper
+// §7.6. With move=true the slowest existing replica is dropped (a
+// tier move); otherwise a copy is added.
+func PromoteToMemory(c *sim.Cluster, path string, move bool) error {
+	f, ok := c.File(path)
+	if !ok {
+		return fmt.Errorf("workloads: promote %s: %w", path, core.ErrNotFound)
+	}
+	for i := range f.Blocks {
+		if err := c.AddMemoryReplica(&f.Blocks[i], move); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package workloads
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+)
+
+// SLiveOp names one namespace operation type of the S-Live stress
+// test (paper §7.4, Table 3).
+type SLiveOp string
+
+// The operation mix of Table 3.
+const (
+	OpMkdir  SLiveOp = "mkdir"
+	OpList   SLiveOp = "ls"
+	OpCreate SLiveOp = "create"
+	OpOpen   SLiveOp = "open"
+	OpRename SLiveOp = "rename"
+	OpDelete SLiveOp = "delete"
+)
+
+// SLiveOps returns the Table 3 operations in report order.
+func SLiveOps() []SLiveOp {
+	return []SLiveOp{OpMkdir, OpList, OpCreate, OpOpen, OpRename, OpDelete}
+}
+
+// SLiveConfig parameterises a stress run against a live master.
+type SLiveConfig struct {
+	MasterAddr string
+	// Clients is the number of concurrent client goroutines per
+	// operation type.
+	Clients int
+	// OpsPerClient bounds each client's operation count.
+	OpsPerClient int
+	// FileContent is the payload written by create operations (small,
+	// like S-Live's default).
+	FileContent []byte
+}
+
+// SLiveResult reports the measured rate of one operation type.
+type SLiveResult struct {
+	Op        SLiveOp
+	Ops       int
+	Seconds   float64
+	OpsPerSec float64
+}
+
+// RunSLive stress-tests a live master with the Table 3 operation mix
+// and returns per-operation rates. The namespace is pre-populated
+// with the files needed by list/open/rename/delete so each phase
+// measures exactly one operation type.
+func RunSLive(cfg SLiveConfig) ([]SLiveResult, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.OpsPerClient <= 0 {
+		cfg.OpsPerClient = 50
+	}
+	if cfg.FileContent == nil {
+		cfg.FileContent = []byte("slive")
+	}
+
+	// Shared setup client.
+	setup, err := client.Dial(cfg.MasterAddr, client.WithOwner("slive"))
+	if err != nil {
+		return nil, err
+	}
+	defer setup.Close()
+	if err := setup.Mkdir("/slive", true); err != nil {
+		return nil, err
+	}
+
+	totalOps := cfg.Clients * cfg.OpsPerClient
+	rv1 := core.ReplicationVectorFromFactor(1)
+
+	// Pre-populate directories with files for list and open phases.
+	if err := setup.Mkdir("/slive/listdir", true); err != nil {
+		return nil, err
+	}
+	for i := 0; i < 10; i++ {
+		if err := setup.WriteFile(fmt.Sprintf("/slive/listdir/f%d", i), cfg.FileContent, rv1); err != nil {
+			return nil, err
+		}
+	}
+	if err := setup.Mkdir("/slive/ops", true); err != nil {
+		return nil, err
+	}
+	for i := 0; i < totalOps; i++ {
+		if err := setup.WriteFile(fmt.Sprintf("/slive/ops/f%d", i), cfg.FileContent, rv1); err != nil {
+			return nil, err
+		}
+	}
+
+	run := func(op SLiveOp, fn func(fs *client.FileSystem, client, op int) error) (SLiveResult, error) {
+		clients := make([]*client.FileSystem, cfg.Clients)
+		for i := range clients {
+			c, err := client.Dial(cfg.MasterAddr, client.WithOwner("slive"))
+			if err != nil {
+				return SLiveResult{}, err
+			}
+			clients[i] = c
+		}
+		defer func() {
+			for _, c := range clients {
+				c.Close()
+			}
+		}()
+		var wg sync.WaitGroup
+		var failures atomic.Int64
+		start := time.Now()
+		for ci := range clients {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				for oi := 0; oi < cfg.OpsPerClient; oi++ {
+					if err := fn(clients[ci], ci, oi); err != nil {
+						failures.Add(1)
+					}
+				}
+			}(ci)
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		ok := totalOps - int(failures.Load())
+		if failures.Load() > 0 {
+			return SLiveResult{}, fmt.Errorf("workloads: slive %s: %d/%d operations failed", op, failures.Load(), totalOps)
+		}
+		return SLiveResult{Op: op, Ops: ok, Seconds: elapsed, OpsPerSec: float64(ok) / elapsed}, nil
+	}
+
+	var results []SLiveResult
+	phases := []struct {
+		op SLiveOp
+		fn func(fs *client.FileSystem, ci, oi int) error
+	}{
+		{OpMkdir, func(fs *client.FileSystem, ci, oi int) error {
+			return fs.Mkdir(fmt.Sprintf("/slive/mkdir/c%d/d%d", ci, oi), true)
+		}},
+		{OpList, func(fs *client.FileSystem, ci, oi int) error {
+			_, err := fs.List("/slive/listdir")
+			return err
+		}},
+		{OpCreate, func(fs *client.FileSystem, ci, oi int) error {
+			return fs.WriteFile(fmt.Sprintf("/slive/create/c%d-o%d", ci, oi), cfg.FileContent, rv1)
+		}},
+		{OpOpen, func(fs *client.FileSystem, ci, oi int) error {
+			_, err := fs.GetFileBlockLocations("/slive/listdir/f1", 0, -1)
+			return err
+		}},
+		{OpRename, func(fs *client.FileSystem, ci, oi int) error {
+			id := ci*cfg.OpsPerClient + oi
+			return fs.Rename(fmt.Sprintf("/slive/ops/f%d", id), fmt.Sprintf("/slive/ops/r%d", id))
+		}},
+		{OpDelete, func(fs *client.FileSystem, ci, oi int) error {
+			id := ci*cfg.OpsPerClient + oi
+			return fs.Delete(fmt.Sprintf("/slive/ops/r%d", id), false)
+		}},
+	}
+	if err := setup.Mkdir("/slive/create", true); err != nil {
+		return nil, err
+	}
+	for _, phase := range phases {
+		res, err := run(phase.op, phase.fn)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}

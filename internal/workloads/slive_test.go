@@ -1,0 +1,52 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/integration"
+)
+
+func TestRunSLive(t *testing.T) {
+	cfg := integration.DefaultClusterConfig(t.TempDir())
+	cfg.NumWorkers = 2
+	c, err := integration.StartCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	results, err := RunSLive(SLiveConfig{
+		MasterAddr:   c.Master.Addr(),
+		Clients:      2,
+		OpsPerClient: 8,
+	})
+	if err != nil {
+		t.Fatalf("RunSLive: %v", err)
+	}
+	if len(results) != len(SLiveOps()) {
+		t.Fatalf("got %d result rows, want %d", len(results), len(SLiveOps()))
+	}
+	for i, r := range results {
+		if r.Op != SLiveOps()[i] {
+			t.Errorf("row %d op = %s, want %s", i, r.Op, SLiveOps()[i])
+		}
+		if r.Ops != 16 {
+			t.Errorf("%s: %d ops, want 16", r.Op, r.Ops)
+		}
+		if r.OpsPerSec <= 0 {
+			t.Errorf("%s: non-positive rate", r.Op)
+		}
+	}
+	// Metadata-only operations must be much faster than create (which
+	// moves block data through a pipeline) — the Table 3 shape.
+	rates := map[SLiveOp]float64{}
+	for _, r := range results {
+		rates[r.Op] = r.OpsPerSec
+	}
+	if rates[OpOpen] < rates[OpCreate] {
+		t.Errorf("open (%.0f/s) slower than create (%.0f/s)", rates[OpOpen], rates[OpCreate])
+	}
+	if rates[OpList] < rates[OpCreate] {
+		t.Errorf("list (%.0f/s) slower than create (%.0f/s)", rates[OpList], rates[OpCreate])
+	}
+}
