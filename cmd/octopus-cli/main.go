@@ -20,14 +20,17 @@
 //	quota <dir> <tier|total> <MB>    set a per-tier space quota (-1 clears)
 //	du <path>                        subtree usage incl. per-tier bytes
 //	fsck <path>                      per-file replication health
+//	metrics <http-addr>              dump a daemon's /metrics endpoint
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/client"
@@ -42,6 +45,16 @@ func main() {
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
+	}
+
+	// metrics talks to a daemon's HTTP endpoint, not the master RPC
+	// port, so handle it before dialling.
+	if args[0] == "metrics" {
+		need(args[1:], 1)
+		if err := showMetrics(os.Stdout, args[1]); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	opts := []client.Option{client.WithOwner(os.Getenv("USER"))}
@@ -284,6 +297,24 @@ func run(fs *client.FileSystem, args []string) error {
 	return fmt.Errorf("unknown command %q", cmd)
 }
 
+// showMetrics dumps the Prometheus exposition of a master's or
+// worker's HTTP endpoint.
+func showMetrics(out io.Writer, addr string) error {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	resp, err := http.Get(strings.TrimSuffix(addr, "/") + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics: %s returned %s", addr, resp.Status)
+	}
+	_, err = io.Copy(out, resp.Body)
+	return err
+}
+
 func need(args []string, n int) {
 	if len(args) < n {
 		usage()
@@ -293,7 +324,7 @@ func need(args []string, n int) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: octopus-cli [-master addr] [-node name] <command> [args]
-commands: mkdir ls put get cat rm mv stat setrep locations tiers report quota du fsck`)
+commands: mkdir ls put get cat rm mv stat setrep locations tiers report quota du fsck metrics`)
 }
 
 func fatal(err error) {

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/integration"
@@ -66,5 +67,31 @@ func TestCLICommands(t *testing.T) {
 	}
 	if err := run(fs, []string{"definitely-not-a-command"}); err == nil {
 		t.Error("unknown command succeeded")
+	}
+}
+
+// TestCLIMetrics fetches a live master's Prometheus exposition through
+// the metrics subcommand's fetcher.
+func TestCLIMetrics(t *testing.T) {
+	cluster, err := integration.StartCluster(integration.DefaultClusterConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	addr, err := cluster.Master.ServeHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := showMetrics(&out, addr); err != nil {
+		t.Fatalf("showMetrics: %v", err)
+	}
+	if !strings.Contains(out.String(), "octopus_master_workers") {
+		t.Fatalf("exposition missing octopus_master_workers:\n%s", out.String())
+	}
+
+	if err := showMetrics(&out, "127.0.0.1:1"); err == nil {
+		t.Error("showMetrics against a dead address succeeded")
 	}
 }

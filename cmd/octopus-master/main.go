@@ -32,7 +32,8 @@ func main() {
 		retrieval = flag.String("retrieval", "octopus", "retrieval policy: octopus, hdfs")
 		useMemory = flag.Bool("use-memory", false, "let the MOOP policy place unspecified replicas in memory")
 		blockMB   = flag.Int64("block-mb", 128, "default block size in MB")
-		httpAddr  = flag.String("http", "", "HTTP status endpoint address (e.g. :9870; empty disables)")
+		httpAddr  = flag.String("http", "", "HTTP status/metrics endpoint address (e.g. :9870; empty disables)")
+		slowOp    = flag.Duration("slowop", 100*time.Millisecond, "slow-op log threshold (0 logs every op, negative disables)")
 		backup    = flag.Bool("backup", false, "run as a Backup Master")
 		primary   = flag.String("primary", "", "primary master address (backup mode)")
 		interval  = flag.Duration("checkpoint-interval", 30*time.Second, "backup checkpoint interval")
@@ -72,12 +73,13 @@ func main() {
 		os.Exit(2)
 	}
 	m, err := master.New(master.Config{
-		ListenAddr: *listen,
-		MetaDir:    *meta,
-		Placement:  pol,
-		Retrieval:  ret,
-		BlockSize:  *blockMB << 20,
-		Logger:     logger,
+		ListenAddr:      *listen,
+		MetaDir:         *meta,
+		Placement:       pol,
+		Retrieval:       ret,
+		BlockSize:       *blockMB << 20,
+		Logger:          logger,
+		SlowOpThreshold: *slowOp,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "octopus-master: %v\n", err)

@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/storage"
@@ -74,6 +75,8 @@ func main() {
 		dataAddr   = flag.String("data", ":9866", "data transfer listen address")
 		netMBps    = flag.Float64("net-mbps", 1250, "advertised network throughput (MB/s)")
 		probeMB    = flag.Int64("probe-mb", 8, "startup throughput probe size per media (0 = skip)")
+		httpAddr   = flag.String("http", "", "HTTP status/metrics endpoint address (e.g. :9864; empty disables)")
+		slowOp     = flag.Duration("slowop", 100*time.Millisecond, "slow-op log threshold (0 logs every op, negative disables)")
 	)
 	flag.Var(&media, "media", "media spec kind:capacityMB[:dir[:writeMBps:readMBps]] (repeatable)")
 	flag.Parse()
@@ -101,19 +104,28 @@ func main() {
 	}
 
 	w, err := worker.New(worker.Config{
-		ID:         core.WorkerID(name),
-		Node:       name,
-		Rack:       *rack,
-		MasterAddr: *masterAddr,
-		DataAddr:   *dataAddr,
-		Media:      media,
-		NetMBps:    *netMBps,
-		ProbeBytes: *probeMB << 20,
-		Logger:     logger,
+		ID:              core.WorkerID(name),
+		Node:            name,
+		Rack:            *rack,
+		MasterAddr:      *masterAddr,
+		DataAddr:        *dataAddr,
+		Media:           media,
+		NetMBps:         *netMBps,
+		ProbeBytes:      *probeMB << 20,
+		Logger:          logger,
+		SlowOpThreshold: *slowOp,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "octopus-worker: %v\n", err)
 		os.Exit(1)
+	}
+	if *httpAddr != "" {
+		bound, err := w.ServeHTTP(*httpAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "octopus-worker: %v\n", err)
+			os.Exit(1)
+		}
+		logger.Info("http status endpoint", "addr", bound)
 	}
 	logger.Info("worker running", "id", w.ID(), "data", w.DataAddr(), "media", len(media))
 

@@ -7,8 +7,10 @@ package client
 
 import (
 	"fmt"
+	"log/slog"
 	netrpc "net/rpc"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/rpc"
@@ -28,11 +30,27 @@ func WithOwner(owner string) Option {
 	return func(fs *FileSystem) { fs.owner = owner }
 }
 
+// WithLogger directs the client's slow-op log lines to logger.
+func WithLogger(logger *slog.Logger) Option {
+	return func(fs *FileSystem) { fs.logger = logger }
+}
+
+// WithSlowOpThreshold sets the latency above which a master RPC is
+// logged as slow with its request ID. Zero logs every RPC; negative
+// disables slow-op logging.
+func WithSlowOpThreshold(d time.Duration) Option {
+	return func(fs *FileSystem) { fs.slowOp = d }
+}
+
 // FileSystem is a client handle to an OctopusFS master.
 type FileSystem struct {
-	addr  string
-	node  string
-	owner string
+	addr   string
+	node   string
+	owner  string
+	logger *slog.Logger
+	slowOp time.Duration
+
+	metrics *clientMetrics
 
 	mu   sync.Mutex
 	conn *netrpc.Client
@@ -44,6 +62,10 @@ func Dial(addr string, opts ...Option) (*FileSystem, error) {
 	for _, opt := range opts {
 		opt(fs)
 	}
+	if fs.logger == nil {
+		fs.logger = slog.New(slog.DiscardHandler)
+	}
+	fs.metrics = newClientMetrics(fs.logger, fs.slowOp)
 	if err := fs.reconnect(); err != nil {
 		return nil, err
 	}
@@ -64,8 +86,15 @@ func (fs *FileSystem) reconnect() error {
 	return nil
 }
 
-// call invokes a master RPC, reconnecting once on connection failure.
+// call invokes a master RPC under a fresh request ID. Multi-step
+// operations (Open/Create flows) use callReq instead so all their RPCs
+// and data transfers share one ID.
 func (fs *FileSystem) call(method string, args, reply any) error {
+	return fs.callReq(rpc.NewRequestID(), method, args, reply)
+}
+
+// rawCall invokes a master RPC, reconnecting once on connection failure.
+func (fs *FileSystem) rawCall(method string, args, reply any) error {
 	fs.mu.Lock()
 	c := fs.conn
 	fs.mu.Unlock()
@@ -140,7 +169,10 @@ func (fs *FileSystem) Create(path string, opts CreateOptions) (*Writer, error) {
 	if opts.RepVector.IsZero() {
 		opts.RepVector = core.ReplicationVectorFromFactor(3)
 	}
-	err := fs.call("Master.Create", &rpc.CreateArgs{
+	// One request ID covers the whole write: create, every AddBlock,
+	// the pipeline transfers, and Complete share it across logs.
+	reqID := rpc.NewRequestID()
+	err := fs.callReq(reqID, "Master.Create", &rpc.CreateArgs{
 		Path:       path,
 		RepVector:  opts.RepVector,
 		BlockSize:  opts.BlockSize,
@@ -155,7 +187,7 @@ func (fs *FileSystem) Create(path string, opts CreateOptions) (*Writer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Writer{fs: fs, path: path, blockSize: status.BlockSize}, nil
+	return &Writer{fs: fs, path: path, blockSize: status.BlockSize, reqID: reqID}, nil
 }
 
 // WriteFile writes data as a new file with the given replication
@@ -174,14 +206,17 @@ func (fs *FileSystem) WriteFile(path string, data []byte, rv core.ReplicationVec
 
 // Open returns a Reader over an existing file.
 func (fs *FileSystem) Open(path string) (*Reader, error) {
+	// One request ID covers the whole read: the location lookup and
+	// every block transfer share it across master and worker logs.
+	reqID := rpc.NewRequestID()
 	var reply rpc.GetBlockLocationsReply
-	err := fs.call("Master.GetBlockLocations", &rpc.GetBlockLocationsArgs{
+	err := fs.callReq(reqID, "Master.GetBlockLocations", &rpc.GetBlockLocationsArgs{
 		Path: path, Offset: 0, Length: -1, ClientNode: fs.node,
 	}, &reply)
 	if err != nil {
 		return nil, err
 	}
-	return &Reader{fs: fs, path: path, length: reply.FileLength, blocks: reply.Blocks}, nil
+	return &Reader{fs: fs, path: path, length: reply.FileLength, blocks: reply.Blocks, reqID: reqID}, nil
 }
 
 // ReadFile reads a whole file (a convenience wrapper over Open).
@@ -255,8 +290,11 @@ func (fs *FileSystem) SetQuota(path string, tier core.StorageTier, bytes int64) 
 }
 
 // abandon drops an under-construction file after a failed write.
-func (fs *FileSystem) abandon(path string) error {
-	return fs.call("Master.Abandon", &rpc.AbandonArgs{Path: path}, &rpc.AbandonReply{})
+func (fs *FileSystem) abandon(reqID, path string) error {
+	if reqID == "" {
+		reqID = rpc.NewRequestID()
+	}
+	return fs.callReq(reqID, "Master.Abandon", &rpc.AbandonArgs{Path: path}, &rpc.AbandonReply{})
 }
 
 // GetContentSummary aggregates a subtree's usage: file and directory

@@ -1,0 +1,70 @@
+package client
+
+import (
+	"log/slog"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/rpc"
+)
+
+// clientMetrics bundles the client's instruments under one registry,
+// exposed via FileSystem.Metrics() as octopus_client_* families.
+type clientMetrics struct {
+	reg *metrics.Registry
+
+	rpcs    *metrics.CounterVec   // octopus_client_rpcs_total{method}
+	rpcErrs *metrics.CounterVec   // octopus_client_rpc_errors_total{method}
+	rpcDur  *metrics.HistogramVec // octopus_client_rpc_duration_seconds{method}
+
+	readBytes  *metrics.CounterVec // octopus_client_read_bytes_total{tier,source}
+	writeBytes *metrics.Counter    // octopus_client_write_bytes_total
+	failovers  *metrics.Counter    // octopus_client_read_failovers_total
+	badReports *metrics.Counter    // octopus_client_bad_block_reports_total
+	retries    *metrics.Counter    // octopus_client_block_retries_total
+
+	slow *metrics.SlowLogger
+}
+
+func newClientMetrics(logger *slog.Logger, slowOp time.Duration) *clientMetrics {
+	reg := metrics.NewRegistry()
+	return &clientMetrics{
+		reg:     reg,
+		rpcs:    reg.CounterVec("octopus_client_rpcs_total", "Master RPCs issued, by method.", "method"),
+		rpcErrs: reg.CounterVec("octopus_client_rpc_errors_total", "Master RPCs that failed, by method.", "method"),
+		rpcDur: reg.HistogramVec("octopus_client_rpc_duration_seconds",
+			"Master RPC latency in seconds, by method.", metrics.DefLatencyBuckets, "method"),
+		readBytes: reg.CounterVec("octopus_client_read_bytes_total",
+			"Block bytes read, by storage tier and local/remote source.", "tier", "source"),
+		writeBytes: reg.Counter("octopus_client_write_bytes_total", "Block bytes written into pipelines.", nil),
+		failovers:  reg.Counter("octopus_client_read_failovers_total", "Reads that failed over to another replica.", nil),
+		badReports: reg.Counter("octopus_client_bad_block_reports_total", "Corrupt or missing replicas reported to the master.", nil),
+		retries:    reg.Counter("octopus_client_block_retries_total", "Blocks retried on a fresh pipeline.", nil),
+		slow: metrics.NewSlowLogger(logger, slowOp,
+			reg.Counter("octopus_client_slow_ops_total", "RPCs slower than the slow-op threshold.", nil)),
+	}
+}
+
+// Metrics returns the client's metric registry for exposition.
+func (fs *FileSystem) Metrics() *metrics.Registry { return fs.metrics.reg }
+
+// callReq invokes a master RPC under the given request ID: the ID is
+// stamped into the args header (so master logs and error strings carry
+// it) and the call is counted, timed, and slow-logged.
+func (fs *FileSystem) callReq(reqID, method string, args, reply any) error {
+	if id, ok := args.(rpc.Identified); ok && id.RequestID() == "" {
+		id.SetRequestID(reqID)
+	}
+	op := strings.TrimPrefix(method, "Master.")
+	start := time.Now()
+	err := fs.rawCall(method, args, reply)
+	d := time.Since(start)
+	fs.metrics.rpcs.With(op).Inc()
+	fs.metrics.rpcDur.With(op).Observe(d.Seconds())
+	if err != nil {
+		fs.metrics.rpcErrs.With(op).Inc()
+	}
+	fs.metrics.slow.Observe(op, reqID, d)
+	return err
+}

@@ -19,6 +19,7 @@ type Reader struct {
 	path   string
 	length int64
 	blocks []core.LocatedBlock
+	reqID  string // correlates all of this read's RPCs and transfers
 
 	pos    int64
 	cur    io.ReadCloser
@@ -74,14 +75,17 @@ func (r *Reader) openAt(offset int64) error {
 	}
 	within := offset - blk.Offset
 	var lastErr error
-	for _, loc := range blk.Locations {
-		rc, _, err := rpc.OpenBlockReader(loc.Address, blk.Block, loc.Storage, within, blk.Block.NumBytes-within)
+	for i, loc := range blk.Locations {
+		rc, _, err := rpc.OpenBlockReaderReq(loc.Address, blk.Block, loc.Storage, within, blk.Block.NumBytes-within, r.reqID)
 		if err != nil {
 			lastErr = err
 			if errors.Is(err, core.ErrCorrupt) || errors.Is(err, core.ErrNotFound) {
 				r.reportBad(blk.Block, loc)
 			}
 			continue
+		}
+		if i > 0 {
+			r.fs.metrics.failovers.Inc()
 		}
 		r.cur = &corruptionReportingReader{rc: rc, r: r, block: blk.Block, loc: loc}
 		r.curEnd = blk.Offset + blk.Block.NumBytes
@@ -107,7 +111,8 @@ func (r *Reader) blockAt(offset int64) *core.LocatedBlock {
 // reportBad tells the master a replica is corrupt or missing so
 // re-replication can repair it (paper §5).
 func (r *Reader) reportBad(b core.Block, loc core.BlockLocation) {
-	r.fs.call("Master.ReportBadBlock", &master.ReportBadBlockArgs{
+	r.fs.metrics.badReports.Inc()
+	r.fs.callReq(r.reqID, "Master.ReportBadBlock", &master.ReportBadBlockArgs{
 		Block: b, Storage: loc.Storage, Worker: loc.Worker,
 	}, &master.ReportBadBlockReply{})
 }
@@ -161,6 +166,13 @@ type corruptionReportingReader struct {
 
 func (c *corruptionReportingReader) Read(p []byte) (int, error) {
 	n, err := c.rc.Read(p)
+	if n > 0 {
+		source := "remote"
+		if string(c.loc.Worker) == c.r.fs.node {
+			source = "local"
+		}
+		c.r.fs.metrics.readBytes.With(c.loc.Tier.String(), source).Add(float64(n))
+	}
 	if err != nil && errors.Is(err, core.ErrCorrupt) {
 		c.r.reportBad(c.block, c.loc)
 	}

@@ -16,6 +16,7 @@ type Writer struct {
 	fs        *FileSystem
 	path      string
 	blockSize int64
+	reqID     string // correlates all of this write's RPCs and transfers
 
 	cur      *rpc.BlockWriter
 	curBlock core.Block
@@ -62,6 +63,7 @@ func (w *Writer) Write(p []byte) (int, error) {
 		n, err := w.cur.Write(chunk)
 		w.curLen += int64(n)
 		w.written += int64(n)
+		w.fs.metrics.writeBytes.Add(float64(n))
 		w.curBuf = append(w.curBuf, chunk[:n]...)
 		total += n
 		p = p[n:]
@@ -92,13 +94,14 @@ func (w *Writer) retryBlock(cause error) error {
 		return fmt.Errorf("client: block failed after %d retries: %w", w.retries, cause)
 	}
 	w.retries++
+	w.fs.metrics.retries.Inc()
 	if w.cur != nil {
 		w.cur.Abort()
 		w.cur = nil
 	}
 	// Drop the failed block server-side; ignore errors (the file may
 	// already be gone) and surface the original cause instead.
-	w.fs.call("Master.AbandonBlock", &rpc.AbandonBlockArgs{
+	w.fs.callReq(w.reqID, "Master.AbandonBlock", &rpc.AbandonBlockArgs{
 		Path: w.path, Block: w.curBlock,
 	}, &rpc.AbandonBlockReply{})
 
@@ -113,6 +116,7 @@ func (w *Writer) retryBlock(cause error) error {
 		n, err := w.cur.Write(buf)
 		w.curLen += int64(n)
 		w.written += int64(n)
+		w.fs.metrics.writeBytes.Add(float64(n))
 		w.curBuf = append(w.curBuf, buf[:n]...)
 		if err != nil {
 			return w.retryBlock(fmt.Errorf("client: replaying block: %w", err))
@@ -125,7 +129,7 @@ func (w *Writer) retryBlock(cause error) error {
 // and opens the write pipeline to its first target.
 func (w *Writer) startBlock() error {
 	var reply rpc.AddBlockReply
-	err := w.fs.call("Master.AddBlock", &rpc.AddBlockArgs{
+	err := w.fs.callReq(w.reqID, "Master.AddBlock", &rpc.AddBlockArgs{
 		Path:       w.path,
 		ClientNode: w.fs.node,
 		Previous:   w.prev,
@@ -151,7 +155,7 @@ func (w *Writer) startBlock() error {
 	// length is reported separately when the block finishes.
 	hdrBlock := located.Block
 	hdrBlock.NumBytes = w.blockSize
-	bw, err := rpc.OpenBlockWriter(hdrBlock, pipeline, w.fs.owner)
+	bw, err := rpc.OpenBlockWriterReq(hdrBlock, pipeline, w.fs.owner, w.reqID)
 	if err != nil {
 		return err
 	}
@@ -186,7 +190,7 @@ func (w *Writer) fail(err error) {
 			w.cur.Abort()
 			w.cur = nil
 		}
-		w.fs.abandon(w.path)
+		w.fs.abandon(w.reqID, w.path)
 	}
 }
 
@@ -214,7 +218,7 @@ func (w *Writer) Close() error {
 			}
 		}
 	}
-	err := w.fs.call("Master.Complete", &rpc.CompleteArgs{
+	err := w.fs.callReq(w.reqID, "Master.Complete", &rpc.CompleteArgs{
 		Path: w.path,
 		Last: w.prev,
 	}, &rpc.CompleteReply{})
@@ -238,7 +242,7 @@ func (w *Writer) Abort() error {
 	if w.err != nil {
 		return nil // fail() already abandoned the file
 	}
-	return w.fs.abandon(w.path)
+	return w.fs.abandon(w.reqID, w.path)
 }
 
 var _ io.WriteCloser = (*Writer)(nil)

@@ -7,6 +7,7 @@ package integration
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"time"
@@ -57,6 +58,13 @@ type ClusterConfig struct {
 
 	// Dir is the root directory for worker block storage.
 	Dir string
+
+	// MasterLogger and WorkerLogger capture daemon logs (nil =
+	// discard); SlowOpThreshold is forwarded to both daemons so tests
+	// can force slow-op logging with a zero threshold.
+	MasterLogger    *slog.Logger
+	WorkerLogger    *slog.Logger
+	SlowOpThreshold time.Duration
 }
 
 // DefaultClusterConfig mirrors the paper's worker shape at laptop
@@ -119,6 +127,8 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		WorkerTimeout:   10 * time.Second,
 		MonitorInterval: 50 * time.Millisecond,
 		Seed:            1,
+		Logger:          cfg.MasterLogger,
+		SlowOpThreshold: cfg.SlowOpThreshold,
 	})
 	if err != nil {
 		return nil, err
@@ -200,6 +210,8 @@ func (c *Cluster) startWorker(i int) (*worker.Worker, error) {
 		Media:               media,
 		HeartbeatInterval:   50 * time.Millisecond,
 		BlockReportInterval: 250 * time.Millisecond,
+		Logger:              cfg.WorkerLogger,
+		SlowOpThreshold:     cfg.SlowOpThreshold,
 	})
 }
 

@@ -47,7 +47,8 @@ type StatusTier struct {
 }
 
 // ServeHTTP starts an HTTP status server on addr and returns its bound
-// address. Endpoints: /status (JSON) and / (plain-text overview). The
+// address. Endpoints: /status (JSON), /metrics (Prometheus text, or
+// JSON with ?format=json), /healthz, and / (plain-text overview). The
 // server stops when the master closes.
 func (m *Master) ServeHTTP(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
@@ -60,6 +61,18 @@ func (m *Master) ServeHTTP(addr string) (string, error) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(m.statusReport())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			m.metrics.reg.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.metrics.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {

@@ -64,6 +64,12 @@ type Config struct {
 
 	// Logger receives operational logs; nil discards them.
 	Logger *slog.Logger
+
+	// SlowOpThreshold is the latency above which an RPC operation is
+	// logged as slow with its request ID. Zero logs every operation;
+	// negative disables slow-op logging. Daemons default it to 100ms
+	// via their -slowop flag.
+	SlowOpThreshold time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -131,6 +137,8 @@ type Master struct {
 	snapshot_ *policy.Snapshot
 	snapTime  time.Time
 
+	metrics *masterMetrics
+
 	ln     net.Listener
 	srv    *netrpc.Server
 	done   chan struct{}
@@ -162,6 +170,7 @@ func New(cfg Config) (*Master, error) {
 		conns:     make(map[net.Conn]struct{}),
 		started:   time.Now(),
 	}
+	m.metrics = newMasterMetrics(m)
 	// Rebuild the block map from the recovered namespace; replica
 	// locations arrive via the workers' block reports.
 	ns.ForEachFile(func(path string, blocks []core.Block, rv core.ReplicationVector) {

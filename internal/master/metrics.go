@@ -1,0 +1,122 @@
+package master
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/rpc"
+)
+
+// moopScoreBuckets spans the Eq. 11 scalarised scores, which are norm
+// distances from the ideal vector and land in [0, ~2] in practice.
+var moopScoreBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2, 4}
+
+// masterMetrics bundles the master's instruments under one registry,
+// exposed at /metrics as octopus_master_* families.
+type masterMetrics struct {
+	reg *metrics.Registry
+
+	ops    *metrics.CounterVec   // octopus_master_ops_total{op}
+	opErrs *metrics.CounterVec   // octopus_master_op_errors_total{op}
+	opDur  *metrics.HistogramVec // octopus_master_op_duration_seconds{op}
+
+	placements *metrics.CounterVec   // octopus_master_placements_total{tier}
+	retrievals *metrics.CounterVec   // octopus_master_retrievals_total{tier}
+	moopScore  *metrics.HistogramVec // octopus_master_policy_moop_score{tier}
+
+	slow *metrics.SlowLogger
+}
+
+// newMasterMetrics builds the registry and wires the gauges that read
+// live master state on scrape.
+func newMasterMetrics(m *Master) *masterMetrics {
+	reg := metrics.NewRegistry()
+	mm := &masterMetrics{
+		reg:    reg,
+		ops:    reg.CounterVec("octopus_master_ops_total", "RPC operations served, by operation.", "op"),
+		opErrs: reg.CounterVec("octopus_master_op_errors_total", "RPC operations that returned an error, by operation.", "op"),
+		opDur: reg.HistogramVec("octopus_master_op_duration_seconds",
+			"RPC operation latency in seconds, by operation.", metrics.DefLatencyBuckets, "op"),
+		placements: reg.CounterVec("octopus_master_placements_total",
+			"Block replicas placed by the placement policy, by storage tier.", "tier"),
+		retrievals: reg.CounterVec("octopus_master_retrievals_total",
+			"First-choice read locations handed to clients, by storage tier.", "tier"),
+		moopScore: reg.HistogramVec("octopus_master_policy_moop_score",
+			"Scalarised MOOP objective score of each placement decision, by chosen tier.",
+			moopScoreBuckets, "tier"),
+		slow: metrics.NewSlowLogger(m.cfg.Logger, m.cfg.SlowOpThreshold,
+			reg.Counter("octopus_master_slow_ops_total", "Operations slower than the slow-op threshold.", nil)),
+	}
+	reg.GaugeFunc("octopus_master_workers", "Live registered workers.", nil,
+		func() float64 { return float64(m.NumWorkers()) })
+	reg.GaugeFunc("octopus_master_namespace_directories", "Directories in the namespace.", nil,
+		func() float64 { d, _, _ := m.ns.Stats(); return float64(d) })
+	reg.GaugeFunc("octopus_master_namespace_files", "Files in the namespace.", nil,
+		func() float64 { _, f, _ := m.ns.Stats(); return float64(f) })
+	reg.GaugeFunc("octopus_master_namespace_blocks", "Blocks tracked by the block map.", nil,
+		func() float64 { _, _, b := m.ns.Stats(); return float64(b) })
+	for t := core.TierMemory; t < core.StorageTier(core.NumTiers); t++ {
+		tier := t
+		labels := metrics.Labels{"tier": tier.String()}
+		reg.GaugeFunc("octopus_master_tier_capacity_bytes",
+			"Aggregate capacity reported by workers, by storage tier.", labels,
+			func() float64 { return float64(m.tierBytes(tier, false)) })
+		reg.GaugeFunc("octopus_master_tier_remaining_bytes",
+			"Aggregate remaining space reported by workers, by storage tier.", labels,
+			func() float64 { return float64(m.tierBytes(tier, true)) })
+	}
+	if sr, ok := m.cfg.Placement.(policy.ScoreReporter); ok {
+		sr.SetScoreFunc(func(tier core.StorageTier, score float64) {
+			mm.moopScore.With(tier.String()).Observe(score)
+		})
+	}
+	return mm
+}
+
+// tierBytes sums capacity or remaining space over one tier's media.
+func (m *Master) tierBytes(tier core.StorageTier, remaining bool) int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var sum int64
+	for _, w := range m.workers {
+		for _, ms := range w.media {
+			if ms.Tier != tier {
+				continue
+			}
+			if remaining {
+				sum += ms.Remaining
+			} else {
+				sum += ms.Capacity
+			}
+		}
+	}
+	return sum
+}
+
+// Metrics returns the master's metric registry for exposition.
+func (m *Master) Metrics() *metrics.Registry { return m.metrics.reg }
+
+// trackOp instruments one RPC operation: count it, time it, log it if
+// slow, and stamp the request ID onto any wire error so the client sees
+// the same ID the master and worker logs carry. Use as
+//
+//	defer s.m.trackOp("create", args.ReqID)(&err)
+//
+// on a method with a named error return.
+func (m *Master) trackOp(op, reqID string) func(*error) {
+	start := time.Now()
+	mm := m.metrics
+	mm.ops.With(op).Inc()
+	return func(errp *error) {
+		d := time.Since(start)
+		mm.opDur.With(op).Observe(d.Seconds())
+		if *errp != nil {
+			mm.opErrs.With(op).Inc()
+			*errp = errors.New(rpc.WithReqID((*errp).Error(), reqID))
+		}
+		mm.slow.Observe(op, reqID, d)
+	}
+}

@@ -40,12 +40,14 @@ func (s *Service) clientLocation(node string) topology.Location {
 }
 
 // Mkdir creates a directory.
-func (s *Service) Mkdir(args *rpc.MkdirArgs, _ *rpc.MkdirReply) error {
+func (s *Service) Mkdir(args *rpc.MkdirArgs, _ *rpc.MkdirReply) (err error) {
+	defer s.m.trackOp("mkdir", args.ReqID)(&err)
 	return wire(s.m.ns.Mkdir(args.Path, args.Parents, args.Owner))
 }
 
 // Create registers a new file for writing (paper Table 1).
-func (s *Service) Create(args *rpc.CreateArgs, _ *rpc.CreateReply) error {
+func (s *Service) Create(args *rpc.CreateArgs, _ *rpc.CreateReply) (err error) {
+	defer s.m.trackOp("create", args.ReqID)(&err)
 	if args.BlockSize <= 0 {
 		args.BlockSize = s.m.cfg.BlockSize
 	}
@@ -59,7 +61,8 @@ func (s *Service) Create(args *rpc.CreateArgs, _ *rpc.CreateReply) error {
 
 // AddBlock commits the previous block (if any) and allocates the next
 // block with replica locations chosen by the placement policy.
-func (s *Service) AddBlock(args *rpc.AddBlockArgs, reply *rpc.AddBlockReply) error {
+func (s *Service) AddBlock(args *rpc.AddBlockArgs, reply *rpc.AddBlockReply) (err error) {
+	defer s.m.trackOp("addBlock", args.ReqID)(&err)
 	if args.Previous != nil {
 		if err := s.m.commitBlock(args.Path, *args.Previous); err != nil {
 			return wire(err)
@@ -97,6 +100,9 @@ func (s *Service) AddBlock(args *rpc.AddBlockArgs, reply *rpc.AddBlockReply) err
 	s.m.blocks.AddBlock(blk, rv)
 
 	located := core.LocatedBlock{Block: blk, Offset: offset}
+	for _, t := range targets {
+		s.m.metrics.placements.With(t.Tier.String()).Inc()
+	}
 	s.m.mu.Lock()
 	for _, t := range targets {
 		s.m.scheduled[t.ID]++
@@ -130,7 +136,8 @@ func (m *Master) commitBlock(path string, b core.Block) error {
 }
 
 // Complete seals a file after its final block.
-func (s *Service) Complete(args *rpc.CompleteArgs, _ *rpc.CompleteReply) error {
+func (s *Service) Complete(args *rpc.CompleteArgs, _ *rpc.CompleteReply) (err error) {
+	defer s.m.trackOp("complete", args.ReqID)(&err)
 	if args.Last != nil {
 		s.m.blocks.CommitBlock(*args.Last)
 	}
@@ -138,7 +145,8 @@ func (s *Service) Complete(args *rpc.CompleteArgs, _ *rpc.CompleteReply) error {
 }
 
 // Abandon drops an under-construction file after a failed write.
-func (s *Service) Abandon(args *rpc.AbandonArgs, _ *rpc.AbandonReply) error {
+func (s *Service) Abandon(args *rpc.AbandonArgs, _ *rpc.AbandonReply) (err error) {
+	defer s.m.trackOp("abandon", args.ReqID)(&err)
 	blocks, err := s.m.ns.Abandon(args.Path)
 	if err != nil {
 		return wire(err)
@@ -150,7 +158,8 @@ func (s *Service) Abandon(args *rpc.AbandonArgs, _ *rpc.AbandonReply) error {
 // AbandonBlock drops a failed block from an under-construction file
 // and invalidates any replicas that were stored before the pipeline
 // broke.
-func (s *Service) AbandonBlock(args *rpc.AbandonBlockArgs, _ *rpc.AbandonBlockReply) error {
+func (s *Service) AbandonBlock(args *rpc.AbandonBlockArgs, _ *rpc.AbandonBlockReply) (err error) {
+	defer s.m.trackOp("abandonBlock", args.ReqID)(&err)
 	if err := s.m.ns.AbandonBlock(args.Path, args.Block.ID); err != nil {
 		return wire(err)
 	}
@@ -170,7 +179,8 @@ func (m *Master) invalidateBlocks(blocks []core.Block) {
 
 // GetBlockLocations returns the blocks overlapping a byte range with
 // replica locations ordered by the retrieval policy (paper §4).
-func (s *Service) GetBlockLocations(args *rpc.GetBlockLocationsArgs, reply *rpc.GetBlockLocationsReply) error {
+func (s *Service) GetBlockLocations(args *rpc.GetBlockLocationsArgs, reply *rpc.GetBlockLocationsReply) (err error) {
+	defer s.m.trackOp("getBlockLocations", args.ReqID)(&err)
 	blocks, _, _, err := s.m.ns.FileBlocks(args.Path)
 	if err != nil {
 		return wire(err)
@@ -210,6 +220,9 @@ func (s *Service) GetBlockLocations(args *rpc.GetBlockLocationsArgs, reply *rpc.
 					located.Locations = append(located.Locations, loc)
 				}
 			}
+			if len(located.Locations) > 0 {
+				s.m.metrics.retrievals.With(located.Locations[0].Tier.String()).Inc()
+			}
 			reply.Blocks = append(reply.Blocks, located)
 		}
 		offset = blockEnd
@@ -218,7 +231,8 @@ func (s *Service) GetBlockLocations(args *rpc.GetBlockLocationsArgs, reply *rpc.
 }
 
 // GetFileInfo returns one path's status.
-func (s *Service) GetFileInfo(args *rpc.GetFileInfoArgs, reply *rpc.GetFileInfoReply) error {
+func (s *Service) GetFileInfo(args *rpc.GetFileInfoArgs, reply *rpc.GetFileInfoReply) (err error) {
+	defer s.m.trackOp("getFileInfo", args.ReqID)(&err)
 	info, err := s.m.ns.Status(args.Path)
 	if err != nil {
 		return wire(err)
@@ -228,7 +242,8 @@ func (s *Service) GetFileInfo(args *rpc.GetFileInfoArgs, reply *rpc.GetFileInfoR
 }
 
 // List returns a directory's entries.
-func (s *Service) List(args *rpc.ListArgs, reply *rpc.ListReply) error {
+func (s *Service) List(args *rpc.ListArgs, reply *rpc.ListReply) (err error) {
+	defer s.m.trackOp("list", args.ReqID)(&err)
 	infos, err := s.m.ns.List(args.Path)
 	if err != nil {
 		return wire(err)
@@ -253,7 +268,8 @@ func toFileStatus(info namespace.FileInfo) rpc.FileStatus {
 }
 
 // Delete removes a path and invalidates its blocks.
-func (s *Service) Delete(args *rpc.DeleteArgs, _ *rpc.DeleteReply) error {
+func (s *Service) Delete(args *rpc.DeleteArgs, _ *rpc.DeleteReply) (err error) {
+	defer s.m.trackOp("delete", args.ReqID)(&err)
 	blocks, err := s.m.ns.Delete(args.Path, args.Recursive)
 	if err != nil {
 		return wire(err)
@@ -263,14 +279,16 @@ func (s *Service) Delete(args *rpc.DeleteArgs, _ *rpc.DeleteReply) error {
 }
 
 // Rename moves a path.
-func (s *Service) Rename(args *rpc.RenameArgs, _ *rpc.RenameReply) error {
+func (s *Service) Rename(args *rpc.RenameArgs, _ *rpc.RenameReply) (err error) {
+	defer s.m.trackOp("rename", args.ReqID)(&err)
 	return wire(s.m.ns.Rename(args.Src, args.Dst))
 }
 
 // SetReplication changes a file's replication vector; the replication
 // monitor then moves, copies, or deletes replicas asynchronously
 // (paper §2.3, §5).
-func (s *Service) SetReplication(args *rpc.SetReplicationArgs, _ *rpc.SetReplicationReply) error {
+func (s *Service) SetReplication(args *rpc.SetReplicationArgs, _ *rpc.SetReplicationReply) (err error) {
+	defer s.m.trackOp("setReplication", args.ReqID)(&err)
 	if _, err := s.m.ns.SetRepVector(args.Path, args.RepVector); err != nil {
 		return wire(err)
 	}
@@ -286,18 +304,21 @@ func (s *Service) SetReplication(args *rpc.SetReplicationArgs, _ *rpc.SetReplica
 
 // GetStorageTierReports returns per-tier capacity and throughput
 // aggregates (paper Table 1).
-func (s *Service) GetStorageTierReports(_ *rpc.TierReportsArgs, reply *rpc.TierReportsReply) error {
+func (s *Service) GetStorageTierReports(args *rpc.TierReportsArgs, reply *rpc.TierReportsReply) (err error) {
+	defer s.m.trackOp("getStorageTierReports", args.ReqID)(&err)
 	reply.Reports = s.m.tierReports()
 	return nil
 }
 
 // SetQuota sets a per-tier byte quota on a directory.
-func (s *Service) SetQuota(args *rpc.SetQuotaArgs, _ *rpc.SetQuotaReply) error {
+func (s *Service) SetQuota(args *rpc.SetQuotaArgs, _ *rpc.SetQuotaReply) (err error) {
+	defer s.m.trackOp("setQuota", args.ReqID)(&err)
 	return wire(s.m.ns.SetQuota(args.Path, args.Tier, args.Bytes))
 }
 
 // ReportBadBlockArgs / -Reply implement client corruption reports.
 type ReportBadBlockArgs struct {
+	rpc.ReqHeader
 	Block   core.Block
 	Storage core.StorageID
 	Worker  core.WorkerID
@@ -306,14 +327,16 @@ type ReportBadBlockReply struct{}
 
 // ReportBadBlock drops a corrupt replica from the block map and
 // schedules its deletion; re-replication restores the count.
-func (s *Service) ReportBadBlock(args *ReportBadBlockArgs, _ *ReportBadBlockReply) error {
+func (s *Service) ReportBadBlock(args *ReportBadBlockArgs, _ *ReportBadBlockReply) (err error) {
+	defer s.m.trackOp("reportBadBlock", args.ReqID)(&err)
 	s.m.blocks.RemoveReplica(args.Block.ID, args.Storage)
 	s.m.enqueue(args.Worker, rpc.Command{Kind: rpc.CmdDelete, Block: args.Block, Target: args.Storage})
 	return nil
 }
 
 // Register adds a worker to the cluster (paper §2.2).
-func (s *Service) Register(args *rpc.RegisterArgs, reply *rpc.RegisterReply) error {
+func (s *Service) Register(args *rpc.RegisterArgs, reply *rpc.RegisterReply) (err error) {
+	defer s.m.trackOp("register", args.ReqID)(&err)
 	if args.ID == "" || args.Node == "" {
 		return wire(fmt.Errorf("master: registration missing worker identity: %w", core.ErrNotFound))
 	}
@@ -342,7 +365,8 @@ func (s *Service) Register(args *rpc.RegisterArgs, reply *rpc.RegisterReply) err
 
 // Heartbeat refreshes a worker's statistics and delivers pending
 // commands (paper §2.2).
-func (s *Service) Heartbeat(args *rpc.HeartbeatArgs, reply *rpc.HeartbeatReply) error {
+func (s *Service) Heartbeat(args *rpc.HeartbeatArgs, reply *rpc.HeartbeatReply) (err error) {
+	defer s.m.trackOp("heartbeat", args.ReqID)(&err)
 	s.m.mu.Lock()
 	w, ok := s.m.workers[args.ID]
 	if !ok {
@@ -366,7 +390,8 @@ func (s *Service) Heartbeat(args *rpc.HeartbeatArgs, reply *rpc.HeartbeatReply) 
 // BlockReport reconciles the master's replica map with a worker's full
 // listing (paper §5: under-/over-replication is detected during block
 // reports).
-func (s *Service) BlockReport(args *rpc.BlockReportArgs, _ *rpc.BlockReportReply) error {
+func (s *Service) BlockReport(args *rpc.BlockReportArgs, _ *rpc.BlockReportReply) (err error) {
+	defer s.m.trackOp("blockReport", args.ReqID)(&err)
 	s.m.mu.Lock()
 	w, ok := s.m.workers[args.ID]
 	var tiers map[core.StorageID]core.StorageTier
@@ -421,7 +446,8 @@ func (s *Service) BlockReport(args *rpc.BlockReportArgs, _ *rpc.BlockReportReply
 
 // BlockReceived records a freshly stored replica (sent by workers
 // right after a pipeline write or replication completes).
-func (s *Service) BlockReceived(args *rpc.BlockReceivedArgs, _ *rpc.BlockReceivedReply) error {
+func (s *Service) BlockReceived(args *rpc.BlockReceivedArgs, _ *rpc.BlockReceivedReply) (err error) {
+	defer s.m.trackOp("blockReceived", args.ReqID)(&err)
 	s.m.mu.Lock()
 	w, ok := s.m.workers[args.ID]
 	var tier core.StorageTier
@@ -449,7 +475,8 @@ func (s *Service) BlockReceived(args *rpc.BlockReceivedArgs, _ *rpc.BlockReceive
 }
 
 // BlockDeleted records a replica removal acknowledged by a worker.
-func (s *Service) BlockDeleted(args *rpc.BlockDeletedArgs, _ *rpc.BlockDeletedReply) error {
+func (s *Service) BlockDeleted(args *rpc.BlockDeletedArgs, _ *rpc.BlockDeletedReply) (err error) {
+	defer s.m.trackOp("blockDeleted", args.ReqID)(&err)
 	s.m.blocks.RemoveReplica(args.Block.ID, args.Storage)
 	return nil
 }
@@ -457,13 +484,14 @@ func (s *Service) BlockDeleted(args *rpc.BlockDeletedArgs, _ *rpc.BlockDeletedRe
 // ImageArgs / ImageReply implement Backup Master synchronisation: the
 // backup periodically fetches a serialized namespace checkpoint
 // (paper §2.1).
-type ImageArgs struct{}
+type ImageArgs struct{ rpc.ReqHeader }
 type ImageReply struct {
 	Image []byte
 }
 
 // GetImage serialises the namespace for a Backup Master.
-func (s *Service) GetImage(_ *ImageArgs, reply *ImageReply) error {
+func (s *Service) GetImage(args *ImageArgs, reply *ImageReply) (err error) {
+	defer s.m.trackOp("getImage", args.ReqID)(&err)
 	data, err := s.m.ns.ImageBytes()
 	if err != nil {
 		return wire(err)
@@ -473,7 +501,8 @@ func (s *Service) GetImage(_ *ImageArgs, reply *ImageReply) error {
 }
 
 // GetContentSummary aggregates usage over a subtree (`du`).
-func (s *Service) GetContentSummary(args *rpc.ContentSummaryArgs, reply *rpc.ContentSummaryReply) error {
+func (s *Service) GetContentSummary(args *rpc.ContentSummaryArgs, reply *rpc.ContentSummaryReply) (err error) {
+	defer s.m.trackOp("getContentSummary", args.ReqID)(&err)
 	sum, err := s.m.ns.ContentSummary(args.Path)
 	if err != nil {
 		return wire(err)
@@ -490,8 +519,9 @@ func (s *Service) GetContentSummary(args *rpc.ContentSummaryArgs, reply *rpc.Con
 
 // Fsck reports per-file replication health over a subtree, computed
 // from the block map's per-tier replication states (paper §5).
-func (s *Service) Fsck(args *rpc.FsckArgs, reply *rpc.FsckReply) error {
-	err := s.m.ns.WalkFiles(args.Path, func(path string, blocks []core.Block, rv core.ReplicationVector, uc bool) {
+func (s *Service) Fsck(args *rpc.FsckArgs, reply *rpc.FsckReply) (err error) {
+	defer s.m.trackOp("fsck", args.ReqID)(&err)
+	walkErr := s.m.ns.WalkFiles(args.Path, func(path string, blocks []core.Block, rv core.ReplicationVector, uc bool) {
 		f := rpc.FsckFile{
 			Path:              path,
 			Expected:          rv,
@@ -516,12 +546,13 @@ func (s *Service) Fsck(args *rpc.FsckArgs, reply *rpc.FsckReply) error {
 		}
 		reply.Files = append(reply.Files, f)
 	})
-	return wire(err)
+	return wire(walkErr)
 }
 
 // GetWorkerReports lists every live worker with its per-media
 // statistics (the dfsadmin -report equivalent).
-func (s *Service) GetWorkerReports(_ *rpc.WorkerReportsArgs, reply *rpc.WorkerReportsReply) error {
+func (s *Service) GetWorkerReports(args *rpc.WorkerReportsArgs, reply *rpc.WorkerReportsReply) (err error) {
+	defer s.m.trackOp("getWorkerReports", args.ReqID)(&err)
 	s.m.mu.RLock()
 	defer s.m.mu.RUnlock()
 	for _, w := range s.m.workers {

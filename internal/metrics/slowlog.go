@@ -1,0 +1,42 @@
+package metrics
+
+import (
+	"log/slog"
+	"time"
+)
+
+// SlowLogger emits one structured log line per operation that takes at
+// least a threshold duration, carrying the request ID so a client
+// operation can be correlated across master and worker logs.
+//
+// Threshold semantics:
+//
+//	> 0  log operations at or above the threshold
+//	== 0 log every operation (forced logging, used by tests)
+//	< 0  never log
+type SlowLogger struct {
+	logger    *slog.Logger
+	threshold time.Duration
+	count     *Counter // incremented per emitted line; may be nil
+}
+
+// NewSlowLogger builds a slow-op logger. A nil logger disables logging
+// regardless of threshold; count (optional) tallies emitted lines.
+func NewSlowLogger(logger *slog.Logger, threshold time.Duration, count *Counter) *SlowLogger {
+	return &SlowLogger{logger: logger, threshold: threshold, count: count}
+}
+
+// Observe logs the operation if it crossed the threshold. attrs are
+// extra slog key/value pairs appended to the line.
+func (l *SlowLogger) Observe(op, reqID string, d time.Duration, attrs ...any) {
+	if l == nil || l.logger == nil || l.threshold < 0 || d < l.threshold {
+		return
+	}
+	if l.count != nil {
+		l.count.Inc()
+	}
+	all := make([]any, 0, 6+len(attrs))
+	all = append(all, "op", op, "req", reqID, "dur", d.String())
+	all = append(all, attrs...)
+	l.logger.Warn("slow op", all...)
+}

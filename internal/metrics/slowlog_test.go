@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func slowTestLogger(buf *bytes.Buffer) *slog.Logger {
+	return slog.New(slog.NewTextHandler(buf, nil))
+}
+
+func TestSlowLoggerThresholdZeroLogsEverything(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRegistry()
+	c := r.Counter("slow_ops_total", "", nil)
+	l := NewSlowLogger(slowTestLogger(&buf), 0, c)
+
+	l.Observe("read", "req-abc", time.Microsecond, "block", "b1")
+	out := buf.String()
+	if !strings.Contains(out, "req=req-abc") || !strings.Contains(out, "op=read") {
+		t.Errorf("forced slow log missing fields: %q", out)
+	}
+	if !strings.Contains(out, "block=b1") {
+		t.Errorf("extra attrs dropped: %q", out)
+	}
+	if c.Value() != 1 {
+		t.Errorf("slow counter = %v, want 1", c.Value())
+	}
+}
+
+func TestSlowLoggerThresholdFilters(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLogger(slowTestLogger(&buf), 100*time.Millisecond, nil)
+	l.Observe("read", "r1", 10*time.Millisecond)
+	if buf.Len() != 0 {
+		t.Errorf("fast op logged: %q", buf.String())
+	}
+	l.Observe("read", "r2", 150*time.Millisecond)
+	if !strings.Contains(buf.String(), "req=r2") {
+		t.Errorf("slow op not logged: %q", buf.String())
+	}
+}
+
+func TestSlowLoggerDisabled(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLogger(slowTestLogger(&buf), -1, nil)
+	l.Observe("read", "r1", time.Hour)
+	if buf.Len() != 0 {
+		t.Errorf("disabled logger emitted: %q", buf.String())
+	}
+	var nilLogger *SlowLogger
+	nilLogger.Observe("read", "r1", time.Hour) // must not panic
+}

@@ -104,8 +104,25 @@ func DefaultMOOPConfig() MOOPConfig {
 // §3.3). It greedily solves the multi-objective optimization problem
 // of Eq. 11 one replica at a time.
 type MOOPPolicy struct {
-	cfg  MOOPConfig
-	name string
+	cfg     MOOPConfig
+	name    string
+	scoreFn func(tier core.StorageTier, score float64)
+}
+
+// ScoreReporter is implemented by placement policies that can report
+// the objective score of each decision, letting the master export
+// MOOP scores as metrics without the policy depending on them.
+type ScoreReporter interface {
+	// SetScoreFunc installs fn to receive the winning candidate's tier
+	// and Eq. 11 scalarised score after each replica decision. Call it
+	// before the policy starts serving requests; it is not synchronised
+	// against concurrent PlaceReplicas calls.
+	SetScoreFunc(fn func(tier core.StorageTier, score float64))
+}
+
+// SetScoreFunc implements ScoreReporter.
+func (p *MOOPPolicy) SetScoreFunc(fn func(tier core.StorageTier, score float64)) {
+	p.scoreFn = fn
 }
 
 // NewMOOPPolicy builds a MOOP policy with the given configuration.
@@ -170,7 +187,7 @@ func (p *MOOPPolicy) PlaceReplicas(req PlacementRequest) ([]Media, error) {
 
 	for _, entry := range entries {
 		options := p.genOptions(req, chosen, entry, len(placed), &memoryBudget)
-		best, ok := solveMOOP(ctx, options, chosen, p.cfg.Objectives, p.cfg.Norm)
+		best, score, ok := solveMOOP(ctx, options, chosen, p.cfg.Objectives, p.cfg.Norm)
 		if !ok {
 			if len(placed) == 0 {
 				return nil, fmt.Errorf("policy: no feasible media for %s entry of %s: %w",
@@ -181,6 +198,9 @@ func (p *MOOPPolicy) PlaceReplicas(req PlacementRequest) ([]Media, error) {
 		}
 		if best.Tier == core.TierMemory {
 			memoryBudget--
+		}
+		if p.scoreFn != nil {
+			p.scoreFn(best.Tier, score)
 		}
 		chosen = append(chosen, best)
 		placed = append(placed, best)
@@ -289,13 +309,14 @@ func (p *MOOPPolicy) genOptions(req PlacementRequest, chosen []Media,
 
 // solveMOOP implements Algorithm 1: evaluate every candidate appended
 // to the chosen list, score the result against the ideal vector, and
-// return the candidate with the lowest score. The first candidate in
-// option order wins ties, so upstream shuffling spreads tied load.
+// return the candidate with the lowest score alongside that score.
+// The first candidate in option order wins ties, so upstream shuffling
+// spreads tied load.
 func solveMOOP(ctx evalContext, options, chosen []Media,
-	objectives []Objective, norm Norm) (Media, bool) {
+	objectives []Objective, norm Norm) (Media, float64, bool) {
 
 	if len(options) == 0 {
-		return Media{}, false
+		return Media{}, 0, false
 	}
 	trial := make([]Media, len(chosen)+1)
 	copy(trial, chosen)
@@ -308,14 +329,15 @@ func solveMOOP(ctx evalContext, options, chosen []Media,
 			bestScore, bestIdx = score, i
 		}
 	}
-	return options[bestIdx], true
+	return options[bestIdx], bestScore, true
 }
 
 // SolveMOOP exposes Algorithm 1 for replication management (paper §5)
 // and tests: given a snapshot, the candidate options, and the already
 // chosen media, it returns the best media to add.
 func SolveMOOP(s *Snapshot, blockSize int64, options, chosen []Media) (Media, bool) {
-	return solveMOOP(newEvalContext(s, blockSize), options, chosen, AllObjectives(), NormL2)
+	best, _, ok := solveMOOP(newEvalContext(s, blockSize), options, chosen, AllObjectives(), NormL2)
+	return best, ok
 }
 
 // SelectExcessReplica implements the over-replication decision of

@@ -59,7 +59,13 @@ func DecodeError(s string) error {
 	for _, c := range codes {
 		if strings.HasPrefix(s, c.code+": ") {
 			msg := strings.TrimPrefix(s, c.code+": ")
-			return fmt.Errorf("%s: %w", strings.TrimSuffix(msg, ": "+c.err.Error()), c.err)
+			// A request-ID tag (WithReqID) sits after the sentinel
+			// text; lift it out so the suffix strip still applies.
+			req := ""
+			if i := strings.LastIndex(msg, " [req="); i >= 0 && strings.HasSuffix(msg, "]") {
+				msg, req = msg[:i], msg[i:]
+			}
+			return fmt.Errorf("%s%s: %w", strings.TrimSuffix(msg, ": "+c.err.Error()), req, c.err)
 		}
 	}
 	return errors.New(s)

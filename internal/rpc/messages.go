@@ -5,7 +5,9 @@ import "repro/internal/core"
 // This file defines the net/rpc message types of the two master
 // protocols: the client protocol (file system operations, paper §2.3)
 // and the worker protocol (registration, heartbeats, block reports,
-// paper §2.1–§2.2).
+// paper §2.1–§2.2). Every argument struct embeds ReqHeader so the
+// caller's request ID travels with the operation for cross-node log
+// correlation and slow-op tracing.
 
 // FileStatus describes one file or directory to clients.
 type FileStatus struct {
@@ -20,6 +22,7 @@ type FileStatus struct {
 
 // MkdirArgs / MkdirReply implement Master.Mkdir.
 type MkdirArgs struct {
+	ReqHeader
 	Path    string
 	Parents bool // create missing parents like mkdir -p
 	Owner   string
@@ -29,6 +32,7 @@ type MkdirReply struct{}
 // CreateArgs / CreateReply implement Master.Create (paper Table 1:
 // create with a replication vector instead of a replication factor).
 type CreateArgs struct {
+	ReqHeader
 	Path      string
 	RepVector core.ReplicationVector
 	BlockSize int64
@@ -44,6 +48,7 @@ type CreateReply struct{}
 // previous block (if any) and allocate the next one with replica
 // locations chosen by the placement policy.
 type AddBlockArgs struct {
+	ReqHeader
 	Path       string
 	ClientNode string
 	// Previous is the just-finished block with its final length; nil
@@ -57,6 +62,7 @@ type AddBlockReply struct {
 // CompleteArgs / CompleteReply implement Master.Complete: commit the
 // final block and seal the file.
 type CompleteArgs struct {
+	ReqHeader
 	Path string
 	Last *core.Block // nil for an empty file
 }
@@ -65,6 +71,7 @@ type CompleteReply struct{}
 // AbandonArgs / AbandonReply implement Master.Abandon: drop an
 // under-construction file after a failed write.
 type AbandonArgs struct {
+	ReqHeader
 	Path string
 }
 type AbandonReply struct{}
@@ -73,6 +80,7 @@ type AbandonReply struct{}
 // last, uncommitted block of an under-construction file after a
 // failed pipeline write so the client can allocate a replacement.
 type AbandonBlockArgs struct {
+	ReqHeader
 	Path  string
 	Block core.Block
 }
@@ -81,6 +89,7 @@ type AbandonBlockReply struct{}
 // GetBlockLocationsArgs / -Reply implement Master.GetBlockLocations
 // (paper Table 1: getFileBlockLocations exposing storage tiers).
 type GetBlockLocationsArgs struct {
+	ReqHeader
 	Path       string
 	Offset     int64
 	Length     int64
@@ -93,6 +102,7 @@ type GetBlockLocationsReply struct {
 
 // GetFileInfoArgs / -Reply implement Master.GetFileInfo.
 type GetFileInfoArgs struct {
+	ReqHeader
 	Path string
 }
 type GetFileInfoReply struct {
@@ -101,6 +111,7 @@ type GetFileInfoReply struct {
 
 // ListArgs / ListReply implement Master.List.
 type ListArgs struct {
+	ReqHeader
 	Path string
 }
 type ListReply struct {
@@ -109,6 +120,7 @@ type ListReply struct {
 
 // DeleteArgs / DeleteReply implement Master.Delete.
 type DeleteArgs struct {
+	ReqHeader
 	Path      string
 	Recursive bool
 }
@@ -116,6 +128,7 @@ type DeleteReply struct{}
 
 // RenameArgs / RenameReply implement Master.Rename.
 type RenameArgs struct {
+	ReqHeader
 	Src, Dst string
 }
 type RenameReply struct{}
@@ -124,6 +137,7 @@ type RenameReply struct{}
 // Table 1: setReplication with a replication vector, driving
 // move/copy/delete of replicas across tiers).
 type SetReplicationArgs struct {
+	ReqHeader
 	Path      string
 	RepVector core.ReplicationVector
 }
@@ -131,7 +145,7 @@ type SetReplicationReply struct{}
 
 // TierReportsArgs / -Reply implement Master.GetStorageTierReports
 // (paper Table 1).
-type TierReportsArgs struct{}
+type TierReportsArgs struct{ ReqHeader }
 type TierReportsReply struct {
 	Reports []core.StorageTierReport
 }
@@ -140,6 +154,7 @@ type TierReportsReply struct {
 // byte quotas on a directory (paper §1: quota mechanisms per storage
 // media for multi-tenancy).
 type SetQuotaArgs struct {
+	ReqHeader
 	Path  string
 	Tier  core.StorageTier // TierUnspecified sets the total-space quota
 	Bytes int64            // -1 clears the quota
@@ -160,6 +175,7 @@ type MediaStat struct {
 
 // RegisterArgs / RegisterReply implement Master.Register.
 type RegisterArgs struct {
+	ReqHeader
 	ID       core.WorkerID
 	Node     string
 	Rack     string
@@ -198,6 +214,7 @@ type Command struct {
 
 // HeartbeatArgs / HeartbeatReply implement Master.Heartbeat.
 type HeartbeatArgs struct {
+	ReqHeader
 	ID       core.WorkerID
 	Media    []MediaStat
 	NetConns int
@@ -217,6 +234,7 @@ type StoredBlock struct {
 // full listing from which the master detects under- and
 // over-replication (paper §5).
 type BlockReportArgs struct {
+	ReqHeader
 	ID     core.WorkerID
 	Blocks []StoredBlock
 }
@@ -225,6 +243,7 @@ type BlockReportReply struct{}
 // BlockReceivedArgs / -Reply implement Master.BlockReceived, the
 // incremental notification sent right after a worker stores a replica.
 type BlockReceivedArgs struct {
+	ReqHeader
 	ID      core.WorkerID
 	Storage core.StorageID
 	Block   core.Block
@@ -233,6 +252,7 @@ type BlockReceivedReply struct{}
 
 // BlockDeletedArgs / -Reply implement Master.BlockDeleted.
 type BlockDeletedArgs struct {
+	ReqHeader
 	ID      core.WorkerID
 	Storage core.StorageID
 	Block   core.Block
@@ -243,6 +263,7 @@ type BlockDeletedReply struct{}
 // recursive usage accounting for a directory subtree, including the
 // per-tier byte usage that tier quotas charge against.
 type ContentSummaryArgs struct {
+	ReqHeader
 	Path string
 }
 type ContentSummary struct {
@@ -262,6 +283,7 @@ type ContentSummaryReply struct {
 // FsckArgs / FsckReply implement Master.Fsck: per-file replication
 // health over a subtree.
 type FsckArgs struct {
+	ReqHeader
 	Path string
 }
 
@@ -283,7 +305,7 @@ type FsckReply struct {
 
 // WorkerReportsArgs / -Reply implement Master.GetWorkerReports, the
 // dfsadmin-report equivalent: per-worker, per-media statistics.
-type WorkerReportsArgs struct{}
+type WorkerReportsArgs struct{ ReqHeader }
 
 // WorkerReport describes one live worker and its media.
 type WorkerReport struct {

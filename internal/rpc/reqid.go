@@ -1,0 +1,57 @@
+package rpc
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// Request IDs correlate one client operation across the master's RPC
+// log, the workers' data-server logs, and error strings returned to
+// the client. They ride inside RPC argument structs (via ReqHeader)
+// and the data-transfer protocol headers.
+
+// ReqHeader is embedded in RPC argument structs to carry the request
+// ID across the master protocols. The zero value (no ID) is valid:
+// unidentified requests simply cannot be correlated.
+type ReqHeader struct {
+	ReqID string
+}
+
+// RequestID returns the carried request ID.
+func (h ReqHeader) RequestID() string { return h.ReqID }
+
+// SetRequestID stamps the request ID.
+func (h *ReqHeader) SetRequestID(id string) { h.ReqID = id }
+
+// Identified is satisfied by pointers to argument structs embedding
+// ReqHeader, letting generic call paths stamp and read request IDs.
+type Identified interface {
+	RequestID() string
+	SetRequestID(string)
+}
+
+var reqFallback atomic.Uint64
+
+// NewRequestID returns a 16-hex-character random request ID. When the
+// system randomness source fails it falls back to a process-local
+// counter, which still yields unique (if guessable) IDs.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		binary.BigEndian.PutUint64(b[:], reqFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithReqID appends the request ID marker to an already wire-encoded
+// error string, so failures are attributable end-to-end. DecodeError
+// matches on the code prefix, so the marker survives the round trip
+// without breaking errors.Is.
+func WithReqID(encoded, reqID string) string {
+	if encoded == "" || reqID == "" {
+		return encoded
+	}
+	return encoded + " [req=" + reqID + "]"
+}

@@ -17,6 +17,13 @@ const DialTimeout = 5 * time.Second
 // length bytes of verified block content; closing it closes the
 // connection. length == -1 requests the remainder of the block.
 func OpenBlockReader(addr string, block core.Block, storageID core.StorageID, offset, length int64) (io.ReadCloser, int64, error) {
+	return OpenBlockReaderReq(addr, block, storageID, offset, length, "")
+}
+
+// OpenBlockReaderReq is OpenBlockReader with a request ID stamped on
+// the exchange header so the worker's logs can be correlated with the
+// client operation.
+func OpenBlockReaderReq(addr string, block core.Block, storageID core.StorageID, offset, length int64, reqID string) (io.ReadCloser, int64, error) {
 	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
 	if err != nil {
 		return nil, 0, fmt.Errorf("rpc: dialling %s: %w", addr, err)
@@ -25,7 +32,7 @@ func OpenBlockReader(addr string, block core.Block, storageID core.StorageID, of
 		conn.Close()
 		return nil, 0, fmt.Errorf("rpc: sending read opcode: %w", err)
 	}
-	hdr := ReadBlockHeader{Block: block, Storage: storageID, Offset: offset, Length: length}
+	hdr := ReadBlockHeader{Block: block, Storage: storageID, Offset: offset, Length: length, ReqID: reqID}
 	if err := WriteFrame(conn, hdr); err != nil {
 		conn.Close()
 		return nil, 0, err
@@ -62,6 +69,13 @@ type BlockWriter struct {
 // OpenBlockWriter connects to the first pipeline stage and sends the
 // write header. pipeline[0] is the stage being dialled.
 func OpenBlockWriter(block core.Block, pipeline []PipelineTarget, client string) (*BlockWriter, error) {
+	return OpenBlockWriterReq(block, pipeline, client, "")
+}
+
+// OpenBlockWriterReq is OpenBlockWriter with a request ID stamped on
+// the pipeline header; every downstream stage forwards it, so one
+// write is traceable across all its workers.
+func OpenBlockWriterReq(block core.Block, pipeline []PipelineTarget, client, reqID string) (*BlockWriter, error) {
 	if len(pipeline) == 0 {
 		return nil, fmt.Errorf("rpc: empty write pipeline: %w", core.ErrNoWorkers)
 	}
@@ -73,7 +87,7 @@ func OpenBlockWriter(block core.Block, pipeline []PipelineTarget, client string)
 		conn.Close()
 		return nil, fmt.Errorf("rpc: sending write opcode: %w", err)
 	}
-	hdr := WriteBlockHeader{Block: block, Pipeline: pipeline, Client: client}
+	hdr := WriteBlockHeader{Block: block, Pipeline: pipeline, Client: client, ReqID: reqID}
 	if err := WriteFrame(conn, hdr); err != nil {
 		conn.Close()
 		return nil, err

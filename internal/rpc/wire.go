@@ -47,6 +47,9 @@ type WriteBlockHeader struct {
 	Pipeline []PipelineTarget
 	// Client names the writing client for log and audit purposes.
 	Client string
+	// ReqID correlates this exchange with the client operation that
+	// caused it across master and worker logs.
+	ReqID string
 }
 
 // WriteBlockAck closes an OpWriteBlock exchange, reporting per-stage
@@ -65,6 +68,9 @@ type ReadBlockHeader struct {
 	Storage core.StorageID
 	Offset  int64 // starting byte within the block
 	Length  int64 // bytes to read; -1 = to end of block
+	// ReqID correlates this exchange with the client operation that
+	// caused it across master and worker logs.
+	ReqID string
 }
 
 // ReadBlockResponse precedes the packet stream of an OpReadBlock.
@@ -80,6 +86,8 @@ type ReplicateBlockHeader struct {
 	Block   core.Block
 	Target  core.StorageID       // local media to store on
 	Sources []core.BlockLocation // replica locations to copy from, best first
+	// ReqID correlates this exchange across master and worker logs.
+	ReqID string
 }
 
 // ReplicateBlockAck closes an OpReplicateBlock exchange.

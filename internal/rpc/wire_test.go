@@ -96,6 +96,99 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 }
 
+// TestExtendedHeaderRoundTrip covers the request-ID field added to
+// every data-transfer header: it must survive the gob frame intact on
+// all three exchange types.
+func TestExtendedHeaderRoundTrip(t *testing.T) {
+	reqID := NewRequestID()
+	t.Run("write", func(t *testing.T) {
+		var buf bytes.Buffer
+		in := WriteBlockHeader{
+			Block:    core.Block{ID: 3, GenStamp: 1, NumBytes: 64},
+			Pipeline: []PipelineTarget{{Worker: "w1", Address: "h:1", Storage: "w1:ssd0"}},
+			Client:   "c",
+			ReqID:    reqID,
+		}
+		if err := WriteFrame(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		var out WriteBlockHeader
+		if err := ReadFrame(&buf, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.ReqID != reqID {
+			t.Errorf("write header ReqID = %q, want %q", out.ReqID, reqID)
+		}
+	})
+	t.Run("read", func(t *testing.T) {
+		var buf bytes.Buffer
+		in := ReadBlockHeader{Block: core.Block{ID: 4, GenStamp: 1}, Storage: "w1:hdd0", Length: -1, ReqID: reqID}
+		if err := WriteFrame(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		var out ReadBlockHeader
+		if err := ReadFrame(&buf, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.ReqID != reqID || out.Length != -1 {
+			t.Errorf("read header round trip: %+v", out)
+		}
+	})
+	t.Run("replicate", func(t *testing.T) {
+		var buf bytes.Buffer
+		in := ReplicateBlockHeader{Block: core.Block{ID: 5, GenStamp: 2}, Target: "w2:mem0", ReqID: reqID}
+		if err := WriteFrame(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		var out ReplicateBlockHeader
+		if err := ReadFrame(&buf, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.ReqID != reqID || out.Target != in.Target {
+			t.Errorf("replicate header round trip: %+v", out)
+		}
+	})
+}
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Errorf("request ID length: %q, %q", a, b)
+	}
+	if a == b {
+		t.Errorf("request IDs collided: %q", a)
+	}
+}
+
+// TestWithReqIDPreservesSentinel checks that the [req=...] marker
+// appended to wire error strings keeps errors.Is working after decode
+// while making the failure attributable.
+func TestWithReqIDPreservesSentinel(t *testing.T) {
+	enc := WithReqID(EncodeError(errorsWrap(core.ErrNotFound, "path /x")), "deadbeef01020304")
+	dec := DecodeError(enc)
+	if !errors.Is(dec, core.ErrNotFound) {
+		t.Errorf("req-id marker broke sentinel decoding: %v", dec)
+	}
+	if !bytes.Contains([]byte(dec.Error()), []byte("req=deadbeef01020304")) {
+		t.Errorf("decoded error lost request ID: %v", dec)
+	}
+	if got := WithReqID("", "abc"); got != "" {
+		t.Errorf("WithReqID on success = %q, want \"\"", got)
+	}
+	if got := WithReqID("E_NOTFOUND: x", ""); got != "E_NOTFOUND: x" {
+		t.Errorf("WithReqID without ID = %q", got)
+	}
+}
+
+func TestReqHeaderStamping(t *testing.T) {
+	var args CreateArgs
+	var ident Identified = &args
+	ident.SetRequestID("r1")
+	if args.ReqID != "r1" || ident.RequestID() != "r1" {
+		t.Errorf("ReqHeader stamping failed: %+v", args)
+	}
+}
+
 func TestReadFrameRejectsGiantFrame(t *testing.T) {
 	var buf bytes.Buffer
 	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})

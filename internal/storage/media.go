@@ -174,6 +174,14 @@ func (m *Media) Open(b core.Block) (io.ReadCloser, error) {
 	}, nil
 }
 
+// WriteLimit returns the media's write-side throttle (nil when
+// unthrottled), so telemetry can surface emulated-device pacing.
+func (m *Media) WriteLimit() *RateLimiter { return m.writeLimit }
+
+// ReadLimit returns the media's read-side throttle (nil when
+// unthrottled).
+func (m *Media) ReadLimit() *RateLimiter { return m.readLimit }
+
 // Verify recomputes a stored replica's checksum against the one
 // recorded at write time, returning core.ErrCorrupt on mismatch.
 // Verification bypasses the throughput throttle and connection

@@ -20,6 +20,9 @@ type RateLimiter struct {
 	bytesPerSec float64
 	next        time.Time // when the last accounted byte is due
 	lastCall    time.Time // for idle detection
+
+	totalBytes int64         // cumulative bytes accounted
+	totalWait  time.Duration // cumulative time spent sleeping
 }
 
 const (
@@ -60,10 +63,26 @@ func (l *RateLimiter) Wait(n int) {
 	l.lastCall = now
 	l.next = l.next.Add(time.Duration(float64(n) / l.bytesPerSec * float64(time.Second)))
 	sleep := l.next.Sub(now)
+	l.totalBytes += int64(n)
+	if sleep >= minSleep {
+		l.totalWait += sleep
+	}
 	l.mu.Unlock()
 	if sleep >= minSleep {
 		time.Sleep(sleep)
 	}
+}
+
+// Stats returns the cumulative bytes accounted by the limiter and the
+// total time callers were made to wait, for throttling telemetry. A
+// nil (unlimited) limiter reports zeros.
+func (l *RateLimiter) Stats() (bytes int64, waited time.Duration) {
+	if l == nil {
+		return 0, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.totalBytes, l.totalWait
 }
 
 // Rate returns the sustained rate in bytes per second (0 = unlimited).

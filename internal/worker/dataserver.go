@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/rpc"
@@ -62,7 +63,16 @@ func (w *Worker) handleWriteBlock(conn net.Conn) {
 		w.cfg.Logger.Warn("bad write header", "err", err)
 		return
 	}
+	start := time.Now()
 	ack := w.writeBlockPipeline(conn, hdr)
+	ack.Err = rpc.WithReqID(ack.Err, hdr.ReqID)
+	tier := "UNKNOWN"
+	if len(hdr.Pipeline) > 0 {
+		if m, ok := w.media[hdr.Pipeline[0].Storage]; ok {
+			tier = m.Tier().String()
+		}
+	}
+	w.metrics.observeOp("write", hdr.ReqID, start, ack.Stored, tier, ack.Err != "")
 	if err := rpc.WriteFrame(conn, ack); err != nil {
 		w.cfg.Logger.Warn("write ack failed", "err", err)
 	}
@@ -81,7 +91,7 @@ func (w *Worker) writeBlockPipeline(conn net.Conn, hdr rpc.WriteBlockHeader) rpc
 	var downstream *rpc.BlockWriter
 	if len(hdr.Pipeline) > 1 {
 		var err error
-		downstream, err = rpc.OpenBlockWriter(hdr.Block, hdr.Pipeline[1:], hdr.Client)
+		downstream, err = rpc.OpenBlockWriterReq(hdr.Block, hdr.Pipeline[1:], hdr.Client, hdr.ReqID)
 		if err != nil {
 			return rpc.WriteBlockAck{Err: rpc.EncodeError(err)}
 		}
@@ -161,30 +171,38 @@ func (w *Worker) handleReadBlock(conn net.Conn) {
 		w.cfg.Logger.Warn("bad read header", "err", err)
 		return
 	}
+	start := time.Now()
+	served, tier, err := w.readBlock(conn, hdr)
+	w.metrics.observeOp("read", hdr.ReqID, start, served, tier, err != nil)
+}
+
+// readBlock serves one OpReadBlock exchange; errors that can still be
+// delivered go back in the response frame with the request ID attached.
+func (w *Worker) readBlock(conn net.Conn, hdr rpc.ReadBlockHeader) (served int64, tier string, err error) {
+	tier = "UNKNOWN"
+	refuse := func(e error) (int64, string, error) {
+		rpc.WriteFrame(conn, rpc.ReadBlockResponse{Err: rpc.WithReqID(rpc.EncodeError(e), hdr.ReqID)})
+		return 0, tier, e
+	}
 	media, ok := w.media[hdr.Storage]
 	if !ok {
-		rpc.WriteFrame(conn, rpc.ReadBlockResponse{
-			Err: rpc.EncodeError(fmt.Errorf("worker: unknown media %s: %w", hdr.Storage, core.ErrNotFound)),
-		})
-		return
+		return refuse(fmt.Errorf("worker: unknown media %s: %w", hdr.Storage, core.ErrNotFound))
 	}
+	tier = media.Tier().String()
 	// Scrub the replica before serving so disk corruption surfaces as
 	// an explicit error the client can report (paper §5 repairs it).
 	if err := media.Verify(hdr.Block); err != nil {
-		rpc.WriteFrame(conn, rpc.ReadBlockResponse{Err: rpc.EncodeError(err)})
-		return
+		return refuse(err)
 	}
 	rc, err := media.Open(hdr.Block)
 	if err != nil {
-		rpc.WriteFrame(conn, rpc.ReadBlockResponse{Err: rpc.EncodeError(err)})
-		return
+		return refuse(err)
 	}
 	defer rc.Close()
 
 	if hdr.Offset > 0 {
 		if _, err := io.CopyN(io.Discard, rc, hdr.Offset); err != nil {
-			rpc.WriteFrame(conn, rpc.ReadBlockResponse{Err: rpc.EncodeError(fmt.Errorf("worker: seeking to %d: %w", hdr.Offset, err))})
-			return
+			return refuse(fmt.Errorf("worker: seeking to %d: %w", hdr.Offset, err))
 		}
 	}
 	length := hdr.Length
@@ -195,16 +213,19 @@ func (w *Worker) handleReadBlock(conn net.Conn) {
 		length = 0
 	}
 	if err := rpc.WriteFrame(conn, rpc.ReadBlockResponse{Length: length}); err != nil {
-		return
+		return 0, tier, err
 	}
 	pw := rpc.NewPacketWriter(conn)
-	if _, err := io.CopyN(pw, rc, length); err != nil {
-		w.cfg.Logger.Warn("block read stream failed", "block", hdr.Block.ID, "err", err)
-		return // connection dies; the client fails over
+	n, err := io.CopyN(pw, rc, length)
+	if err != nil {
+		w.cfg.Logger.Warn("block read stream failed", "block", hdr.Block.ID, "req", hdr.ReqID, "err", err)
+		return n, tier, err // connection dies; the client fails over
 	}
 	if err := pw.Close(); err != nil {
 		w.cfg.Logger.Warn("block read close failed", "err", err)
+		return n, tier, err
 	}
+	return n, tier, nil
 }
 
 // handleReplicateBlock lets a peer push a replication order directly
@@ -215,21 +236,29 @@ func (w *Worker) handleReplicateBlock(conn net.Conn) {
 	if err := rpc.ReadFrame(conn, &hdr); err != nil {
 		return
 	}
-	err := w.replicate(hdr.Block, hdr.Target, hdr.Sources)
-	rpc.WriteFrame(conn, rpc.ReplicateBlockAck{Err: rpc.EncodeError(err)})
+	reqID := hdr.ReqID
+	if reqID == "" {
+		reqID = rpc.NewRequestID()
+	}
+	start := time.Now()
+	n, tier, err := w.replicate(reqID, hdr.Block, hdr.Target, hdr.Sources)
+	w.metrics.observeOp("replicate", reqID, start, n, tier, err != nil)
+	rpc.WriteFrame(conn, rpc.ReplicateBlockAck{Err: rpc.WithReqID(rpc.EncodeError(err), reqID)})
 }
 
 // replicate copies a block from the best available source replica onto
 // local media (paper §5: the hosting worker uses the retrieval policy's
-// source ordering for copying from the most efficient location).
-func (w *Worker) replicate(block core.Block, target core.StorageID, sources []core.BlockLocation) error {
+// source ordering for copying from the most efficient location). It
+// returns the bytes stored and the target media's tier label.
+func (w *Worker) replicate(reqID string, block core.Block, target core.StorageID, sources []core.BlockLocation) (int64, string, error) {
 	media, ok := w.media[target]
 	if !ok {
-		return fmt.Errorf("worker: unknown media %s: %w", target, core.ErrNotFound)
+		return 0, "UNKNOWN", fmt.Errorf("worker: unknown media %s: %w", target, core.ErrNotFound)
 	}
+	tier := media.Tier().String()
 	if media.Has(block) {
 		w.notifyReceived(target, block)
-		return nil
+		return 0, tier, nil
 	}
 	var lastErr error
 	for _, src := range sources {
@@ -241,32 +270,32 @@ func (w *Worker) replicate(block core.Block, target core.StorageID, sources []co
 					lastErr = err
 					continue
 				}
-				_, err = media.Put(block, rc)
+				n, err := media.Put(block, rc)
 				rc.Close()
 				if err != nil {
 					lastErr = err
 					continue
 				}
 				w.notifyReceived(target, block)
-				return nil
+				return n, tier, nil
 			}
 		}
-		rc, _, err := rpc.OpenBlockReader(src.Address, block, src.Storage, 0, -1)
+		rc, _, err := rpc.OpenBlockReaderReq(src.Address, block, src.Storage, 0, -1, reqID)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		_, err = media.Put(block, rc)
+		n, err := media.Put(block, rc)
 		rc.Close()
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		w.notifyReceived(target, block)
-		return nil
+		return n, tier, nil
 	}
 	if lastErr == nil {
 		lastErr = fmt.Errorf("worker: no replica source for %s: %w", block.ID, core.ErrNotFound)
 	}
-	return lastErr
+	return 0, tier, lastErr
 }

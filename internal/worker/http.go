@@ -1,0 +1,92 @@
+package worker
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// WorkerStatus is the JSON document served at /status.
+type WorkerStatus struct {
+	ID       core.WorkerID `json:"id"`
+	Node     string        `json:"node"`
+	Rack     string        `json:"rack"`
+	DataAddr string        `json:"dataAddr"`
+	Media    []MediaStatus `json:"media"`
+}
+
+// MediaStatus summarises one media for /status.
+type MediaStatus struct {
+	ID          core.StorageID `json:"id"`
+	Tier        string         `json:"tier"`
+	CapacityMB  int64          `json:"capacityMB"`
+	UsedMB      int64          `json:"usedMB"`
+	Connections int            `json:"connections"`
+	WriteMBps   float64        `json:"writeMBps"`
+	ReadMBps    float64        `json:"readMBps"`
+}
+
+// ServeHTTP starts an HTTP status server on addr and returns its bound
+// address. Endpoints: /status (JSON), /metrics (Prometheus text, or
+// JSON with ?format=json), and /healthz. The server stops when the
+// worker closes.
+func (w *Worker) ServeHTTP(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("worker: http listen on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(rw)
+		enc.SetIndent("", "  ")
+		enc.Encode(w.status())
+	})
+	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			rw.Header().Set("Content-Type", "application/json")
+			w.metrics.reg.WriteJSON(rw)
+			return
+		}
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.metrics.reg.WritePrometheus(rw)
+	})
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(rw, "ok")
+	})
+	srv := &http.Server{Handler: mux}
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		srv.Serve(ln)
+	}()
+	go func() {
+		<-w.done
+		srv.Close()
+	}()
+	return ln.Addr().String(), nil
+}
+
+func (w *Worker) status() WorkerStatus {
+	st := WorkerStatus{
+		ID: w.id, Node: w.cfg.Node, Rack: w.cfg.Rack,
+		DataAddr: w.DataAddr(),
+	}
+	for id, m := range w.media {
+		st.Media = append(st.Media, MediaStatus{
+			ID:          id,
+			Tier:        m.Tier().String(),
+			CapacityMB:  m.Capacity() >> 20,
+			UsedMB:      m.Used() >> 20,
+			Connections: m.Connections(),
+			WriteMBps:   m.WriteThruMBps(),
+			ReadMBps:    m.ReadThruMBps(),
+		})
+	}
+	sort.Slice(st.Media, func(i, j int) bool { return st.Media[i].ID < st.Media[j].ID })
+	return st
+}

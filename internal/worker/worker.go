@@ -55,6 +55,12 @@ type Config struct {
 
 	// Logger receives operational logs; nil discards them.
 	Logger *slog.Logger
+
+	// SlowOpThreshold is the latency above which a data-port operation
+	// is logged as slow with its request ID. Zero logs every
+	// operation; negative disables slow-op logging. Daemons default it
+	// to 100ms via their -slowop flag.
+	SlowOpThreshold time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -83,6 +89,8 @@ type Worker struct {
 
 	ln       net.Listener
 	netConns atomic.Int64
+
+	metrics *workerMetrics
 
 	done   chan struct{}
 	wg     sync.WaitGroup
@@ -125,6 +133,7 @@ func New(cfg Config) (*Worker, error) {
 		}
 		w.media[mc.ID] = m
 	}
+	w.metrics = newWorkerMetrics(w)
 
 	if err := w.register(); err != nil {
 		ln.Close()
@@ -224,7 +233,8 @@ func (w *Worker) mediaStats() []rpc.MediaStat {
 
 func (w *Worker) register() error {
 	args := &rpc.RegisterArgs{
-		ID:       w.id,
+		ReqHeader: rpc.ReqHeader{ReqID: rpc.NewRequestID()},
+		ID:        w.id,
 		Node:     w.cfg.Node,
 		Rack:     w.cfg.Rack,
 		DataAddr: w.ln.Addr().String(),
@@ -254,16 +264,19 @@ func (w *Worker) heartbeatLoop() {
 
 func (w *Worker) heartbeat() {
 	args := &rpc.HeartbeatArgs{
-		ID:       w.id,
-		Media:    w.mediaStats(),
-		NetConns: int(w.netConns.Load()),
-		NetMBps:  w.cfg.NetMBps,
+		ReqHeader: rpc.ReqHeader{ReqID: rpc.NewRequestID()},
+		ID:        w.id,
+		Media:     w.mediaStats(),
+		NetConns:  int(w.netConns.Load()),
+		NetMBps:   w.cfg.NetMBps,
 	}
+	w.metrics.heartbeats.Inc()
 	var reply rpc.HeartbeatReply
 	if err := w.callMaster("Master.Heartbeat", args, &reply); err != nil {
 		// The master may have expired us (e.g. after its restart):
 		// re-register and retry on the next tick.
-		w.cfg.Logger.Warn("heartbeat failed", "err", err)
+		w.metrics.hbErrs.Inc()
+		w.cfg.Logger.Warn("heartbeat failed", "req", args.ReqID, "err", err)
 		if err := w.register(); err != nil {
 			w.cfg.Logger.Warn("re-registration failed", "err", err)
 		}
@@ -311,6 +324,7 @@ func (w *Worker) sendBlockReport() {
 func (w *Worker) execute(cmd rpc.Command) {
 	switch cmd.Kind {
 	case rpc.CmdDelete:
+		w.metrics.commands.With("delete").Inc()
 		m, ok := w.media[cmd.Target]
 		if !ok {
 			return
@@ -324,9 +338,16 @@ func (w *Worker) execute(cmd rpc.Command) {
 			ID: w.id, Storage: cmd.Target, Block: cmd.Block,
 		}, &reply)
 	case rpc.CmdReplicate:
-		if err := w.replicate(cmd.Block, cmd.Target, cmd.Sources); err != nil {
+		// Command-driven replications get a fresh request ID so their
+		// slow-op lines are traceable like client-driven ops.
+		w.metrics.commands.With("replicate").Inc()
+		reqID := rpc.NewRequestID()
+		start := time.Now()
+		n, tier, err := w.replicate(reqID, cmd.Block, cmd.Target, cmd.Sources)
+		w.metrics.observeOp("replicate", reqID, start, n, tier, err != nil)
+		if err != nil {
 			w.cfg.Logger.Warn("replication command failed",
-				"block", cmd.Block.ID, "target", cmd.Target, "err", err)
+				"block", cmd.Block.ID, "target", cmd.Target, "req", reqID, "err", err)
 		}
 	}
 }
