@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	octopus-bench [table2|table3|fig2|fig3|fig4|fig5|fig6|fig7|ablation|all]
+//	octopus-bench [table2|table3|fig2|fig3|fig4|fig5|fig6|fig7|ablation|datapath|all]
 //
 // Simulator-backed experiments (fig2–fig7) run the paper's full data
 // sizes in seconds; table2 and table3 run against live in-process
@@ -21,7 +21,7 @@ import (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [table2|table3|fig2|fig3|fig4|fig5|fig6|fig7|ablation|all]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [table2|table3|fig2|fig3|fig4|fig5|fig6|fig7|ablation|datapath|all]\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	scale := flag.Int64("scale-mb", 0, "override experiment data size in MB (0 = paper size)")
@@ -108,5 +108,25 @@ func main() {
 			fail("ablation", err)
 		}
 		bench.PrintAblation(out, rows)
+	}
+	if all || want["datapath"] {
+		fileMB := *scale
+		if fileMB <= 0 {
+			fileMB = 64
+		}
+		var results []bench.DataPathResult
+		for _, p := range []struct{ ra, ww int }{{0, 0}, {2, 1}, {4, 2}} {
+			dir, cleanup, err := integration.TempDir()
+			if err != nil {
+				fail("datapath", err)
+			}
+			res, err := bench.RunDataPath(dir, fileMB, 1, p.ra, p.ww)
+			cleanup()
+			if err != nil {
+				fail("datapath", err)
+			}
+			results = append(results, res)
+		}
+		bench.PrintDataPath(out, results)
 	}
 }

@@ -40,6 +40,8 @@ import (
 func main() {
 	masterAddr := flag.String("master", "localhost:9000", "master RPC address")
 	node := flag.String("node", "", "this client's topology node name (for locality)")
+	readahead := flag.Int("readahead", 4, "blocks to prefetch ahead of a sequential read (0 disables)")
+	writeWindow := flag.Int("write-window", 1, "flushed blocks with outstanding pipeline acks during writes (0 = synchronous)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -57,7 +59,11 @@ func main() {
 		return
 	}
 
-	opts := []client.Option{client.WithOwner(os.Getenv("USER"))}
+	opts := []client.Option{
+		client.WithOwner(os.Getenv("USER")),
+		client.WithReadahead(*readahead),
+		client.WithWriteWindow(*writeWindow),
+	}
 	if *node != "" {
 		opts = append(opts, client.WithNode(*node))
 	}
@@ -323,7 +329,7 @@ func need(args []string, n int) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: octopus-cli [-master addr] [-node name] <command> [args]
+	fmt.Fprintln(os.Stderr, `usage: octopus-cli [-master addr] [-node name] [-readahead k] [-write-window k] <command> [args]
 commands: mkdir ls put get cat rm mv stat setrep locations tiers report quota du fsck metrics`)
 }
 

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/integration"
+)
+
+// DataPathResult is one measurement of the concurrent data path: the
+// end-to-end single-stream write and read throughput of a live
+// in-process cluster under a given readahead depth and write window.
+type DataPathResult struct {
+	Readahead   int
+	WriteWindow int
+	WriteMBps   float64
+	ReadMBps    float64
+}
+
+// RunDataPath measures single-client streaming throughput against a
+// live cluster. With readahead == 0 and writeWindow == 0 the data
+// path is fully synchronous (one master round trip plus one pipeline
+// ack wait per block on writes, one dial + handshake per block on
+// reads); larger values overlap those latencies with the data
+// transfer. Small blocks make the per-block latency share visible
+// without needing a slow network.
+func RunDataPath(dir string, fileMB, blockMB int64, readahead, writeWindow int) (DataPathResult, error) {
+	res := DataPathResult{Readahead: readahead, WriteWindow: writeWindow}
+	if fileMB <= 0 {
+		fileMB = 64
+	}
+	if blockMB <= 0 {
+		blockMB = 1
+	}
+	cfg := integration.DefaultClusterConfig(dir)
+	cfg.NumWorkers = 3
+	cfg.BlockSize = blockMB << 20
+	cfg.HDDCapacity = 4 * fileMB << 20
+	c, err := integration.StartCluster(cfg)
+	if err != nil {
+		return res, err
+	}
+	defer c.Close()
+	fs, err := c.Client("",
+		client.WithReadahead(readahead), client.WithWriteWindow(writeWindow))
+	if err != nil {
+		return res, err
+	}
+	defer fs.Close()
+
+	data := make([]byte, fileMB<<20)
+	rand.New(rand.NewSource(42)).Read(data)
+
+	start := time.Now()
+	w, err := fs.Create("/bench.bin", client.CreateOptions{
+		RepVector: core.ReplicationVectorFromFactor(2),
+	})
+	if err != nil {
+		return res, err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Abort()
+		return res, err
+	}
+	if err := w.Close(); err != nil {
+		return res, err
+	}
+	res.WriteMBps = float64(fileMB) / time.Since(start).Seconds()
+
+	start = time.Now()
+	r, err := fs.Open("/bench.bin")
+	if err != nil {
+		return res, err
+	}
+	got := make([]byte, len(data))
+	if _, err := io.ReadFull(r, got); err != nil {
+		r.Close()
+		return res, err
+	}
+	r.Close()
+	res.ReadMBps = float64(fileMB) / time.Since(start).Seconds()
+	if !bytes.Equal(got, data) {
+		return res, fmt.Errorf("datapath: read-back mismatch")
+	}
+	return res, nil
+}
+
+// PrintDataPath renders data-path measurements as a table.
+func PrintDataPath(w io.Writer, results []DataPathResult) {
+	fmt.Fprintf(w, "\nConcurrent data path: single-stream throughput (MB/s)\n")
+	fmt.Fprintf(w, "%-12s%-14s%12s%12s\n", "readahead", "write-window", "write MB/s", "read MB/s")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-12d%-14d%12.1f%12.1f\n", r.Readahead, r.WriteWindow, r.WriteMBps, r.ReadMBps)
+	}
+}

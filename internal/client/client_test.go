@@ -80,15 +80,21 @@ func TestReaderBlockAt(t *testing.T) {
 		{1000, 0, true},
 	}
 	for _, tt := range tests {
-		got := r.blockAt(tt.offset)
+		got, idx := r.blockAt(tt.offset)
 		if tt.none {
 			if got != nil {
 				t.Errorf("blockAt(%d) = %v, want nil", tt.offset, got.Block.ID)
+			}
+			if idx != -1 {
+				t.Errorf("blockAt(%d) idx = %d, want -1", tt.offset, idx)
 			}
 			continue
 		}
 		if got == nil || got.Block.ID != tt.want {
 			t.Errorf("blockAt(%d) = %v, want %v", tt.offset, got, tt.want)
+		}
+		if got != nil && idx != int(tt.want)-1 {
+			t.Errorf("blockAt(%d) idx = %d, want %d", tt.offset, idx, int(tt.want)-1)
 		}
 	}
 }

@@ -42,13 +42,41 @@ func WithSlowOpThreshold(d time.Duration) Option {
 	return func(fs *FileSystem) { fs.slowOp = d }
 }
 
+// WithReadahead sets the default number of blocks a Reader prefetches
+// ahead of the consumed position (0, the default, disables
+// readahead). Each prefetched block holds one open replica stream.
+func WithReadahead(k int) Option {
+	return func(fs *FileSystem) {
+		if k < 0 {
+			k = 0
+		}
+		fs.readahead = k
+	}
+}
+
+// WithWriteWindow sets the default number of flushed blocks whose
+// pipeline acks may still be outstanding while a Writer streams later
+// blocks (0, the default, waits for every ack synchronously). Each
+// outstanding block keeps its bytes buffered for retry, so memory use
+// grows by window × block size.
+func WithWriteWindow(k int) Option {
+	return func(fs *FileSystem) {
+		if k < 0 {
+			k = 0
+		}
+		fs.writeWindow = k
+	}
+}
+
 // FileSystem is a client handle to an OctopusFS master.
 type FileSystem struct {
-	addr   string
-	node   string
-	owner  string
-	logger *slog.Logger
-	slowOp time.Duration
+	addr        string
+	node        string
+	owner       string
+	logger      *slog.Logger
+	slowOp      time.Duration
+	readahead   int
+	writeWindow int
 
 	metrics *clientMetrics
 
@@ -187,7 +215,7 @@ func (fs *FileSystem) Create(path string, opts CreateOptions) (*Writer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Writer{fs: fs, path: path, blockSize: status.BlockSize, reqID: reqID}, nil
+	return &Writer{fs: fs, path: path, blockSize: status.BlockSize, reqID: reqID, window: fs.writeWindow}, nil
 }
 
 // WriteFile writes data as a new file with the given replication
@@ -216,7 +244,7 @@ func (fs *FileSystem) Open(path string) (*Reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Reader{fs: fs, path: path, length: reply.FileLength, blocks: reply.Blocks, reqID: reqID}, nil
+	return &Reader{fs: fs, path: path, length: reply.FileLength, blocks: reply.Blocks, reqID: reqID, readahead: fs.readahead}, nil
 }
 
 // ReadFile reads a whole file (a convenience wrapper over Open).

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/master"
@@ -14,21 +15,64 @@ import (
 // it contacts replica locations in the order chosen by the master's
 // retrieval policy, failing over to the next location on error and
 // reporting corrupt replicas back to the master.
+//
+// A replica that dies mid-stream is handled the same way: the stream
+// is resumed at the current position from the next location, with the
+// dead replica excluded so it is not immediately re-picked.
+//
+// With readahead K > 0 the reader keeps replica streams for the next
+// K blocks opening on background goroutines while the current block
+// is consumed, hiding the per-block dial + handshake round trip.
+// Prefetched streams are delivered strictly in order; Seek and Close
+// cancel the window.
 type Reader struct {
-	fs     *FileSystem
-	path   string
-	length int64
-	blocks []core.LocatedBlock
-	reqID  string // correlates all of this read's RPCs and transfers
+	fs        *FileSystem
+	path      string
+	length    int64
+	blocks    []core.LocatedBlock
+	reqID     string // correlates all of this read's RPCs and transfers
+	readahead int
 
 	pos    int64
 	cur    io.ReadCloser
 	curEnd int64 // absolute file offset where the current stream ends
+	curLoc core.BlockLocation
 	closed bool
+
+	// exclude lists replica locations of block excludeIdx that failed
+	// mid-stream or at open, so failover never re-picks them. It resets
+	// when the reader moves to another block.
+	exclude    map[core.StorageID]bool
+	excludeIdx int
+
+	window []*prefetchedStream // pending prefetches, ascending block index
 }
 
 // Length returns the file's total length at open time.
 func (r *Reader) Length() int64 { return r.length }
+
+// SetReadahead changes the number of blocks prefetched ahead of the
+// consumed position (0 disables readahead). It applies from the next
+// block boundary.
+func (r *Reader) SetReadahead(k int) {
+	if k < 0 {
+		k = 0
+	}
+	r.readahead = k
+	if k == 0 {
+		r.cancelWindow()
+	}
+}
+
+// CurrentLocation reports the replica location the reader is
+// currently streaming from; ok is false between blocks. Tests and
+// tooling use it to identify the worker an in-flight read depends on.
+func (r *Reader) CurrentLocation() (loc core.BlockLocation, ok bool) {
+	if r.cur == nil {
+		return core.BlockLocation{}, false
+	}
+	return r.curLoc, true
+}
 
 // Read implements io.Reader.
 func (r *Reader) Read(p []byte) (int, error) {
@@ -46,49 +90,89 @@ func (r *Reader) Read(p []byte) (int, error) {
 		}
 		n, err := r.cur.Read(p)
 		r.pos += int64(n)
-		if err == io.EOF {
+		if err == io.EOF && r.pos >= r.curEnd {
 			r.cur.Close()
 			r.cur = nil
 			if n > 0 {
 				return n, nil
 			}
-			if r.pos < r.curEnd {
-				return 0, io.ErrUnexpectedEOF
-			}
 			continue // move on to the next block
 		}
 		if err != nil {
+			// The replica died mid-stream (connection error, short
+			// stream, or checksum failure): exclude it and resume at
+			// the current position from another location.
 			r.cur.Close()
 			r.cur = nil
-			return n, err
+			r.markBad(r.curLoc)
+			if n > 0 {
+				return n, nil
+			}
+			continue
 		}
 		return n, nil
 	}
 }
 
-// openAt connects to a replica of the block containing offset, trying
-// locations in retrieval-policy order.
+// markBad records the location of a stream that failed mid-block so
+// the retry skips it.
+func (r *Reader) markBad(loc core.BlockLocation) {
+	if r.exclude == nil {
+		r.exclude = make(map[core.StorageID]bool)
+	}
+	r.exclude[loc.Storage] = true
+}
+
+// openAt connects to a replica of the block containing offset, taking
+// a prefetched stream when one is ready and dialling replicas in
+// retrieval-policy order otherwise.
 func (r *Reader) openAt(offset int64) error {
-	blk := r.blockAt(offset)
+	blk, idx := r.blockAt(offset)
 	if blk == nil {
 		return fmt.Errorf("client: no block at offset %d of %s: %w", offset, r.path, core.ErrNotFound)
 	}
+	if idx != r.excludeIdx {
+		r.excludeIdx = idx
+		r.exclude = nil
+	}
+	if r.readahead > 0 {
+		r.pruneWindow(idx)
+		if entry := r.takeWindow(idx); entry != nil {
+			rc, loc, err := entry.await()
+			// A prefetched stream always starts at the block head; it
+			// is only adoptable when the consumed position is there
+			// too and the replica has not failed since.
+			if err == nil && offset == blk.Offset && !r.exclude[loc.Storage] {
+				r.adopt(blk, rc, loc)
+				r.fillWindow(idx)
+				return nil
+			}
+			if err == nil {
+				rc.Close()
+			}
+		}
+		defer r.fillWindow(idx)
+	}
 	within := offset - blk.Offset
 	var lastErr error
-	for i, loc := range blk.Locations {
+	failedOver := len(r.exclude) > 0
+	for _, loc := range blk.Locations {
+		if r.exclude[loc.Storage] {
+			continue
+		}
 		rc, _, err := rpc.OpenBlockReaderReq(loc.Address, blk.Block, loc.Storage, within, blk.Block.NumBytes-within, r.reqID)
 		if err != nil {
 			lastErr = err
+			failedOver = true
 			if errors.Is(err, core.ErrCorrupt) || errors.Is(err, core.ErrNotFound) {
 				r.reportBad(blk.Block, loc)
 			}
 			continue
 		}
-		if i > 0 {
+		if failedOver {
 			r.fs.metrics.failovers.Inc()
 		}
-		r.cur = &corruptionReportingReader{rc: rc, r: r, block: blk.Block, loc: loc}
-		r.curEnd = blk.Offset + blk.Block.NumBytes
+		r.adopt(blk, rc, loc)
 		return nil
 	}
 	if lastErr == nil {
@@ -97,15 +181,23 @@ func (r *Reader) openAt(offset int64) error {
 	return lastErr
 }
 
-// blockAt finds the located block containing the absolute offset.
-func (r *Reader) blockAt(offset int64) *core.LocatedBlock {
+// adopt installs a replica stream as the current one.
+func (r *Reader) adopt(blk *core.LocatedBlock, rc io.ReadCloser, loc core.BlockLocation) {
+	r.cur = &corruptionReportingReader{rc: rc, r: r, block: blk.Block, loc: loc}
+	r.curEnd = blk.Offset + blk.Block.NumBytes
+	r.curLoc = loc
+}
+
+// blockAt finds the located block containing the absolute offset and
+// its index.
+func (r *Reader) blockAt(offset int64) (*core.LocatedBlock, int) {
 	for i := range r.blocks {
 		b := &r.blocks[i]
 		if offset >= b.Offset && offset < b.Offset+b.Block.NumBytes {
-			return b
+			return b, i
 		}
 	}
-	return nil
+	return nil, -1
 }
 
 // reportBad tells the master a replica is corrupt or missing so
@@ -117,7 +209,8 @@ func (r *Reader) reportBad(b core.Block, loc core.BlockLocation) {
 	}, &master.ReportBadBlockReply{})
 }
 
-// Seek implements io.Seeker.
+// Seek implements io.Seeker. Seeking cancels the readahead window; it
+// refills from the new position on the next Read.
 func (r *Reader) Seek(offset int64, whence int) (int64, error) {
 	var target int64
 	switch whence {
@@ -137,22 +230,142 @@ func (r *Reader) Seek(offset int64, whence int) (int64, error) {
 		r.cur.Close()
 		r.cur = nil
 	}
+	r.cancelWindow()
 	r.pos = target
 	return target, nil
 }
 
-// Close releases the reader.
+// Close releases the reader and cancels any prefetched streams.
 func (r *Reader) Close() error {
 	if r.closed {
 		return nil
 	}
 	r.closed = true
+	r.cancelWindow()
 	if r.cur != nil {
 		err := r.cur.Close()
 		r.cur = nil
 		return err
 	}
 	return nil
+}
+
+// prefetchedStream is one background block-open in the readahead
+// window. The opening goroutine publishes its result under mu and
+// closes done; cancellation closes an already-delivered stream and
+// makes a late delivery close itself.
+type prefetchedStream struct {
+	idx  int
+	done chan struct{}
+
+	mu        sync.Mutex
+	rc        io.ReadCloser
+	loc       core.BlockLocation
+	err       error
+	cancelled bool
+}
+
+// await blocks until the open attempt finished and hands over the
+// stream (or error). The caller owns the returned stream.
+func (p *prefetchedStream) await() (io.ReadCloser, core.BlockLocation, error) {
+	<-p.done
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rc, loc, err := p.rc, p.loc, p.err
+	p.rc = nil
+	return rc, loc, err
+}
+
+// cancel discards the prefetch: a delivered stream is closed now, a
+// late one is closed by the opening goroutine.
+func (p *prefetchedStream) cancel() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cancelled = true
+	if p.rc != nil {
+		p.rc.Close()
+		p.rc = nil
+	}
+}
+
+// deliver publishes the open result, closing the stream instead if
+// the prefetch was cancelled meanwhile.
+func (p *prefetchedStream) deliver(rc io.ReadCloser, loc core.BlockLocation, err error) {
+	p.mu.Lock()
+	if p.cancelled && rc != nil {
+		rc.Close()
+		rc = nil
+	}
+	p.rc, p.loc, p.err = rc, loc, err
+	p.mu.Unlock()
+	close(p.done)
+}
+
+// fillWindow ensures prefetches are running for the readahead blocks
+// after idx.
+func (r *Reader) fillWindow(idx int) {
+	if r.readahead <= 0 {
+		return
+	}
+	next := idx + 1
+	if len(r.window) > 0 {
+		next = r.window[len(r.window)-1].idx + 1
+	}
+	for ; next <= idx+r.readahead && next < len(r.blocks); next++ {
+		entry := &prefetchedStream{idx: next, done: make(chan struct{})}
+		r.window = append(r.window, entry)
+		go r.prefetch(entry, r.blocks[next])
+	}
+}
+
+// prefetch opens a replica stream for one upcoming block, trying
+// locations in retrieval-policy order, and delivers the result.
+func (r *Reader) prefetch(entry *prefetchedStream, blk core.LocatedBlock) {
+	var lastErr error
+	for i, loc := range blk.Locations {
+		rc, _, err := rpc.OpenBlockReaderReq(loc.Address, blk.Block, loc.Storage, 0, blk.Block.NumBytes, r.reqID)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if i > 0 {
+			r.fs.metrics.failovers.Inc()
+		}
+		r.fs.metrics.readaheadOpens.Inc()
+		entry.deliver(rc, loc, nil)
+		return
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("client: block %s has no live replicas: %w", blk.Block.ID, core.ErrNoWorkers)
+	}
+	entry.deliver(nil, core.BlockLocation{}, lastErr)
+}
+
+// takeWindow pops the window entry for block idx, if it is the head.
+func (r *Reader) takeWindow(idx int) *prefetchedStream {
+	if len(r.window) == 0 || r.window[0].idx != idx {
+		return nil
+	}
+	entry := r.window[0]
+	r.window = r.window[1:]
+	return entry
+}
+
+// pruneWindow cancels window entries for blocks before idx (stale
+// after a seek or a skipped range).
+func (r *Reader) pruneWindow(idx int) {
+	for len(r.window) > 0 && r.window[0].idx < idx {
+		r.window[0].cancel()
+		r.window = r.window[1:]
+	}
+}
+
+// cancelWindow discards the whole readahead window.
+func (r *Reader) cancelWindow() {
+	for _, entry := range r.window {
+		entry.cancel()
+	}
+	r.window = nil
 }
 
 // corruptionReportingReader wraps a block stream and reports checksum

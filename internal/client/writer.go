@@ -8,37 +8,56 @@ import (
 	"repro/internal/rpc"
 )
 
-// Writer streams file content into OctopusFS one block at a time
-// (paper §3.1): for every block it asks the master for placement
-// targets, organises the Worker-to-Worker pipeline, and streams
-// checksummed packets into it.
+// Writer streams file content into OctopusFS (paper §3.1): for every
+// block it asks the master for placement targets, organises the
+// Worker-to-Worker pipeline, and streams checksummed packets into it.
+//
+// With a write window of W > 0 the data path is overlapped: when a
+// block fills, its packet stream is flushed and the pipeline
+// acknowledgement is collected on a background goroutine while the
+// next block is allocated (Master.AddBlock) and streamed, so Write
+// runs at media speed instead of stalling one round trip per block.
+// Up to W flushed blocks may have outstanding acks; each is committed
+// (Master.CommitBlock) as its ack arrives, in file order. Every
+// not-yet-acknowledged block's bytes stay buffered so a broken
+// pipeline can be replayed onto freshly allocated replicas.
 type Writer struct {
 	fs        *FileSystem
 	path      string
 	blockSize int64
 	reqID     string // correlates all of this write's RPCs and transfers
+	window    int    // max flushed blocks with outstanding acks (0 = synchronous)
 
-	cur      *rpc.BlockWriter
-	curBlock core.Block
-	curLen   int64
-	curBuf   []byte      // bytes of the in-flight block, kept for retry
-	retries  int         // pipeline retries consumed for this block
-	prev     *core.Block // finished block awaiting commit at next AddBlock
-	written  int64
-	err      error
-	closed   bool
+	cur     *inflightBlock   // block currently accepting bytes
+	pending []*inflightBlock // flushed blocks awaiting ack + commit, oldest first
+	written int64
+	err     error
+	closed  bool
 }
 
-// maxBlockRetries bounds how many times one block is retried with a
-// fresh pipeline after a write failure (HDFS-style pipeline recovery,
-// simplified to block granularity: the failed block is abandoned and
-// re-allocated, letting the placement policy route around the dead
-// stage once the master notices it).
+// inflightBlock is one allocated block with an open or flushed
+// pipeline stream. buf retains the block's bytes until the pipeline
+// acknowledgement arrives, so any failure can be replayed.
+type inflightBlock struct {
+	block   core.Block
+	targets []core.WorkerID
+	bw      *rpc.BlockWriter
+	buf     []byte
+	n       int64
+	retries int        // retry budget consumed by this block's bytes
+	ack     chan error // buffered; receives the WaitAck result
+}
+
+// maxBlockRetries bounds how many times one block's bytes are retried
+// on a fresh pipeline after a write failure (HDFS-style pipeline
+// recovery, simplified to block granularity: the failed block is
+// abandoned and re-allocated, letting the placement policy route
+// around the dead stage once the master notices it).
 const maxBlockRetries = 3
 
-// Write implements io.Writer. The current block's bytes are buffered
-// so a broken pipeline can be retried transparently on fresh replica
-// locations.
+// Write implements io.Writer. The bytes of every block that has not
+// yet been acknowledged are buffered so a broken pipeline can be
+// retried transparently on fresh replica locations.
 func (w *Writer) Write(p []byte) (int, error) {
 	if w.err != nil {
 		return 0, w.err
@@ -49,106 +68,68 @@ func (w *Writer) Write(p []byte) (int, error) {
 	total := 0
 	for len(p) > 0 {
 		if w.cur == nil {
-			if err := w.startBlock(); err != nil {
-				if rerr := w.retryBlock(err); rerr != nil {
-					w.fail(rerr)
+			ib, err := w.allocBlock()
+			if err != nil {
+				if ib, err = w.redo(nil, 0, err); err != nil {
+					w.fail(err)
 					return total, w.err
 				}
 			}
+			w.cur = ib
 		}
 		chunk := p
-		if room := w.blockSize - w.curLen; int64(len(chunk)) > room {
+		if room := w.blockSize - w.cur.n; int64(len(chunk)) > room {
 			chunk = chunk[:room]
 		}
-		n, err := w.cur.Write(chunk)
-		w.curLen += int64(n)
+		n, err := w.cur.bw.Write(chunk)
+		w.cur.n += int64(n)
+		w.cur.buf = append(w.cur.buf, chunk[:n]...)
+		// Accepted bytes are counted exactly once, here: retry replays
+		// never re-add to written or the write-bytes counter.
 		w.written += int64(n)
 		w.fs.metrics.writeBytes.Add(float64(n))
-		w.curBuf = append(w.curBuf, chunk[:n]...)
 		total += n
 		p = p[n:]
 		if err != nil {
-			if rerr := w.retryBlock(fmt.Errorf("client: block stream: %w", err)); rerr != nil {
+			if rerr := w.recoverCur(fmt.Errorf("client: block stream: %w", err)); rerr != nil {
 				w.fail(rerr)
 				return total, w.err
 			}
 			continue
 		}
-		if w.curLen == w.blockSize {
-			if err := w.finishBlock(); err != nil {
-				if rerr := w.retryBlock(err); rerr != nil {
-					w.fail(rerr)
-					return total, w.err
-				}
-				continue
+		if w.cur.n == w.blockSize {
+			if err := w.finishCur(); err != nil {
+				w.fail(err)
+				return total, w.err
 			}
 		}
 	}
 	return total, nil
 }
 
-// retryBlock abandons the current block and replays its buffered bytes
-// through a freshly allocated one.
-func (w *Writer) retryBlock(cause error) error {
-	if w.retries >= maxBlockRetries {
-		return fmt.Errorf("client: block failed after %d retries: %w", w.retries, cause)
-	}
-	w.retries++
-	w.fs.metrics.retries.Inc()
-	if w.cur != nil {
-		w.cur.Abort()
-		w.cur = nil
-	}
-	// Drop the failed block server-side; ignore errors (the file may
-	// already be gone) and surface the original cause instead.
-	w.fs.callReq(w.reqID, "Master.AbandonBlock", &rpc.AbandonBlockArgs{
-		Path: w.path, Block: w.curBlock,
-	}, &rpc.AbandonBlockReply{})
-
-	buf := w.curBuf
-	w.curBuf = nil
-	w.written -= int64(len(buf))
-	w.curLen = 0
-	if err := w.startBlock(); err != nil {
-		return fmt.Errorf("client: re-allocating failed block: %w (after %w)", err, cause)
-	}
-	if len(buf) > 0 {
-		n, err := w.cur.Write(buf)
-		w.curLen += int64(n)
-		w.written += int64(n)
-		w.fs.metrics.writeBytes.Add(float64(n))
-		w.curBuf = append(w.curBuf, buf[:n]...)
-		if err != nil {
-			return w.retryBlock(fmt.Errorf("client: replaying block: %w", err))
-		}
-	}
-	return nil
-}
-
-// startBlock allocates the next block (committing the previous one)
-// and opens the write pipeline to its first target.
-func (w *Writer) startBlock() error {
+// allocBlock asks the master for the next block and opens its write
+// pipeline. A dial failure abandons the fresh allocation — and only
+// it, so a previously committed block can never be dropped by a
+// failed allocation — before surfacing the error.
+func (w *Writer) allocBlock() (*inflightBlock, error) {
 	var reply rpc.AddBlockReply
 	err := w.fs.callReq(w.reqID, "Master.AddBlock", &rpc.AddBlockArgs{
 		Path:       w.path,
 		ClientNode: w.fs.node,
-		Previous:   w.prev,
 	}, &reply)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	w.prev = nil
 	located := reply.Located
-	// Record the allocated block before opening the pipeline so a
-	// dial failure can still abandon it.
-	w.curBlock = located.Block
 	pipeline := make([]rpc.PipelineTarget, len(located.Locations))
+	targets := make([]core.WorkerID, len(located.Locations))
 	for i, loc := range located.Locations {
 		pipeline[i] = rpc.PipelineTarget{
 			Worker:  loc.Worker,
 			Address: loc.Address,
 			Storage: loc.Storage,
 		}
+		targets[i] = loc.Worker
 	}
 	// Declare the full block size up front: workers use it both as a
 	// capacity reservation and as a buffer-sizing hint; the committed
@@ -157,47 +138,243 @@ func (w *Writer) startBlock() error {
 	hdrBlock.NumBytes = w.blockSize
 	bw, err := rpc.OpenBlockWriterReq(hdrBlock, pipeline, w.fs.owner, w.reqID)
 	if err != nil {
+		w.abandonBlock(located.Block)
+		return nil, err
+	}
+	return &inflightBlock{block: located.Block, targets: targets, bw: bw, ack: make(chan error, 1)}, nil
+}
+
+// abandonBlock drops a failed block server-side; errors are ignored
+// (the file may already be gone) so the original cause surfaces.
+func (w *Writer) abandonBlock(b core.Block) {
+	w.fs.callReq(w.reqID, "Master.AbandonBlock", &rpc.AbandonBlockArgs{
+		Path: w.path, Block: b,
+	}, &rpc.AbandonBlockReply{})
+}
+
+// redo allocates a fresh block and replays buf into its pipeline,
+// leaving the stream open. retries is the budget already consumed by
+// these bytes; each attempt here consumes more, bounded by
+// maxBlockRetries.
+func (w *Writer) redo(buf []byte, retries int, cause error) (*inflightBlock, error) {
+	for {
+		if retries >= maxBlockRetries {
+			return nil, fmt.Errorf("client: block failed after %d retries: %w", retries, cause)
+		}
+		retries++
+		w.fs.metrics.retries.Inc()
+		ib, err := w.allocBlock()
+		if err != nil {
+			cause = fmt.Errorf("client: re-allocating failed block: %w (after %w)", err, cause)
+			continue
+		}
+		ib.retries = retries
+		if len(buf) > 0 {
+			if _, err := ib.bw.Write(buf); err != nil {
+				ib.bw.Abort()
+				w.abandonBlock(ib.block)
+				cause = fmt.Errorf("client: replaying block: %w", err)
+				continue
+			}
+		}
+		ib.buf = buf
+		ib.n = int64(len(buf))
+		return ib, nil
+	}
+}
+
+// recoverCur abandons the current block and replays its buffered
+// bytes through a freshly allocated one, leaving the stream open.
+// Flushed blocks are unaffected: their pipelines are independent.
+func (w *Writer) recoverCur(cause error) error {
+	ib := w.cur
+	w.cur = nil
+	ib.bw.Abort()
+	w.abandonBlock(ib.block)
+	nc, err := w.redo(ib.buf, ib.retries, cause)
+	if err != nil {
 		return err
 	}
-	w.cur = bw
-	w.curLen = 0
-	w.curBuf = w.curBuf[:0]
+	w.cur = nc
 	return nil
 }
 
-// finishBlock completes the current pipeline and records the block for
-// commit by the next AddBlock or Complete call.
-func (w *Writer) finishBlock() error {
-	err := w.cur.Commit()
-	w.cur = nil
-	if err != nil {
-		return fmt.Errorf("client: pipeline ack for %s: %w", w.curBlock.ID, err)
+// finishCur flushes the current block's packet stream, hands the
+// acknowledgement wait to a background goroutine, and enforces the
+// write window.
+func (w *Writer) finishCur() error {
+	for {
+		ib := w.cur
+		if err := ib.bw.CloseStream(); err != nil {
+			if rerr := w.recoverCur(fmt.Errorf("client: flushing block %s: %w", ib.block.ID, err)); rerr != nil {
+				return rerr
+			}
+			continue
+		}
+		go func(ib *inflightBlock) { ib.ack <- ib.bw.WaitAck() }(ib)
+		w.pending = append(w.pending, ib)
+		w.cur = nil
+		return w.reap(false)
 	}
-	done := w.curBlock
-	done.NumBytes = w.curLen
-	w.prev = &done
-	w.curBuf = nil
-	w.retries = 0
+}
+
+// reap commits flushed blocks whose acks have arrived, oldest first.
+// When the window is full (or force is set) it blocks on the oldest
+// outstanding ack; otherwise it returns as soon as an ack is still in
+// flight.
+func (w *Writer) reap(force bool) error {
+	for len(w.pending) > 0 {
+		oldest := w.pending[0]
+		var ackErr error
+		select {
+		case ackErr = <-oldest.ack:
+		default:
+			if !force {
+				if len(w.pending) <= w.window {
+					return nil
+				}
+				// Write is about to block on a pipeline ack: the
+				// window, not the media, is the bottleneck.
+				w.fs.metrics.writeStalls.Inc()
+			}
+			ackErr = <-oldest.ack
+		}
+		if ackErr != nil {
+			if err := w.recoverPending(fmt.Errorf("client: pipeline ack for %s: %w", oldest.block.ID, ackErr)); err != nil {
+				return err
+			}
+			continue
+		}
+		done := oldest.block
+		done.NumBytes = oldest.n
+		if err := w.commitBlock(done); err != nil {
+			return err
+		}
+		w.pending = w.pending[1:]
+	}
+	return nil
+}
+
+// recoverPending rebuilds the write after the oldest flushed block's
+// ack failed. The namespace only abandons its last block, so every
+// block allocated after the failed one — later flushed blocks and the
+// in-progress current block — is abandoned newest-first, then each is
+// replayed in file order onto fresh pipelines: flushed blocks
+// synchronously (flush, ack, commit), the current block left open.
+func (w *Writer) recoverPending(cause error) error {
+	var curBuf []byte
+	curRetries := 0
+	hadCur := false
+	if w.cur != nil {
+		hadCur = true
+		curBuf, curRetries = w.cur.buf, w.cur.retries
+		w.cur.bw.Abort()
+		w.abandonBlock(w.cur.block)
+		w.cur = nil
+	}
+	failed := w.pending
+	w.pending = nil
+	for j := len(failed) - 1; j >= 0; j-- {
+		failed[j].bw.Abort()
+		w.abandonBlock(failed[j].block)
+	}
+	for _, ib := range failed {
+		nc, err := w.redo(ib.buf, ib.retries, cause)
+		if err != nil {
+			return err
+		}
+		if err := w.commitSync(nc); err != nil {
+			return err
+		}
+	}
+	if hadCur {
+		nc, err := w.redo(curBuf, curRetries, cause)
+		if err != nil {
+			return err
+		}
+		w.cur = nc
+	}
+	return nil
+}
+
+// commitSync finishes one replayed block end to end: flush, wait for
+// the ack, and commit, retrying on yet another fresh pipeline if the
+// replay itself fails.
+func (w *Writer) commitSync(ib *inflightBlock) error {
+	for {
+		err := ib.bw.CloseStream()
+		if err == nil {
+			err = ib.bw.WaitAck()
+		}
+		if err != nil {
+			ib.bw.Abort()
+			w.abandonBlock(ib.block)
+			nc, rerr := w.redo(ib.buf, ib.retries, err)
+			if rerr != nil {
+				return rerr
+			}
+			ib = nc
+			continue
+		}
+		done := ib.block
+		done.NumBytes = ib.n
+		return w.commitBlock(done)
+	}
+}
+
+// commitBlock records a finished block's final length at the master.
+func (w *Writer) commitBlock(b core.Block) error {
+	err := w.fs.callReq(w.reqID, "Master.CommitBlock", &rpc.CommitBlockArgs{
+		Path: w.path, Block: b,
+	}, &rpc.CommitBlockReply{})
+	if err != nil {
+		return fmt.Errorf("client: committing block %s: %w", b.ID, err)
+	}
 	return nil
 }
 
 // fail records the first error and abandons the file so the namespace
 // does not accumulate half-written files.
 func (w *Writer) fail(err error) {
-	if w.err == nil {
-		w.err = err
-		if w.cur != nil {
-			w.cur.Abort()
-			w.cur = nil
-		}
-		w.fs.abandon(w.reqID, w.path)
+	if w.err != nil {
+		return
 	}
+	w.err = err
+	if w.cur != nil {
+		w.cur.bw.Abort()
+		w.cur = nil
+	}
+	for _, ib := range w.pending {
+		ib.bw.Abort()
+	}
+	w.pending = nil
+	w.fs.abandon(w.reqID, w.path)
 }
 
 // Written returns the number of bytes accepted so far.
 func (w *Writer) Written() int64 { return w.written }
 
-// Close flushes the final block and seals the file.
+// SetWindow changes the write window (0 = synchronous); it takes
+// effect when the next block finishes.
+func (w *Writer) SetWindow(k int) {
+	if k < 0 {
+		k = 0
+	}
+	w.window = k
+}
+
+// CurrentTargets returns the worker pipeline of the block currently
+// being streamed (nil between blocks); tests and tooling use it to
+// identify the replica set an in-flight write depends on.
+func (w *Writer) CurrentTargets() []core.WorkerID {
+	if w.cur == nil {
+		return nil
+	}
+	return append([]core.WorkerID(nil), w.cur.targets...)
+}
+
+// Close flushes the final block, waits out every outstanding ack, and
+// seals the file.
 func (w *Writer) Close() error {
 	if w.err != nil {
 		return w.err
@@ -207,20 +384,19 @@ func (w *Writer) Close() error {
 	}
 	w.closed = true
 	if w.cur != nil {
-		if err := w.finishBlock(); err != nil {
-			if rerr := w.retryBlock(err); rerr != nil {
-				w.fail(rerr)
-				return w.err
-			}
-			if err := w.finishBlock(); err != nil {
-				w.fail(err)
-				return w.err
-			}
+		if err := w.finishCur(); err != nil {
+			w.fail(err)
+			return w.err
 		}
 	}
+	if err := w.reap(true); err != nil {
+		w.fail(err)
+		return w.err
+	}
+	// Every block was committed individually as its ack arrived, so
+	// Complete only seals the file.
 	err := w.fs.callReq(w.reqID, "Master.Complete", &rpc.CompleteArgs{
 		Path: w.path,
-		Last: w.prev,
 	}, &rpc.CompleteReply{})
 	if err != nil {
 		w.err = err
@@ -236,9 +412,13 @@ func (w *Writer) Abort() error {
 	}
 	w.closed = true
 	if w.cur != nil {
-		w.cur.Abort()
+		w.cur.bw.Abort()
 		w.cur = nil
 	}
+	for _, ib := range w.pending {
+		ib.bw.Abort()
+	}
+	w.pending = nil
 	if w.err != nil {
 		return nil // fail() already abandoned the file
 	}

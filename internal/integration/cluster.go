@@ -65,6 +65,11 @@ type ClusterConfig struct {
 	MasterLogger    *slog.Logger
 	WorkerLogger    *slog.Logger
 	SlowOpThreshold time.Duration
+
+	// WorkerTimeout overrides how long the master waits without
+	// heartbeats before declaring a worker dead (0 = 10s). Failover
+	// tests shrink it so killed workers deregister quickly.
+	WorkerTimeout time.Duration
 }
 
 // DefaultClusterConfig mirrors the paper's worker shape at laptop
@@ -118,13 +123,16 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.ThrottleScale <= 0 {
 		cfg.ThrottleScale = 1
 	}
+	if cfg.WorkerTimeout <= 0 {
+		cfg.WorkerTimeout = 10 * time.Second
+	}
 	m, err := master.New(master.Config{
 		ListenAddr:      "127.0.0.1:0",
 		MetaDir:         cfg.MetaDir,
 		Placement:       cfg.Placement,
 		Retrieval:       cfg.Retrieval,
 		BlockSize:       cfg.BlockSize,
-		WorkerTimeout:   10 * time.Second,
+		WorkerTimeout:   cfg.WorkerTimeout,
 		MonitorInterval: 50 * time.Millisecond,
 		Seed:            1,
 		Logger:          cfg.MasterLogger,
@@ -228,12 +236,14 @@ func (c *Cluster) awaitWorkers(n int, timeout time.Duration) error {
 }
 
 // Client dials a client handle; node may name one of the worker nodes
-// for locality or be empty for an off-cluster client.
-func (c *Cluster) Client(node string) (*client.FileSystem, error) {
+// for locality or be empty for an off-cluster client. Extra options
+// (e.g. client.WithReadahead, client.WithWriteWindow) are forwarded.
+func (c *Cluster) Client(node string, extra ...client.Option) (*client.FileSystem, error) {
 	opts := []client.Option{client.WithOwner("it")}
 	if node != "" {
 		opts = append(opts, client.WithNode(node))
 	}
+	opts = append(opts, extra...)
 	return client.Dial(c.Master.Addr(), opts...)
 }
 

@@ -1,0 +1,152 @@
+package integration
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+)
+
+// workerIndex finds the cluster index of a worker ID; -1 if unknown.
+func (c *Cluster) workerIndex(id core.WorkerID) int {
+	for i, w := range c.Workers {
+		if w != nil && w.ID() == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestReadFailoverMidStream kills the worker a reader is streaming
+// from, mid-block, and expects the read to complete from the remaining
+// replicas without surfacing an error — with the readahead window on.
+func TestReadFailoverMidStream(t *testing.T) {
+	c := startTestCluster(t, func(cfg *ClusterConfig) {
+		cfg.NumWorkers = 3
+		cfg.BlockSize = 1 << 20
+		// Throttle the media so a block takes real time to stream:
+		// on an unthrottled loopback a whole block can land in the
+		// socket buffers before the worker is killed, making the kill
+		// invisible to the reader.
+		cfg.Throttle = true
+		cfg.ThrottleScale = 0.1
+	})
+	fs, err := c.Client("", client.WithReadahead(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	// Pin all replicas to the throttled HDD tier.
+	data := randomBytes(4<<20, 11)
+	if err := fs.WriteFile("/fo.bin", data, core.NewReplicationVector(0, 0, 3, 0, 0)); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	r, err := fs.Open("/fo.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got := make([]byte, len(data))
+	if _, err := io.ReadFull(r, got[:256<<10]); err != nil {
+		t.Fatalf("reading head: %v", err)
+	}
+	loc, ok := r.CurrentLocation()
+	if !ok {
+		t.Fatal("no current location mid-block")
+	}
+	idx := c.workerIndex(loc.Worker)
+	if idx < 0 {
+		t.Fatalf("unknown worker %s", loc.Worker)
+	}
+	if err := c.KillWorker(idx); err != nil {
+		t.Fatalf("KillWorker: %v", err)
+	}
+	if _, err := io.ReadFull(r, got[256<<10:]); err != nil {
+		t.Fatalf("reading tail across worker death: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("content mismatch after mid-stream failover")
+	}
+	if stats := fs.DataPathStats(); stats.Failovers < 1 {
+		t.Errorf("failovers = %.0f, want >= 1", stats.Failovers)
+	}
+}
+
+// TestWriteRetryMidStream kills the head of the pipeline a writer is
+// streaming into and expects the write to finish on re-allocated
+// blocks, with every accepted byte counted exactly once.
+func TestWriteRetryMidStream(t *testing.T) {
+	c := startTestCluster(t, func(cfg *ClusterConfig) {
+		cfg.NumWorkers = 4
+		cfg.BlockSize = 1 << 20
+		cfg.WorkerTimeout = 300 * time.Millisecond
+	})
+	fs, err := c.Client("", client.WithWriteWindow(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	data := randomBytes(2<<20+512<<10, 13)
+	w, err := fs.Create("/wf.bin", client.CreateOptions{RepVector: core.ReplicationVectorFromFactor(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream one and a half blocks so a block is mid-flight, then kill
+	// the head of its pipeline.
+	head := 1<<20 + 512<<10
+	if _, err := w.Write(data[:head]); err != nil {
+		t.Fatalf("writing head: %v", err)
+	}
+	targets := w.CurrentTargets()
+	if len(targets) == 0 {
+		t.Fatal("no in-flight pipeline")
+	}
+	idx := c.workerIndex(targets[0])
+	if idx < 0 {
+		t.Fatalf("unknown worker %s", targets[0])
+	}
+	if err := c.KillWorker(idx); err != nil {
+		t.Fatalf("KillWorker: %v", err)
+	}
+	// Wait for the master to expire the dead worker so re-allocated
+	// pipelines stop routing to it.
+	waitFor(t, 5*time.Second, "dead worker to deregister", func() bool {
+		return c.Master.NumWorkers() == 3
+	})
+	if _, err := w.Write(data[head:]); err != nil {
+		t.Fatalf("writing tail across worker death: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	stats := fs.DataPathStats()
+	if stats.Retries < 1 {
+		t.Errorf("retries = %.0f, want >= 1", stats.Retries)
+	}
+	if stats.WriteBytes != float64(len(data)) {
+		t.Errorf("writeBytes = %.0f, want %d (bytes must be counted once across replays)",
+			stats.WriteBytes, len(data))
+	}
+
+	// Verify through a second client so the read-back cannot lean on
+	// any writer-side state.
+	fs2, err := c.Client("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	got, err := fs2.ReadFile("/wf.bin")
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("content mismatch after mid-write worker death")
+	}
+}

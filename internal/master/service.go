@@ -135,6 +135,14 @@ func (m *Master) commitBlock(path string, b core.Block) error {
 	return nil
 }
 
+// CommitBlock records the final length of a finished block without
+// allocating a successor; the overlapped client write path commits
+// each block as its pipeline ack arrives.
+func (s *Service) CommitBlock(args *rpc.CommitBlockArgs, _ *rpc.CommitBlockReply) (err error) {
+	defer s.m.trackOp("commitBlock", args.ReqID)(&err)
+	return wire(s.m.commitBlock(args.Path, args.Block))
+}
+
 // Complete seals a file after its final block.
 func (s *Service) Complete(args *rpc.CompleteArgs, _ *rpc.CompleteReply) (err error) {
 	defer s.m.trackOp("complete", args.ReqID)(&err)

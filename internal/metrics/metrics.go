@@ -170,7 +170,37 @@ func (f *family) get(labels Labels) (*metric, bool) {
 		m = &metric{labels: copyLabels(labels), labelsKey: key}
 		f.metrics[key] = m
 	}
+	// Initialise the value holder here, under the family lock:
+	// concurrent first uses of a series (e.g. two RPC handlers hitting
+	// the same vec child) must not race on lazy init.
+	switch f.typ {
+	case typeCounter:
+		if m.counter == nil {
+			m.counter = &Counter{}
+		}
+	case typeGauge:
+		if m.gauge == nil {
+			m.gauge = &Gauge{}
+		}
+	case typeHistogram:
+		if m.hist == nil {
+			m.hist = newHistogram(f.buckets)
+		}
+	}
 	return m, ok
+}
+
+// setFn installs a sampling callback under the family lock.
+func (f *family) setFn(labels Labels, fn func() float64) {
+	key := canonicalLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m, ok := f.metrics[key]
+	if !ok {
+		m = &metric{labels: copyLabels(labels), labelsKey: key}
+		f.metrics[key] = m
+	}
+	m.fn = fn
 }
 
 // Registry holds one component's metric families.
@@ -210,26 +240,19 @@ func (r *Registry) family(name, help, typ string, buckets []float64) *family {
 // first use.
 func (r *Registry) Counter(name, help string, labels Labels) *Counter {
 	m, _ := r.family(name, help, typeCounter, nil).get(labels)
-	if m.counter == nil {
-		m.counter = &Counter{}
-	}
 	return m.counter
 }
 
 // Gauge returns the settable gauge series name{labels}.
 func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
 	m, _ := r.family(name, help, typeGauge, nil).get(labels)
-	if m.gauge == nil {
-		m.gauge = &Gauge{}
-	}
 	return m.gauge
 }
 
 // GaugeFunc registers a gauge series whose value is sampled from fn at
 // exposition time. fn must be safe for concurrent use.
 func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
-	m, _ := r.family(name, help, typeGauge, nil).get(labels)
-	m.fn = fn
+	r.family(name, help, typeGauge, nil).setFn(labels, fn)
 }
 
 // Histogram returns the histogram series name{labels} with the given
@@ -241,9 +264,6 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels
 	}
 	f := r.family(name, help, typeHistogram, buckets)
 	m, _ := f.get(labels)
-	if m.hist == nil {
-		m.hist = newHistogram(f.buckets)
-	}
 	return m.hist
 }
 
@@ -455,9 +475,9 @@ type jsonMetric struct {
 	// Scalar kinds.
 	Value *float64 `json:"value,omitempty"`
 	// Histogram kind.
-	Count   *uint64            `json:"count,omitempty"`
-	Sum     *float64           `json:"sum,omitempty"`
-	Buckets map[string]uint64  `json:"buckets,omitempty"`
+	Count   *uint64           `json:"count,omitempty"`
+	Sum     *float64          `json:"sum,omitempty"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
 }
 
 // jsonFamily is one family in the JSON exposition document.

@@ -59,6 +59,17 @@ type AddBlockReply struct {
 	Located core.LocatedBlock
 }
 
+// CommitBlockArgs / -Reply implement Master.CommitBlock: record the
+// final length of a finished block without allocating a successor.
+// The overlapped client write path commits each block as its pipeline
+// ack arrives instead of piggybacking the commit on the next AddBlock.
+type CommitBlockArgs struct {
+	ReqHeader
+	Path  string
+	Block core.Block
+}
+type CommitBlockReply struct{}
+
 // CompleteArgs / CompleteReply implement Master.Complete: commit the
 // final block and seal the file.
 type CompleteArgs struct {

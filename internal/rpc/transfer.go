@@ -12,6 +12,43 @@ import (
 // DialTimeout bounds data-connection establishment.
 const DialTimeout = 5 * time.Second
 
+// TransferTimeout bounds each individual read or write on a data
+// connection once it is established. It is a rolling deadline: the
+// clock restarts on every packet, so a long transfer over a healthy
+// link never trips it, but a worker that accepts a connection and then
+// hangs surfaces an i/o timeout instead of stalling the client
+// forever. Tests shorten it; zero disables deadlines.
+var TransferTimeout = 30 * time.Second
+
+// deadlineConn applies a rolling deadline around every conn operation.
+type deadlineConn struct {
+	net.Conn
+	timeout time.Duration
+}
+
+func (c *deadlineConn) Read(p []byte) (int, error) {
+	if c.timeout > 0 {
+		c.Conn.SetReadDeadline(time.Now().Add(c.timeout))
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *deadlineConn) Write(p []byte) (int, error) {
+	if c.timeout > 0 {
+		c.Conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	}
+	return c.Conn.Write(p)
+}
+
+// dialData establishes a data connection with rolling I/O deadlines.
+func dialData(addr string) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dialling %s: %w", addr, err)
+	}
+	return &deadlineConn{Conn: conn, timeout: TransferTimeout}, nil
+}
+
 // OpenBlockReader connects to a worker's data port and starts an
 // OpReadBlock exchange. The returned ReadCloser streams exactly
 // length bytes of verified block content; closing it closes the
@@ -24,9 +61,9 @@ func OpenBlockReader(addr string, block core.Block, storageID core.StorageID, of
 // the exchange header so the worker's logs can be correlated with the
 // client operation.
 func OpenBlockReaderReq(addr string, block core.Block, storageID core.StorageID, offset, length int64, reqID string) (io.ReadCloser, int64, error) {
-	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
+	conn, err := dialData(addr)
 	if err != nil {
-		return nil, 0, fmt.Errorf("rpc: dialling %s: %w", addr, err)
+		return nil, 0, err
 	}
 	if _, err := conn.Write([]byte{OpReadBlock}); err != nil {
 		conn.Close()
@@ -58,8 +95,9 @@ func (b *blockReadCloser) Read(p []byte) (int, error) { return b.r.Read(p) }
 func (b *blockReadCloser) Close() error               { return b.conn.Close() }
 
 // BlockWriter streams one block into a worker write pipeline. Create
-// it with OpenBlockWriter, Write the content, then Commit to collect
-// the pipeline acknowledgement.
+// it with OpenBlockWriter, Write the content, then either Commit to
+// finish synchronously or CloseStream followed by WaitAck to overlap
+// the acknowledgement wait with other work.
 type BlockWriter struct {
 	conn net.Conn
 	pw   *PacketWriter
@@ -79,9 +117,9 @@ func OpenBlockWriterReq(block core.Block, pipeline []PipelineTarget, client, req
 	if len(pipeline) == 0 {
 		return nil, fmt.Errorf("rpc: empty write pipeline: %w", core.ErrNoWorkers)
 	}
-	conn, err := net.DialTimeout("tcp", pipeline[0].Address, DialTimeout)
+	conn, err := dialData(pipeline[0].Address)
 	if err != nil {
-		return nil, fmt.Errorf("rpc: dialling %s: %w", pipeline[0].Address, err)
+		return nil, err
 	}
 	if _, err := conn.Write([]byte{OpWriteBlock}); err != nil {
 		conn.Close()
@@ -105,18 +143,32 @@ func (w *BlockWriter) Write(p []byte) (int, error) {
 // Written returns the bytes written so far.
 func (w *BlockWriter) Written() int64 { return w.n }
 
-// Commit terminates the stream, waits for the pipeline ack, and
+// CloseStream terminates the packet stream (end packet + flush)
+// without waiting for the pipeline acknowledgement, so the caller can
+// start the next block while this one drains through the pipeline.
+func (w *BlockWriter) CloseStream() error {
+	return w.pw.Close()
+}
+
+// WaitAck collects the pipeline acknowledgement after CloseStream and
 // closes the connection.
-func (w *BlockWriter) Commit() error {
+func (w *BlockWriter) WaitAck() error {
 	defer w.conn.Close()
-	if err := w.pw.Close(); err != nil {
-		return err
-	}
 	var ack WriteBlockAck
 	if err := ReadFrame(w.conn, &ack); err != nil {
 		return fmt.Errorf("rpc: reading pipeline ack: %w", err)
 	}
 	return DecodeError(ack.Err)
+}
+
+// Commit terminates the stream, waits for the pipeline ack, and
+// closes the connection.
+func (w *BlockWriter) Commit() error {
+	if err := w.CloseStream(); err != nil {
+		w.conn.Close()
+		return err
+	}
+	return w.WaitAck()
 }
 
 // Abort closes the connection without completing the stream.

@@ -1,0 +1,148 @@
+package rpc
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// shortTransferTimeout shrinks the rolling transfer deadline for the
+// duration of a test.
+func shortTransferTimeout(t *testing.T, d time.Duration) {
+	t.Helper()
+	old := TransferTimeout
+	TransferTimeout = d
+	t.Cleanup(func() { TransferTimeout = old })
+}
+
+// TestReadDeadlineHungWorker: a worker that accepts the connection
+// and then never responds must surface a timeout instead of stalling
+// the read forever (only the dial had a deadline before).
+func TestReadDeadlineHungWorker(t *testing.T) {
+	shortTransferTimeout(t, 200*time.Millisecond)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	hung := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		hung <- conn // hold the connection open, read and write nothing
+	}()
+	defer func() {
+		select {
+		case conn := <-hung:
+			conn.Close()
+		default:
+		}
+	}()
+
+	start := time.Now()
+	_, _, err = OpenBlockReader(ln.Addr().String(), core.Block{ID: 1, NumBytes: 64}, "s0", 0, -1)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("open against a hung worker succeeded")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("err = %v, want a timeout", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("hung open took %v, want ~TransferTimeout", elapsed)
+	}
+}
+
+// TestWriteAckDeadlineHungWorker: a pipeline stage that consumes the
+// whole stream but never acknowledges must time the writer out.
+func TestWriteAckDeadlineHungWorker(t *testing.T) {
+	shortTransferTimeout(t, 200*time.Millisecond)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Drain everything, never send the ack.
+		io.Copy(io.Discard, conn)
+		conn.Close()
+	}()
+
+	bw, err := OpenBlockWriter(core.Block{ID: 2, NumBytes: 64},
+		[]PipelineTarget{{Worker: "w1", Address: ln.Addr().String(), Storage: "s0"}}, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bw.Write(make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err = bw.Commit()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("commit against a mute pipeline succeeded")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("err = %v, want a timeout", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("mute commit took %v, want ~TransferTimeout", elapsed)
+	}
+}
+
+// TestCloseStreamWaitAckSplit: the overlapped write path flushes the
+// stream first and collects the ack separately; both halves must work
+// against a well-behaved stage.
+func TestCloseStreamWaitAckSplit(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	payload := []byte("overlapped block content")
+	got := make(chan []byte, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		var op [1]byte
+		io.ReadFull(conn, op[:])
+		var hdr WriteBlockHeader
+		ReadFrame(conn, &hdr)
+		data, _ := io.ReadAll(NewPacketReader(conn))
+		got <- data
+		WriteFrame(conn, WriteBlockAck{Stored: int64(len(data))})
+	}()
+
+	bw, err := OpenBlockWriter(core.Block{ID: 3, NumBytes: int64(len(payload))},
+		[]PipelineTarget{{Worker: "w1", Address: ln.Addr().String(), Storage: "s0"}}, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bw.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.CloseStream(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.WaitAck(); err != nil {
+		t.Fatal(err)
+	}
+	if string(<-got) != string(payload) {
+		t.Error("pipeline stage received wrong content")
+	}
+}

@@ -36,6 +36,20 @@ func (w *Worker) handleConn(conn net.Conn) {
 	defer conn.Close()
 	w.netConns.Add(1)
 	defer w.netConns.Add(-1)
+	w.connMu.Lock()
+	if w.closed.Load() {
+		// Close already swept w.conns; a conn registered now would
+		// never be severed and its handler would block Close forever.
+		w.connMu.Unlock()
+		return
+	}
+	w.conns[conn] = struct{}{}
+	w.connMu.Unlock()
+	defer func() {
+		w.connMu.Lock()
+		delete(w.conns, conn)
+		w.connMu.Unlock()
+	}()
 
 	var op [1]byte
 	if _, err := io.ReadFull(conn, op[:]); err != nil {

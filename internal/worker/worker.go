@@ -89,6 +89,8 @@ type Worker struct {
 
 	ln       net.Listener
 	netConns atomic.Int64
+	connMu   sync.Mutex
+	conns    map[net.Conn]struct{}
 
 	metrics *workerMetrics
 
@@ -115,6 +117,7 @@ func New(cfg Config) (*Worker, error) {
 		id:    id,
 		media: make(map[core.StorageID]*storage.Media, len(cfg.Media)),
 		ln:    ln,
+		conns: make(map[net.Conn]struct{}),
 		done:  make(chan struct{}),
 	}
 	for _, mc := range cfg.Media {
@@ -163,6 +166,14 @@ func (w *Worker) Close() error {
 	}
 	close(w.done)
 	w.ln.Close()
+	// Sever in-flight data transfers so Close behaves like a node
+	// failure instead of draining them: clients detect the broken
+	// stream and fail over or retry elsewhere.
+	w.connMu.Lock()
+	for conn := range w.conns {
+		conn.Close()
+	}
+	w.connMu.Unlock()
 	w.wg.Wait()
 	w.masterMu.Lock()
 	if w.master != nil {
@@ -235,11 +246,11 @@ func (w *Worker) register() error {
 	args := &rpc.RegisterArgs{
 		ReqHeader: rpc.ReqHeader{ReqID: rpc.NewRequestID()},
 		ID:        w.id,
-		Node:     w.cfg.Node,
-		Rack:     w.cfg.Rack,
-		DataAddr: w.ln.Addr().String(),
-		NetMBps:  w.cfg.NetMBps,
-		Media:    w.mediaStats(),
+		Node:      w.cfg.Node,
+		Rack:      w.cfg.Rack,
+		DataAddr:  w.ln.Addr().String(),
+		NetMBps:   w.cfg.NetMBps,
+		Media:     w.mediaStats(),
 	}
 	var reply rpc.RegisterReply
 	if err := w.callMaster("Master.Register", args, &reply); err != nil {
