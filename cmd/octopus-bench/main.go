@@ -25,6 +25,7 @@ func main() {
 		flag.PrintDefaults()
 	}
 	scale := flag.Int64("scale-mb", 0, "override experiment data size in MB (0 = paper size)")
+	jsonPath := flag.String("json", "", "also write datapath results as JSON to this path")
 	flag.Parse()
 
 	targets := flag.Args()
@@ -128,5 +129,10 @@ func main() {
 			results = append(results, res)
 		}
 		bench.PrintDataPath(out, results)
+		if *jsonPath != "" {
+			if err := bench.WriteDataPathJSON(*jsonPath, fileMB, 1, results); err != nil {
+				fail("datapath", err)
+			}
+		}
 	}
 }

@@ -21,6 +21,7 @@
 //	du <path>                        subtree usage incl. per-tier bytes
 //	fsck <path>                      per-file replication health
 //	metrics <http-addr>              dump a daemon's /metrics endpoint
+//	trace <req-id>                   print the merged span timeline of one request
 package main
 
 import (
@@ -35,6 +36,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -298,6 +300,15 @@ func run(fs *client.FileSystem, args []string) error {
 			bytes = -1
 		}
 		return fs.SetQuota(rest[0], tier, bytes)
+
+	case "trace":
+		need(rest, 1)
+		spans, err := fs.Trace(rest[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace %s: %d spans\n", rest[0], len(spans))
+		return trace.RenderTree(os.Stdout, spans)
 	}
 	usage()
 	return fmt.Errorf("unknown command %q", cmd)
@@ -330,7 +341,7 @@ func need(args []string, n int) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: octopus-cli [-master addr] [-node name] [-readahead k] [-write-window k] <command> [args]
-commands: mkdir ls put get cat rm mv stat setrep locations tiers report quota du fsck metrics`)
+commands: mkdir ls put get cat rm mv stat setrep locations tiers report quota du fsck metrics trace`)
 }
 
 func fatal(err error) {

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/client"
 	"repro/internal/integration"
 )
 
@@ -56,6 +57,25 @@ func TestCLICommands(t *testing.T) {
 	got, err := os.ReadFile(out)
 	if err != nil || string(got) != "cli round trip payload" {
 		t.Fatalf("get round trip: %q, %v", got, err)
+	}
+
+	// The trace subcommand renders the merged span timeline of a real
+	// write (the default zero slow-op threshold retains every trace).
+	w, err := fs.Create("/traced", client.CreateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("traced payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(fs, []string{"trace", w.ReqID()}); err != nil {
+		t.Fatalf("cli trace %s: %v", w.ReqID(), err)
+	}
+	if err := run(fs, []string{"trace", "ffffffffffffffff"}); err == nil {
+		t.Error("trace of unknown request ID succeeded")
 	}
 
 	// Error paths surface cleanly.

@@ -34,6 +34,8 @@ func main() {
 		blockMB   = flag.Int64("block-mb", 128, "default block size in MB")
 		httpAddr  = flag.String("http", "", "HTTP status/metrics endpoint address (e.g. :9870; empty disables)")
 		slowOp    = flag.Duration("slowop", 100*time.Millisecond, "slow-op log threshold (0 logs every op, negative disables)")
+		traceRate = flag.Float64("trace-sample", 0.1, "fraction of fast traces retained (slow traces always kept)")
+		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -http endpoint")
 		backup    = flag.Bool("backup", false, "run as a Backup Master")
 		primary   = flag.String("primary", "", "primary master address (backup mode)")
 		interval  = flag.Duration("checkpoint-interval", 30*time.Second, "backup checkpoint interval")
@@ -80,6 +82,8 @@ func main() {
 		BlockSize:       *blockMB << 20,
 		Logger:          logger,
 		SlowOpThreshold: *slowOp,
+		TraceSample:     *traceRate,
+		Pprof:           *pprofOn,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "octopus-master: %v\n", err)

@@ -77,6 +77,8 @@ func main() {
 		probeMB    = flag.Int64("probe-mb", 8, "startup throughput probe size per media (0 = skip)")
 		httpAddr   = flag.String("http", "", "HTTP status/metrics endpoint address (e.g. :9864; empty disables)")
 		slowOp     = flag.Duration("slowop", 100*time.Millisecond, "slow-op log threshold (0 logs every op, negative disables)")
+		traceRate  = flag.Float64("trace-sample", 0.1, "fraction of fast traces retained (slow traces always kept)")
+		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -http endpoint")
 	)
 	flag.Var(&media, "media", "media spec kind:capacityMB[:dir[:writeMBps:readMBps]] (repeatable)")
 	flag.Parse()
@@ -114,6 +116,8 @@ func main() {
 		ProbeBytes:      *probeMB << 20,
 		Logger:          logger,
 		SlowOpThreshold: *slowOp,
+		TraceSample:     *traceRate,
+		Pprof:           *pprofOn,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "octopus-worker: %v\n", err)

@@ -2,24 +2,33 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"time"
 
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/integration"
+	"repro/internal/metrics"
 )
 
 // DataPathResult is one measurement of the concurrent data path: the
 // end-to-end single-stream write and read throughput of a live
-// in-process cluster under a given readahead depth and write window.
+// in-process cluster under a given readahead depth and write window,
+// plus per-block-operation latency quantiles pulled from the workers'
+// octopus_worker_op_duration_seconds histograms.
 type DataPathResult struct {
-	Readahead   int
-	WriteWindow int
-	WriteMBps   float64
-	ReadMBps    float64
+	Readahead   int     `json:"readahead"`
+	WriteWindow int     `json:"write_window"`
+	WriteMBps   float64 `json:"write_mbps"`
+	ReadMBps    float64 `json:"read_mbps"`
+	WriteP50    float64 `json:"write_p50_seconds"`
+	WriteP99    float64 `json:"write_p99_seconds"`
+	ReadP50     float64 `json:"read_p50_seconds"`
+	ReadP99     float64 `json:"read_p99_seconds"`
 }
 
 // RunDataPath measures single-client streaming throughput against a
@@ -87,14 +96,86 @@ func RunDataPath(dir string, fileMB, blockMB int64, readahead, writeWindow int) 
 	if !bytes.Equal(got, data) {
 		return res, fmt.Errorf("datapath: read-back mismatch")
 	}
+	res.WriteP50, res.WriteP99 = opQuantiles(c, "write")
+	res.ReadP50, res.ReadP99 = opQuantiles(c, "read")
 	return res, nil
+}
+
+// opQuantiles merges every worker's op-duration histogram for one
+// block operation and interpolates p50/p99 from the combined buckets.
+// Re-registering a histogram family returns the existing one, so this
+// reads the live counters without new instrumentation.
+func opQuantiles(c *integration.Cluster, op string) (p50, p99 float64) {
+	var upper []float64
+	var cum []uint64
+	var count uint64
+	for _, w := range c.Workers {
+		h := w.Metrics().HistogramVec("octopus_worker_op_duration_seconds",
+			"Data-port operation latency in seconds, by operation.",
+			metrics.DefLatencyBuckets, "op").With(op)
+		u, cu, n, _ := h.Snapshot()
+		if upper == nil {
+			upper = u
+			cum = make([]uint64, len(cu))
+		}
+		for i := range cu {
+			cum[i] += cu[i]
+		}
+		count += n
+	}
+	return metrics.QuantileFromBuckets(upper, cum, count, 0.5),
+		metrics.QuantileFromBuckets(upper, cum, count, 0.99)
 }
 
 // PrintDataPath renders data-path measurements as a table.
 func PrintDataPath(w io.Writer, results []DataPathResult) {
 	fmt.Fprintf(w, "\nConcurrent data path: single-stream throughput (MB/s)\n")
-	fmt.Fprintf(w, "%-12s%-14s%12s%12s\n", "readahead", "write-window", "write MB/s", "read MB/s")
+	fmt.Fprintf(w, "%-12s%-14s%12s%12s%12s%12s%12s%12s\n",
+		"readahead", "write-window", "write MB/s", "read MB/s",
+		"w p50 ms", "w p99 ms", "r p50 ms", "r p99 ms")
 	for _, r := range results {
-		fmt.Fprintf(w, "%-12d%-14d%12.1f%12.1f\n", r.Readahead, r.WriteWindow, r.WriteMBps, r.ReadMBps)
+		fmt.Fprintf(w, "%-12d%-14d%12.1f%12.1f%12.2f%12.2f%12.2f%12.2f\n",
+			r.Readahead, r.WriteWindow, r.WriteMBps, r.ReadMBps,
+			r.WriteP50*1e3, r.WriteP99*1e3, r.ReadP50*1e3, r.ReadP99*1e3)
 	}
+}
+
+// dataPathReport is the JSON document WriteDataPathJSON emits: one row
+// per (readahead, write window) configuration with throughput in
+// bytes/sec and worker-side block-op latency quantiles.
+type dataPathReport struct {
+	FileMB  int64            `json:"file_mb"`
+	BlockMB int64            `json:"block_mb"`
+	Ops     []dataPathOpJSON `json:"ops"`
+}
+
+type dataPathOpJSON struct {
+	Op          string  `json:"op"`
+	Readahead   int     `json:"readahead"`
+	WriteWindow int     `json:"write_window"`
+	BytesPerSec float64 `json:"bytes_per_sec"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+}
+
+// WriteDataPathJSON writes the data-path measurements to path as JSON,
+// one entry per operation per configuration.
+func WriteDataPathJSON(path string, fileMB, blockMB int64, results []DataPathResult) error {
+	report := dataPathReport{FileMB: fileMB, BlockMB: blockMB}
+	for _, r := range results {
+		report.Ops = append(report.Ops,
+			dataPathOpJSON{
+				Op: "write", Readahead: r.Readahead, WriteWindow: r.WriteWindow,
+				BytesPerSec: r.WriteMBps * (1 << 20), P50Seconds: r.WriteP50, P99Seconds: r.WriteP99,
+			},
+			dataPathOpJSON{
+				Op: "read", Readahead: r.Readahead, WriteWindow: r.WriteWindow,
+				BytesPerSec: r.ReadMBps * (1 << 20), P50Seconds: r.ReadP50, P99Seconds: r.ReadP99,
+			})
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }

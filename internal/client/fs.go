@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rpc"
+	"repro/internal/trace"
 )
 
 // Option customises a FileSystem handle.
@@ -79,6 +80,8 @@ type FileSystem struct {
 	writeWindow int
 
 	metrics *clientMetrics
+	traces  *trace.Store
+	tracer  *trace.Tracer
 
 	mu   sync.Mutex
 	conn *netrpc.Client
@@ -94,6 +97,11 @@ func Dial(addr string, opts ...Option) (*FileSystem, error) {
 		fs.logger = slog.New(slog.DiscardHandler)
 	}
 	fs.metrics = newClientMetrics(fs.logger, fs.slowOp)
+	// The client keeps every span of its own in-flight operations
+	// (sample 1): traces are short-lived here and shipped to the master
+	// when the operation finishes, so the small store is the only cost.
+	fs.traces = trace.NewStore(256, fs.slowOp, 1)
+	fs.tracer = trace.NewTracer("client", fs.traces)
 	if err := fs.reconnect(); err != nil {
 		return nil, err
 	}
@@ -198,9 +206,12 @@ func (fs *FileSystem) Create(path string, opts CreateOptions) (*Writer, error) {
 		opts.RepVector = core.ReplicationVectorFromFactor(3)
 	}
 	// One request ID covers the whole write: create, every AddBlock,
-	// the pipeline transfers, and Complete share it across logs.
+	// the pipeline transfers, and Complete share it across logs and
+	// trace spans (the request ID doubles as the trace ID).
 	reqID := rpc.NewRequestID()
-	err := fs.callReq(reqID, "Master.Create", &rpc.CreateArgs{
+	root := fs.tracer.Start(reqID, "", "client.write")
+	root.Annotate("path", path)
+	err := fs.callTraced(root, reqID, "Master.Create", &rpc.CreateArgs{
 		Path:       path,
 		RepVector:  opts.RepVector,
 		BlockSize:  opts.BlockSize,
@@ -209,13 +220,19 @@ func (fs *FileSystem) Create(path string, opts CreateOptions) (*Writer, error) {
 		ClientNode: fs.node,
 	}, &rpc.CreateReply{})
 	if err != nil {
+		root.SetError(err)
+		root.End()
+		fs.reportSpans(reqID)
 		return nil, err
 	}
 	status, err := fs.Stat(path)
 	if err != nil {
+		root.SetError(err)
+		root.End()
+		fs.reportSpans(reqID)
 		return nil, err
 	}
-	return &Writer{fs: fs, path: path, blockSize: status.BlockSize, reqID: reqID, window: fs.writeWindow}, nil
+	return &Writer{fs: fs, path: path, blockSize: status.BlockSize, reqID: reqID, window: fs.writeWindow, span: root}, nil
 }
 
 // WriteFile writes data as a new file with the given replication
@@ -235,16 +252,22 @@ func (fs *FileSystem) WriteFile(path string, data []byte, rv core.ReplicationVec
 // Open returns a Reader over an existing file.
 func (fs *FileSystem) Open(path string) (*Reader, error) {
 	// One request ID covers the whole read: the location lookup and
-	// every block transfer share it across master and worker logs.
+	// every block transfer share it across master and worker logs and
+	// trace spans.
 	reqID := rpc.NewRequestID()
+	root := fs.tracer.Start(reqID, "", "client.open")
+	root.Annotate("path", path)
 	var reply rpc.GetBlockLocationsReply
-	err := fs.callReq(reqID, "Master.GetBlockLocations", &rpc.GetBlockLocationsArgs{
+	err := fs.callTraced(root, reqID, "Master.GetBlockLocations", &rpc.GetBlockLocationsArgs{
 		Path: path, Offset: 0, Length: -1, ClientNode: fs.node,
 	}, &reply)
 	if err != nil {
+		root.SetError(err)
+		root.End()
+		fs.reportSpans(reqID)
 		return nil, err
 	}
-	return &Reader{fs: fs, path: path, length: reply.FileLength, blocks: reply.Blocks, reqID: reqID, readahead: fs.readahead}, nil
+	return &Reader{fs: fs, path: path, length: reply.FileLength, blocks: reply.Blocks, reqID: reqID, readahead: fs.readahead, span: root}, nil
 }
 
 // ReadFile reads a whole file (a convenience wrapper over Open).

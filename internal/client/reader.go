@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/master"
 	"repro/internal/rpc"
+	"repro/internal/trace"
 )
 
 // Reader streams a file out of OctopusFS (paper §4.1): for each block
@@ -46,6 +47,22 @@ type Reader struct {
 	excludeIdx int
 
 	window []*prefetchedStream // pending prefetches, ascending block index
+
+	span     *trace.ActiveSpan // root "client.open" span for the whole read
+	curSpan  *trace.ActiveSpan // "client.read_block" span of the current stream
+	curStart int64             // r.pos when the current block span began
+}
+
+// endBlockSpan closes the current block's read span, annotated with
+// the bytes the consumer actually drained from it.
+func (r *Reader) endBlockSpan(err error) {
+	if r.curSpan == nil {
+		return
+	}
+	r.curSpan.AnnotateInt("bytes", r.pos-r.curStart)
+	r.curSpan.SetError(err)
+	r.curSpan.End()
+	r.curSpan = nil
 }
 
 // Length returns the file's total length at open time.
@@ -93,6 +110,7 @@ func (r *Reader) Read(p []byte) (int, error) {
 		if err == io.EOF && r.pos >= r.curEnd {
 			r.cur.Close()
 			r.cur = nil
+			r.endBlockSpan(nil)
 			if n > 0 {
 				return n, nil
 			}
@@ -104,6 +122,7 @@ func (r *Reader) Read(p []byte) (int, error) {
 			// the current position from another location.
 			r.cur.Close()
 			r.cur = nil
+			r.endBlockSpan(err)
 			r.markBad(r.curLoc)
 			if n > 0 {
 				return n, nil
@@ -144,6 +163,11 @@ func (r *Reader) openAt(offset int64) error {
 			// too and the replica has not failed since.
 			if err == nil && offset == blk.Offset && !r.exclude[loc.Storage] {
 				r.adopt(blk, rc, loc)
+				// The open already happened under a "client.prefetch"
+				// span; this span times draining the adopted stream.
+				r.curSpan = r.fs.tracer.Start(r.reqID, r.span.ID(), "client.read_block")
+				r.curSpan.AnnotateInt("block", int64(blk.Block.ID)).Annotate("prefetched", "true")
+				r.curStart = r.pos
 				r.fillWindow(idx)
 				return nil
 			}
@@ -154,13 +178,18 @@ func (r *Reader) openAt(offset int64) error {
 		defer r.fillWindow(idx)
 	}
 	within := offset - blk.Offset
+	// One span covers the block read end to end: its ID rides the
+	// transfer header so the serving worker's "worker.read" span links
+	// under it, failovers included.
+	bsp := r.fs.tracer.Start(r.reqID, r.span.ID(), "client.read_block")
+	bsp.AnnotateInt("block", int64(blk.Block.ID)).Annotate("prefetched", "false")
 	var lastErr error
 	failedOver := len(r.exclude) > 0
 	for _, loc := range blk.Locations {
 		if r.exclude[loc.Storage] {
 			continue
 		}
-		rc, _, err := rpc.OpenBlockReaderReq(loc.Address, blk.Block, loc.Storage, within, blk.Block.NumBytes-within, r.reqID)
+		rc, _, err := rpc.OpenBlockReaderSpan(loc.Address, blk.Block, loc.Storage, within, blk.Block.NumBytes-within, r.reqID, bsp.ID())
 		if err != nil {
 			lastErr = err
 			failedOver = true
@@ -171,13 +200,17 @@ func (r *Reader) openAt(offset int64) error {
 		}
 		if failedOver {
 			r.fs.metrics.failovers.Inc()
+			bsp.Annotate("failover", "true")
 		}
 		r.adopt(blk, rc, loc)
+		r.curSpan, r.curStart = bsp, r.pos
 		return nil
 	}
 	if lastErr == nil {
 		lastErr = fmt.Errorf("client: block %s has no live replicas: %w", blk.Block.ID, core.ErrNoWorkers)
 	}
+	bsp.SetError(lastErr)
+	bsp.End()
 	return lastErr
 }
 
@@ -230,6 +263,7 @@ func (r *Reader) Seek(offset int64, whence int) (int64, error) {
 		r.cur.Close()
 		r.cur = nil
 	}
+	r.endBlockSpan(nil)
 	r.cancelWindow()
 	r.pos = target
 	return target, nil
@@ -242,13 +276,20 @@ func (r *Reader) Close() error {
 	}
 	r.closed = true
 	r.cancelWindow()
+	var err error
 	if r.cur != nil {
-		err := r.cur.Close()
+		err = r.cur.Close()
 		r.cur = nil
-		return err
 	}
-	return nil
+	r.endBlockSpan(nil)
+	r.span.End()
+	r.fs.reportSpans(r.reqID)
+	return err
 }
+
+// ReqID returns the request ID correlating all of this read's RPCs,
+// transfers, and trace spans (it doubles as the trace ID).
+func (r *Reader) ReqID() string { return r.reqID }
 
 // prefetchedStream is one background block-open in the readahead
 // window. The opening goroutine publishes its result under mu and
@@ -321,23 +362,32 @@ func (r *Reader) fillWindow(idx int) {
 // prefetch opens a replica stream for one upcoming block, trying
 // locations in retrieval-policy order, and delivers the result.
 func (r *Reader) prefetch(entry *prefetchedStream, blk core.LocatedBlock) {
+	// The prefetch span times the background dial + handshake that
+	// readahead hides from the consumer; the worker's "worker.read"
+	// span for the stream links under it.
+	psp := r.fs.tracer.Start(r.reqID, r.span.ID(), "client.prefetch")
+	psp.AnnotateInt("block", int64(blk.Block.ID))
 	var lastErr error
 	for i, loc := range blk.Locations {
-		rc, _, err := rpc.OpenBlockReaderReq(loc.Address, blk.Block, loc.Storage, 0, blk.Block.NumBytes, r.reqID)
+		rc, _, err := rpc.OpenBlockReaderSpan(loc.Address, blk.Block, loc.Storage, 0, blk.Block.NumBytes, r.reqID, psp.ID())
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		if i > 0 {
 			r.fs.metrics.failovers.Inc()
+			psp.Annotate("failover", "true")
 		}
 		r.fs.metrics.readaheadOpens.Inc()
+		psp.End()
 		entry.deliver(rc, loc, nil)
 		return
 	}
 	if lastErr == nil {
 		lastErr = fmt.Errorf("client: block %s has no live replicas: %w", blk.Block.ID, core.ErrNoWorkers)
 	}
+	psp.SetError(lastErr)
+	psp.End()
 	entry.deliver(nil, core.BlockLocation{}, lastErr)
 }
 

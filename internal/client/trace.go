@@ -1,0 +1,48 @@
+package client
+
+import (
+	"strings"
+
+	"repro/internal/rpc"
+	"repro/internal/trace"
+)
+
+// callTraced invokes a master RPC as a child span of parent. The span
+// ID travels in the request header so the master's handler span links
+// under it, and the client-observed latency (queueing, network, and
+// server time together) is recorded as "client.rpc.<Method>".
+func (fs *FileSystem) callTraced(parent *trace.ActiveSpan, reqID, method string, args, reply any) error {
+	sp := fs.tracer.Start(reqID, parent.ID(), "client.rpc."+strings.TrimPrefix(method, "Master."))
+	if t, ok := args.(rpc.Traced); ok {
+		t.SetParentSpan(sp.ID())
+	}
+	err := fs.callReq(reqID, method, args, reply)
+	sp.SetError(err)
+	sp.End()
+	return err
+}
+
+// Trace fetches the cluster-assembled span timeline for one request
+// ID: the master merges its own store with every live worker's and
+// with any client spans previously shipped via reportSpans.
+func (fs *FileSystem) Trace(reqID string) ([]trace.Span, error) {
+	var reply rpc.GetTraceReply
+	err := fs.call("Master.GetTrace", &rpc.GetTraceArgs{TraceID: reqID}, &reply)
+	return reply.Spans, err
+}
+
+// reportSpans ships the client's spans for one finished trace to the
+// master so cross-hop assembly includes the client side. Best-effort:
+// a failure only costs observability, never the operation. Spans still
+// open when this runs (e.g. a readahead open cancelled at Close) miss
+// the shipment but stay in the local store.
+func (fs *FileSystem) reportSpans(traceID string) {
+	if fs == nil || fs.traces == nil {
+		return // bare handles (tests) trace nothing
+	}
+	spans := fs.traces.Get(traceID)
+	if len(spans) == 0 {
+		return
+	}
+	fs.call("Master.ReportSpans", &rpc.ReportSpansArgs{Spans: spans}, &rpc.ReportSpansReply{})
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rpc"
+	"repro/internal/trace"
 )
 
 // Writer streams file content into OctopusFS (paper §3.1): for every
@@ -33,6 +34,9 @@ type Writer struct {
 	written int64
 	err     error
 	closed  bool
+
+	span     *trace.ActiveSpan // root "client.write" span for the whole file
+	reported bool              // client spans already shipped to the master
 }
 
 // inflightBlock is one allocated block with an open or flushed
@@ -44,8 +48,17 @@ type inflightBlock struct {
 	bw      *rpc.BlockWriter
 	buf     []byte
 	n       int64
-	retries int        // retry budget consumed by this block's bytes
-	ack     chan error // buffered; receives the WaitAck result
+	retries int               // retry budget consumed by this block's bytes
+	ack     chan error        // buffered; receives the WaitAck result
+	span    *trace.ActiveSpan // "client.block": pipeline open through commit or abandonment
+}
+
+// endSpan closes the block's span with its final byte count. End is
+// idempotent, so recovery paths may race Close harmlessly.
+func (ib *inflightBlock) endSpan(err error) {
+	ib.span.AnnotateInt("bytes", ib.n)
+	ib.span.SetError(err)
+	ib.span.End()
 }
 
 // maxBlockRetries bounds how many times one block's bytes are retried
@@ -113,7 +126,7 @@ func (w *Writer) Write(p []byte) (int, error) {
 // failed allocation — before surfacing the error.
 func (w *Writer) allocBlock() (*inflightBlock, error) {
 	var reply rpc.AddBlockReply
-	err := w.fs.callReq(w.reqID, "Master.AddBlock", &rpc.AddBlockArgs{
+	err := w.fs.callTraced(w.span, w.reqID, "Master.AddBlock", &rpc.AddBlockArgs{
 		Path:       w.path,
 		ClientNode: w.fs.node,
 	}, &reply)
@@ -136,18 +149,24 @@ func (w *Writer) allocBlock() (*inflightBlock, error) {
 	// length is reported separately when the block finishes.
 	hdrBlock := located.Block
 	hdrBlock.NumBytes = w.blockSize
-	bw, err := rpc.OpenBlockWriterReq(hdrBlock, pipeline, w.fs.owner, w.reqID)
+	// The block span's ID rides the transfer header, so the head
+	// worker's "worker.write" span becomes its child.
+	bsp := w.fs.tracer.Start(w.reqID, w.span.ID(), "client.block")
+	bsp.AnnotateInt("block", int64(located.Block.ID)).AnnotateInt("pipeline", int64(len(pipeline)))
+	bw, err := rpc.OpenBlockWriterSpan(hdrBlock, pipeline, w.fs.owner, w.reqID, bsp.ID())
 	if err != nil {
+		bsp.SetError(err)
+		bsp.End()
 		w.abandonBlock(located.Block)
 		return nil, err
 	}
-	return &inflightBlock{block: located.Block, targets: targets, bw: bw, ack: make(chan error, 1)}, nil
+	return &inflightBlock{block: located.Block, targets: targets, bw: bw, ack: make(chan error, 1), span: bsp}, nil
 }
 
 // abandonBlock drops a failed block server-side; errors are ignored
 // (the file may already be gone) so the original cause surfaces.
 func (w *Writer) abandonBlock(b core.Block) {
-	w.fs.callReq(w.reqID, "Master.AbandonBlock", &rpc.AbandonBlockArgs{
+	w.fs.callTraced(w.span, w.reqID, "Master.AbandonBlock", &rpc.AbandonBlockArgs{
 		Path: w.path, Block: b,
 	}, &rpc.AbandonBlockReply{})
 }
@@ -190,6 +209,7 @@ func (w *Writer) recoverCur(cause error) error {
 	ib := w.cur
 	w.cur = nil
 	ib.bw.Abort()
+	ib.endSpan(cause)
 	w.abandonBlock(ib.block)
 	nc, err := w.redo(ib.buf, ib.retries, cause)
 	if err != nil {
@@ -211,7 +231,15 @@ func (w *Writer) finishCur() error {
 			}
 			continue
 		}
-		go func(ib *inflightBlock) { ib.ack <- ib.bw.WaitAck() }(ib)
+		// The ack-wait span makes write-window overlap visible: under a
+		// window it runs concurrently with the next block's streaming.
+		asp := w.fs.tracer.Start(w.reqID, ib.span.ID(), "client.ack_wait")
+		go func(ib *inflightBlock, asp *trace.ActiveSpan) {
+			err := ib.bw.WaitAck()
+			asp.SetError(err)
+			asp.End()
+			ib.ack <- err
+		}(ib, asp)
 		w.pending = append(w.pending, ib)
 		w.cur = nil
 		return w.reap(false)
@@ -245,6 +273,7 @@ func (w *Writer) reap(force bool) error {
 			}
 			continue
 		}
+		oldest.endSpan(nil)
 		done := oldest.block
 		done.NumBytes = oldest.n
 		if err := w.commitBlock(done); err != nil {
@@ -269,6 +298,7 @@ func (w *Writer) recoverPending(cause error) error {
 		hadCur = true
 		curBuf, curRetries = w.cur.buf, w.cur.retries
 		w.cur.bw.Abort()
+		w.cur.endSpan(cause)
 		w.abandonBlock(w.cur.block)
 		w.cur = nil
 	}
@@ -276,6 +306,7 @@ func (w *Writer) recoverPending(cause error) error {
 	w.pending = nil
 	for j := len(failed) - 1; j >= 0; j-- {
 		failed[j].bw.Abort()
+		failed[j].endSpan(cause)
 		w.abandonBlock(failed[j].block)
 	}
 	for _, ib := range failed {
@@ -308,6 +339,7 @@ func (w *Writer) commitSync(ib *inflightBlock) error {
 		}
 		if err != nil {
 			ib.bw.Abort()
+			ib.endSpan(err)
 			w.abandonBlock(ib.block)
 			nc, rerr := w.redo(ib.buf, ib.retries, err)
 			if rerr != nil {
@@ -316,6 +348,7 @@ func (w *Writer) commitSync(ib *inflightBlock) error {
 			ib = nc
 			continue
 		}
+		ib.endSpan(nil)
 		done := ib.block
 		done.NumBytes = ib.n
 		return w.commitBlock(done)
@@ -324,7 +357,7 @@ func (w *Writer) commitSync(ib *inflightBlock) error {
 
 // commitBlock records a finished block's final length at the master.
 func (w *Writer) commitBlock(b core.Block) error {
-	err := w.fs.callReq(w.reqID, "Master.CommitBlock", &rpc.CommitBlockArgs{
+	err := w.fs.callTraced(w.span, w.reqID, "Master.CommitBlock", &rpc.CommitBlockArgs{
 		Path: w.path, Block: b,
 	}, &rpc.CommitBlockReply{})
 	if err != nil {
@@ -342,17 +375,37 @@ func (w *Writer) fail(err error) {
 	w.err = err
 	if w.cur != nil {
 		w.cur.bw.Abort()
+		w.cur.endSpan(err)
 		w.cur = nil
 	}
 	for _, ib := range w.pending {
 		ib.bw.Abort()
+		ib.endSpan(err)
 	}
 	w.pending = nil
 	w.fs.abandon(w.reqID, w.path)
+	w.finishTrace(err)
+}
+
+// finishTrace ends the write's root span and ships the client's spans
+// to the master for cross-hop assembly, exactly once per Writer.
+func (w *Writer) finishTrace(err error) {
+	if w.reported {
+		return
+	}
+	w.reported = true
+	w.span.AnnotateInt("bytes", w.written)
+	w.span.SetError(err)
+	w.span.End()
+	w.fs.reportSpans(w.reqID)
 }
 
 // Written returns the number of bytes accepted so far.
 func (w *Writer) Written() int64 { return w.written }
+
+// ReqID returns the request ID correlating all of this write's RPCs,
+// transfers, and trace spans (it doubles as the trace ID).
+func (w *Writer) ReqID() string { return w.reqID }
 
 // SetWindow changes the write window (0 = synchronous); it takes
 // effect when the next block finishes.
@@ -395,13 +448,15 @@ func (w *Writer) Close() error {
 	}
 	// Every block was committed individually as its ack arrived, so
 	// Complete only seals the file.
-	err := w.fs.callReq(w.reqID, "Master.Complete", &rpc.CompleteArgs{
+	err := w.fs.callTraced(w.span, w.reqID, "Master.Complete", &rpc.CompleteArgs{
 		Path: w.path,
 	}, &rpc.CompleteReply{})
 	if err != nil {
 		w.err = err
+		w.finishTrace(err)
 		return err
 	}
+	w.finishTrace(nil)
 	return nil
 }
 
@@ -413,16 +468,21 @@ func (w *Writer) Abort() error {
 	w.closed = true
 	if w.cur != nil {
 		w.cur.bw.Abort()
+		w.cur.endSpan(core.ErrFileClosed)
 		w.cur = nil
 	}
 	for _, ib := range w.pending {
 		ib.bw.Abort()
+		ib.endSpan(core.ErrFileClosed)
 	}
 	w.pending = nil
 	if w.err != nil {
-		return nil // fail() already abandoned the file
+		return nil // fail() already abandoned the file and reported spans
 	}
-	return w.fs.abandon(w.reqID, w.path)
+	w.span.Annotate("aborted", "true")
+	err := w.fs.abandon(w.reqID, w.path)
+	w.finishTrace(err)
+	return err
 }
 
 var _ io.WriteCloser = (*Writer)(nil)

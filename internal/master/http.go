@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // StatusReport is the JSON document served at /status — the moral
@@ -74,6 +76,12 @@ func (m *Master) ServeHTTP(addr string) (string, error) {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	// /debug/traces/<id> serves the cluster-assembled timeline (the
+	// master fans out to live workers); the list shows the local store.
+	trace.RegisterDebugHandlers(mux, m.traces, m.AssembleTrace)
+	if m.cfg.Pprof {
+		registerPprof(mux)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -106,6 +114,16 @@ func (m *Master) ServeHTTP(addr string) (string, error) {
 		srv.Close()
 	}()
 	return ln.Addr().String(), nil
+}
+
+// registerPprof mounts the standard net/http/pprof handlers on a
+// custom mux (the package's init only touches http.DefaultServeMux).
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // statusReport assembles the current /status document.

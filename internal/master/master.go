@@ -22,6 +22,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/rpc"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // Config configures a Master.
@@ -70,6 +71,21 @@ type Config struct {
 	// negative disables slow-op logging. Daemons default it to 100ms
 	// via their -slowop flag.
 	SlowOpThreshold time.Duration
+
+	// TraceSample is the fraction of non-slow traces the in-memory
+	// trace store retains; slow traces (per SlowOpThreshold) are
+	// always kept. Zero selects the default (trace.DefaultSample);
+	// negative keeps only slow traces.
+	TraceSample float64
+
+	// TraceCapacity bounds the number of retained traces; zero
+	// selects trace.DefaultCapacity.
+	TraceCapacity int
+
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the HTTP
+	// endpoint. Off by default: profiling endpoints should be opted
+	// into on production daemons.
+	Pprof bool
 }
 
 func (c *Config) fillDefaults() {
@@ -138,6 +154,8 @@ type Master struct {
 	snapTime  time.Time
 
 	metrics *masterMetrics
+	traces  *trace.Store
+	tracer  *trace.Tracer
 
 	ln     net.Listener
 	srv    *netrpc.Server
@@ -170,6 +188,8 @@ func New(cfg Config) (*Master, error) {
 		conns:     make(map[net.Conn]struct{}),
 		started:   time.Now(),
 	}
+	m.traces = trace.NewStore(cfg.TraceCapacity, cfg.SlowOpThreshold, cfg.TraceSample)
+	m.tracer = trace.NewTracer("master", m.traces)
 	m.metrics = newMasterMetrics(m)
 	// Rebuild the block map from the recovered namespace; replica
 	// locations arrive via the workers' block reports.

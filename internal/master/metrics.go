@@ -8,6 +8,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/policy"
 	"repro/internal/rpc"
+	"repro/internal/trace"
 )
 
 // moopScoreBuckets spans the Eq. 11 scalarised scores, which are norm
@@ -68,6 +69,7 @@ func newMasterMetrics(m *Master) *masterMetrics {
 			"Aggregate remaining space reported by workers, by storage tier.", labels,
 			func() float64 { return float64(m.tierBytes(tier, true)) })
 	}
+	metrics.RegisterRuntimeGauges(reg, "octopus_master", m.started)
 	if sr, ok := m.cfg.Placement.(policy.ScoreReporter); ok {
 		sr.SetScoreFunc(func(tier core.StorageTier, score float64) {
 			mm.moopScore.With(tier.String()).Observe(score)
@@ -99,14 +101,41 @@ func (m *Master) tierBytes(tier core.StorageTier, remaining bool) int64 {
 // Metrics returns the master's metric registry for exposition.
 func (m *Master) Metrics() *metrics.Registry { return m.metrics.reg }
 
-// trackOp instruments one RPC operation: count it, time it, log it if
-// slow, and stamp the request ID onto any wire error so the client sees
-// the same ID the master and worker logs carry. Use as
+// trackOpSpan instruments one client RPC operation: count it, time
+// it, log it if slow, stamp the request ID onto any wire error, and
+// record a "master.<op>" span parented under the caller's span. The
+// returned span lets the handler hang sub-spans (e.g. placement
+// scoring) off the operation. Use as
 //
-//	defer s.m.trackOp("create", args.ReqID)(&err)
+//	sp, done := s.m.trackOpSpan("addBlock", args.ReqHeader)
+//	defer done(&err)
 //
 // on a method with a named error return.
-func (m *Master) trackOp(op, reqID string) func(*error) {
+func (m *Master) trackOpSpan(op string, h rpc.ReqHeader) (*trace.ActiveSpan, func(*error)) {
+	sp := m.tracer.Start(h.ReqID, h.SpanID, "master."+op)
+	done := m.trackOpUntraced(op, h.ReqID)
+	return sp, func(errp *error) {
+		if *errp != nil {
+			sp.SetError(*errp)
+		}
+		sp.End()
+		done(errp)
+	}
+}
+
+// trackOp is trackOpSpan for handlers that need no sub-spans.
+func (m *Master) trackOp(op string, h rpc.ReqHeader) func(*error) {
+	_, done := m.trackOpSpan(op, h)
+	return done
+}
+
+// trackOpUntraced instruments an operation without recording a span.
+// The worker-protocol handlers (register, heartbeats, block reports)
+// use it: at heartbeat rates their per-call traces would churn the
+// bounded trace store out of every client trace worth keeping, and
+// the trace-service RPCs themselves must not recursively mint trace
+// entries.
+func (m *Master) trackOpUntraced(op, reqID string) func(*error) {
 	start := time.Now()
 	mm := m.metrics
 	mm.ops.With(op).Inc()

@@ -41,13 +41,13 @@ func (s *Service) clientLocation(node string) topology.Location {
 
 // Mkdir creates a directory.
 func (s *Service) Mkdir(args *rpc.MkdirArgs, _ *rpc.MkdirReply) (err error) {
-	defer s.m.trackOp("mkdir", args.ReqID)(&err)
+	defer s.m.trackOp("mkdir", args.ReqHeader)(&err)
 	return wire(s.m.ns.Mkdir(args.Path, args.Parents, args.Owner))
 }
 
 // Create registers a new file for writing (paper Table 1).
 func (s *Service) Create(args *rpc.CreateArgs, _ *rpc.CreateReply) (err error) {
-	defer s.m.trackOp("create", args.ReqID)(&err)
+	defer s.m.trackOp("create", args.ReqHeader)(&err)
 	if args.BlockSize <= 0 {
 		args.BlockSize = s.m.cfg.BlockSize
 	}
@@ -62,7 +62,8 @@ func (s *Service) Create(args *rpc.CreateArgs, _ *rpc.CreateReply) (err error) {
 // AddBlock commits the previous block (if any) and allocates the next
 // block with replica locations chosen by the placement policy.
 func (s *Service) AddBlock(args *rpc.AddBlockArgs, reply *rpc.AddBlockReply) (err error) {
-	defer s.m.trackOp("addBlock", args.ReqID)(&err)
+	opSpan, done := s.m.trackOpSpan("addBlock", args.ReqHeader)
+	defer done(&err)
 	if args.Previous != nil {
 		if err := s.m.commitBlock(args.Path, *args.Previous); err != nil {
 			return wire(err)
@@ -78,6 +79,10 @@ func (s *Service) AddBlock(args *rpc.AddBlockArgs, reply *rpc.AddBlockReply) (er
 	}
 
 	snap := s.m.snapshot()
+	// The MOOP placement decision gets its own sub-span: it is the
+	// master-side cost the paper's §3.3 policies need attributed when
+	// tuning against observed per-tier service times.
+	placeSpan := s.m.tracer.Start(args.ReqID, opSpan.ID(), "master.placement")
 	var targets []policy.Media
 	var perr error
 	s.m.withRand(func(rng *rand.Rand) {
@@ -89,6 +94,11 @@ func (s *Service) AddBlock(args *rpc.AddBlockArgs, reply *rpc.AddBlockReply) (er
 			Rand:      rng,
 		})
 	})
+	for _, t := range targets {
+		placeSpan.Annotate("tier."+string(t.ID), t.Tier.String())
+	}
+	placeSpan.SetError(perr)
+	placeSpan.End()
 	if perr != nil && len(targets) == 0 {
 		return wire(perr)
 	}
@@ -139,13 +149,13 @@ func (m *Master) commitBlock(path string, b core.Block) error {
 // allocating a successor; the overlapped client write path commits
 // each block as its pipeline ack arrives.
 func (s *Service) CommitBlock(args *rpc.CommitBlockArgs, _ *rpc.CommitBlockReply) (err error) {
-	defer s.m.trackOp("commitBlock", args.ReqID)(&err)
+	defer s.m.trackOp("commitBlock", args.ReqHeader)(&err)
 	return wire(s.m.commitBlock(args.Path, args.Block))
 }
 
 // Complete seals a file after its final block.
 func (s *Service) Complete(args *rpc.CompleteArgs, _ *rpc.CompleteReply) (err error) {
-	defer s.m.trackOp("complete", args.ReqID)(&err)
+	defer s.m.trackOp("complete", args.ReqHeader)(&err)
 	if args.Last != nil {
 		s.m.blocks.CommitBlock(*args.Last)
 	}
@@ -154,7 +164,7 @@ func (s *Service) Complete(args *rpc.CompleteArgs, _ *rpc.CompleteReply) (err er
 
 // Abandon drops an under-construction file after a failed write.
 func (s *Service) Abandon(args *rpc.AbandonArgs, _ *rpc.AbandonReply) (err error) {
-	defer s.m.trackOp("abandon", args.ReqID)(&err)
+	defer s.m.trackOp("abandon", args.ReqHeader)(&err)
 	blocks, err := s.m.ns.Abandon(args.Path)
 	if err != nil {
 		return wire(err)
@@ -167,7 +177,7 @@ func (s *Service) Abandon(args *rpc.AbandonArgs, _ *rpc.AbandonReply) (err error
 // and invalidates any replicas that were stored before the pipeline
 // broke.
 func (s *Service) AbandonBlock(args *rpc.AbandonBlockArgs, _ *rpc.AbandonBlockReply) (err error) {
-	defer s.m.trackOp("abandonBlock", args.ReqID)(&err)
+	defer s.m.trackOp("abandonBlock", args.ReqHeader)(&err)
 	if err := s.m.ns.AbandonBlock(args.Path, args.Block.ID); err != nil {
 		return wire(err)
 	}
@@ -188,7 +198,7 @@ func (m *Master) invalidateBlocks(blocks []core.Block) {
 // GetBlockLocations returns the blocks overlapping a byte range with
 // replica locations ordered by the retrieval policy (paper §4).
 func (s *Service) GetBlockLocations(args *rpc.GetBlockLocationsArgs, reply *rpc.GetBlockLocationsReply) (err error) {
-	defer s.m.trackOp("getBlockLocations", args.ReqID)(&err)
+	defer s.m.trackOp("getBlockLocations", args.ReqHeader)(&err)
 	blocks, _, _, err := s.m.ns.FileBlocks(args.Path)
 	if err != nil {
 		return wire(err)
@@ -240,7 +250,7 @@ func (s *Service) GetBlockLocations(args *rpc.GetBlockLocationsArgs, reply *rpc.
 
 // GetFileInfo returns one path's status.
 func (s *Service) GetFileInfo(args *rpc.GetFileInfoArgs, reply *rpc.GetFileInfoReply) (err error) {
-	defer s.m.trackOp("getFileInfo", args.ReqID)(&err)
+	defer s.m.trackOp("getFileInfo", args.ReqHeader)(&err)
 	info, err := s.m.ns.Status(args.Path)
 	if err != nil {
 		return wire(err)
@@ -251,7 +261,7 @@ func (s *Service) GetFileInfo(args *rpc.GetFileInfoArgs, reply *rpc.GetFileInfoR
 
 // List returns a directory's entries.
 func (s *Service) List(args *rpc.ListArgs, reply *rpc.ListReply) (err error) {
-	defer s.m.trackOp("list", args.ReqID)(&err)
+	defer s.m.trackOp("list", args.ReqHeader)(&err)
 	infos, err := s.m.ns.List(args.Path)
 	if err != nil {
 		return wire(err)
@@ -277,7 +287,7 @@ func toFileStatus(info namespace.FileInfo) rpc.FileStatus {
 
 // Delete removes a path and invalidates its blocks.
 func (s *Service) Delete(args *rpc.DeleteArgs, _ *rpc.DeleteReply) (err error) {
-	defer s.m.trackOp("delete", args.ReqID)(&err)
+	defer s.m.trackOp("delete", args.ReqHeader)(&err)
 	blocks, err := s.m.ns.Delete(args.Path, args.Recursive)
 	if err != nil {
 		return wire(err)
@@ -288,7 +298,7 @@ func (s *Service) Delete(args *rpc.DeleteArgs, _ *rpc.DeleteReply) (err error) {
 
 // Rename moves a path.
 func (s *Service) Rename(args *rpc.RenameArgs, _ *rpc.RenameReply) (err error) {
-	defer s.m.trackOp("rename", args.ReqID)(&err)
+	defer s.m.trackOp("rename", args.ReqHeader)(&err)
 	return wire(s.m.ns.Rename(args.Src, args.Dst))
 }
 
@@ -296,7 +306,7 @@ func (s *Service) Rename(args *rpc.RenameArgs, _ *rpc.RenameReply) (err error) {
 // monitor then moves, copies, or deletes replicas asynchronously
 // (paper §2.3, §5).
 func (s *Service) SetReplication(args *rpc.SetReplicationArgs, _ *rpc.SetReplicationReply) (err error) {
-	defer s.m.trackOp("setReplication", args.ReqID)(&err)
+	defer s.m.trackOp("setReplication", args.ReqHeader)(&err)
 	if _, err := s.m.ns.SetRepVector(args.Path, args.RepVector); err != nil {
 		return wire(err)
 	}
@@ -313,14 +323,14 @@ func (s *Service) SetReplication(args *rpc.SetReplicationArgs, _ *rpc.SetReplica
 // GetStorageTierReports returns per-tier capacity and throughput
 // aggregates (paper Table 1).
 func (s *Service) GetStorageTierReports(args *rpc.TierReportsArgs, reply *rpc.TierReportsReply) (err error) {
-	defer s.m.trackOp("getStorageTierReports", args.ReqID)(&err)
+	defer s.m.trackOp("getStorageTierReports", args.ReqHeader)(&err)
 	reply.Reports = s.m.tierReports()
 	return nil
 }
 
 // SetQuota sets a per-tier byte quota on a directory.
 func (s *Service) SetQuota(args *rpc.SetQuotaArgs, _ *rpc.SetQuotaReply) (err error) {
-	defer s.m.trackOp("setQuota", args.ReqID)(&err)
+	defer s.m.trackOp("setQuota", args.ReqHeader)(&err)
 	return wire(s.m.ns.SetQuota(args.Path, args.Tier, args.Bytes))
 }
 
@@ -336,7 +346,7 @@ type ReportBadBlockReply struct{}
 // ReportBadBlock drops a corrupt replica from the block map and
 // schedules its deletion; re-replication restores the count.
 func (s *Service) ReportBadBlock(args *ReportBadBlockArgs, _ *ReportBadBlockReply) (err error) {
-	defer s.m.trackOp("reportBadBlock", args.ReqID)(&err)
+	defer s.m.trackOp("reportBadBlock", args.ReqHeader)(&err)
 	s.m.blocks.RemoveReplica(args.Block.ID, args.Storage)
 	s.m.enqueue(args.Worker, rpc.Command{Kind: rpc.CmdDelete, Block: args.Block, Target: args.Storage})
 	return nil
@@ -344,7 +354,7 @@ func (s *Service) ReportBadBlock(args *ReportBadBlockArgs, _ *ReportBadBlockRepl
 
 // Register adds a worker to the cluster (paper §2.2).
 func (s *Service) Register(args *rpc.RegisterArgs, reply *rpc.RegisterReply) (err error) {
-	defer s.m.trackOp("register", args.ReqID)(&err)
+	defer s.m.trackOpUntraced("register", args.ReqID)(&err)
 	if args.ID == "" || args.Node == "" {
 		return wire(fmt.Errorf("master: registration missing worker identity: %w", core.ErrNotFound))
 	}
@@ -374,7 +384,7 @@ func (s *Service) Register(args *rpc.RegisterArgs, reply *rpc.RegisterReply) (er
 // Heartbeat refreshes a worker's statistics and delivers pending
 // commands (paper §2.2).
 func (s *Service) Heartbeat(args *rpc.HeartbeatArgs, reply *rpc.HeartbeatReply) (err error) {
-	defer s.m.trackOp("heartbeat", args.ReqID)(&err)
+	defer s.m.trackOpUntraced("heartbeat", args.ReqID)(&err)
 	s.m.mu.Lock()
 	w, ok := s.m.workers[args.ID]
 	if !ok {
@@ -399,7 +409,7 @@ func (s *Service) Heartbeat(args *rpc.HeartbeatArgs, reply *rpc.HeartbeatReply) 
 // listing (paper §5: under-/over-replication is detected during block
 // reports).
 func (s *Service) BlockReport(args *rpc.BlockReportArgs, _ *rpc.BlockReportReply) (err error) {
-	defer s.m.trackOp("blockReport", args.ReqID)(&err)
+	defer s.m.trackOpUntraced("blockReport", args.ReqID)(&err)
 	s.m.mu.Lock()
 	w, ok := s.m.workers[args.ID]
 	var tiers map[core.StorageID]core.StorageTier
@@ -455,7 +465,7 @@ func (s *Service) BlockReport(args *rpc.BlockReportArgs, _ *rpc.BlockReportReply
 // BlockReceived records a freshly stored replica (sent by workers
 // right after a pipeline write or replication completes).
 func (s *Service) BlockReceived(args *rpc.BlockReceivedArgs, _ *rpc.BlockReceivedReply) (err error) {
-	defer s.m.trackOp("blockReceived", args.ReqID)(&err)
+	defer s.m.trackOpUntraced("blockReceived", args.ReqID)(&err)
 	s.m.mu.Lock()
 	w, ok := s.m.workers[args.ID]
 	var tier core.StorageTier
@@ -484,7 +494,7 @@ func (s *Service) BlockReceived(args *rpc.BlockReceivedArgs, _ *rpc.BlockReceive
 
 // BlockDeleted records a replica removal acknowledged by a worker.
 func (s *Service) BlockDeleted(args *rpc.BlockDeletedArgs, _ *rpc.BlockDeletedReply) (err error) {
-	defer s.m.trackOp("blockDeleted", args.ReqID)(&err)
+	defer s.m.trackOpUntraced("blockDeleted", args.ReqID)(&err)
 	s.m.blocks.RemoveReplica(args.Block.ID, args.Storage)
 	return nil
 }
@@ -499,7 +509,7 @@ type ImageReply struct {
 
 // GetImage serialises the namespace for a Backup Master.
 func (s *Service) GetImage(args *ImageArgs, reply *ImageReply) (err error) {
-	defer s.m.trackOp("getImage", args.ReqID)(&err)
+	defer s.m.trackOpUntraced("getImage", args.ReqID)(&err)
 	data, err := s.m.ns.ImageBytes()
 	if err != nil {
 		return wire(err)
@@ -510,7 +520,7 @@ func (s *Service) GetImage(args *ImageArgs, reply *ImageReply) (err error) {
 
 // GetContentSummary aggregates usage over a subtree (`du`).
 func (s *Service) GetContentSummary(args *rpc.ContentSummaryArgs, reply *rpc.ContentSummaryReply) (err error) {
-	defer s.m.trackOp("getContentSummary", args.ReqID)(&err)
+	defer s.m.trackOp("getContentSummary", args.ReqHeader)(&err)
 	sum, err := s.m.ns.ContentSummary(args.Path)
 	if err != nil {
 		return wire(err)
@@ -528,7 +538,7 @@ func (s *Service) GetContentSummary(args *rpc.ContentSummaryArgs, reply *rpc.Con
 // Fsck reports per-file replication health over a subtree, computed
 // from the block map's per-tier replication states (paper §5).
 func (s *Service) Fsck(args *rpc.FsckArgs, reply *rpc.FsckReply) (err error) {
-	defer s.m.trackOp("fsck", args.ReqID)(&err)
+	defer s.m.trackOp("fsck", args.ReqHeader)(&err)
 	walkErr := s.m.ns.WalkFiles(args.Path, func(path string, blocks []core.Block, rv core.ReplicationVector, uc bool) {
 		f := rpc.FsckFile{
 			Path:              path,
@@ -560,7 +570,7 @@ func (s *Service) Fsck(args *rpc.FsckArgs, reply *rpc.FsckReply) (err error) {
 // GetWorkerReports lists every live worker with its per-media
 // statistics (the dfsadmin -report equivalent).
 func (s *Service) GetWorkerReports(args *rpc.WorkerReportsArgs, reply *rpc.WorkerReportsReply) (err error) {
-	defer s.m.trackOp("getWorkerReports", args.ReqID)(&err)
+	defer s.m.trackOp("getWorkerReports", args.ReqHeader)(&err)
 	s.m.mu.RLock()
 	defer s.m.mu.RUnlock()
 	for _, w := range s.m.workers {
@@ -575,5 +585,30 @@ func (s *Service) GetWorkerReports(args *rpc.WorkerReportsArgs, reply *rpc.Worke
 		reply.Workers = append(reply.Workers, wr)
 	}
 	sort.Slice(reply.Workers, func(i, j int) bool { return reply.Workers[i].ID < reply.Workers[j].ID })
+	return nil
+}
+
+// ReportSpans accepts a client's locally recorded spans, making the
+// master the rendezvous point for trace assembly after the client
+// process exits. Untraced: recording spans about span reporting would
+// pollute the store.
+func (s *Service) ReportSpans(args *rpc.ReportSpansArgs, _ *rpc.ReportSpansReply) (err error) {
+	defer s.m.trackOpUntraced("reportSpans", args.ReqID)(&err)
+	for _, sp := range args.Spans {
+		s.m.traces.Add(sp)
+	}
+	return nil
+}
+
+// GetTrace assembles the cross-daemon timeline of one trace: the
+// master's own spans (including client-reported ones) merged with
+// spans fanned out from every live worker's data port.
+func (s *Service) GetTrace(args *rpc.GetTraceArgs, reply *rpc.GetTraceReply) (err error) {
+	defer s.m.trackOpUntraced("getTrace", args.ReqID)(&err)
+	spans, err := s.m.AssembleTrace(args.TraceID)
+	if err != nil {
+		return wire(err)
+	}
+	reply.Spans = spans
 	return nil
 }

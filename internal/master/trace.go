@@ -1,0 +1,57 @@
+package master
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/trace"
+)
+
+// AssembleTrace merges the master's retained spans for traceID
+// (its own handler spans plus any client-reported ones) with spans
+// fetched concurrently from every live worker's data port. Workers
+// that fail to answer are skipped — a partial timeline beats none —
+// but if nothing at all is found the trace is reported as unknown.
+func (m *Master) AssembleTrace(traceID string) ([]trace.Span, error) {
+	local := m.traces.Get(traceID)
+
+	type workerAddr struct {
+		id   core.WorkerID
+		addr string
+	}
+	m.mu.RLock()
+	addrs := make([]workerAddr, 0, len(m.workers))
+	for id, w := range m.workers {
+		addrs = append(addrs, workerAddr{id: id, addr: w.dataAddr})
+	}
+	m.mu.RUnlock()
+
+	sets := make([][]trace.Span, len(addrs))
+	var wg sync.WaitGroup
+	for i, wa := range addrs {
+		wg.Add(1)
+		go func(i int, wa workerAddr) {
+			defer wg.Done()
+			spans, err := rpc.FetchSpans(wa.addr, traceID)
+			if err != nil {
+				m.cfg.Logger.Warn("trace fan-out failed",
+					"worker", wa.id, "trace", traceID, "err", err)
+				return
+			}
+			sets[i] = spans
+		}(i, wa)
+	}
+	wg.Wait()
+
+	merged := trace.Merge(append([][]trace.Span{local}, sets...)...)
+	if len(merged) == 0 {
+		return nil, fmt.Errorf("master: no spans retained for trace %s: %w", traceID, core.ErrNotFound)
+	}
+	return merged, nil
+}
+
+// Traces exposes the master's trace store (for the HTTP endpoint and
+// tests).
+func (m *Master) Traces() *trace.Store { return m.traces }

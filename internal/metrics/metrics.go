@@ -138,6 +138,54 @@ func (h *Histogram) snapshot() (cum []uint64, count uint64, sum float64) {
 	return cum, h.count.Load(), h.sum.Load()
 }
 
+// Snapshot returns the histogram's bucket upper bounds, cumulative
+// counts aligned with them, total count, and sum — the inputs to
+// quantile estimation and cross-daemon histogram merging.
+func (h *Histogram) Snapshot() (upper []float64, cum []uint64, count uint64, sum float64) {
+	cum, count, sum = h.snapshot()
+	return append([]float64(nil), h.upper...), cum, count, sum
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution from the bucket counts, Prometheus histogram_quantile
+// style. It returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	cum, count, _ := h.snapshot()
+	return QuantileFromBuckets(h.upper, cum, count, q)
+}
+
+// QuantileFromBuckets estimates the q-quantile from cumulative bucket
+// counts (aligned with the sorted upper bounds) using linear
+// interpolation within the located bucket, like PromQL's
+// histogram_quantile. Observations beyond the last bound clamp to it.
+func QuantileFromBuckets(upper []float64, cum []uint64, count uint64, q float64) float64 {
+	if count == 0 || len(upper) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(count)
+	for i, c := range cum {
+		if float64(c) >= rank {
+			lower, prev := 0.0, uint64(0)
+			if i > 0 {
+				lower, prev = upper[i-1], cum[i-1]
+			}
+			inBucket := float64(c - prev)
+			if inBucket == 0 {
+				return upper[i]
+			}
+			return lower + (upper[i]-lower)*((rank-float64(prev))/inBucket)
+		}
+	}
+	// Rank falls in the implicit +Inf bucket: clamp to the last bound.
+	return upper[len(upper)-1]
+}
+
 // metric is one registered series: a label set plus exactly one of the
 // value kinds.
 type metric struct {

@@ -1,0 +1,42 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memSampler caches runtime.ReadMemStats so the several GaugeFuncs a
+// daemon registers don't each trigger a stop-the-world per scrape.
+type memSampler struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+func (s *memSampler) read() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if time.Since(s.at) > time.Second {
+		runtime.ReadMemStats(&s.stat)
+		s.at = time.Now()
+	}
+	return s.stat
+}
+
+// RegisterRuntimeGauges adds Go runtime health gauges to a daemon's
+// registry under the given metric prefix (e.g. "octopus_master"):
+// goroutine count, heap in-use bytes, cumulative GC pause seconds,
+// and process uptime since started. Values refresh on scrape; the
+// memory stats are sampled at most once per second.
+func RegisterRuntimeGauges(r *Registry, prefix string, started time.Time) {
+	s := &memSampler{}
+	r.GaugeFunc(prefix+"_goroutines", "Number of live goroutines.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc(prefix+"_heap_inuse_bytes", "Bytes in in-use heap spans.", nil,
+		func() float64 { return float64(s.read().HeapInuse) })
+	r.GaugeFunc(prefix+"_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", nil,
+		func() float64 { return float64(s.read().PauseTotalNs) / 1e9 })
+	r.GaugeFunc(prefix+"_uptime_seconds", "Seconds since the daemon started.", nil,
+		func() float64 { return time.Since(started).Seconds() })
+}

@@ -26,17 +26,36 @@ func NewSlowLogger(logger *slog.Logger, threshold time.Duration, count *Counter)
 	return &SlowLogger{logger: logger, threshold: threshold, count: count}
 }
 
+// Threshold returns the configured slow threshold, so subsystems that
+// share the slow-op semantics (e.g. the trace store's retention
+// policy) use the same boundary.
+func (l *SlowLogger) Threshold() time.Duration {
+	if l == nil {
+		return -1
+	}
+	return l.threshold
+}
+
 // Observe logs the operation if it crossed the threshold. attrs are
 // extra slog key/value pairs appended to the line.
 func (l *SlowLogger) Observe(op, reqID string, d time.Duration, attrs ...any) {
-	if l == nil || l.logger == nil || l.threshold < 0 || d < l.threshold {
+	if l == nil || l.logger == nil || l.threshold < 0 {
+		return
+	}
+	// Explicit zero-threshold case: "0 logs every op" is documented
+	// behaviour, not an accident of d < 0 being impossible.
+	if l.threshold > 0 && d < l.threshold {
 		return
 	}
 	if l.count != nil {
 		l.count.Inc()
 	}
-	all := make([]any, 0, 6+len(attrs))
+	all := make([]any, 0, 8+len(attrs))
 	all = append(all, "op", op, "req", reqID, "dur", d.String())
 	all = append(all, attrs...)
+	// The request ID doubles as the trace ID; emit it under an explicit
+	// "trace" key so log pipelines can join slow-op lines with
+	// /debug/traces/<id> without knowing the req/trace equivalence.
+	all = append(all, "trace", reqID)
 	l.logger.Warn("slow op", all...)
 }

@@ -31,6 +31,42 @@ func TestSlowLoggerThresholdZeroLogsEverything(t *testing.T) {
 	}
 }
 
+// TestSlowLoggerZeroThresholdZeroDuration pins the documented "0 logs
+// every op" semantics for the edge the old guard got right only by
+// accident: a zero-duration op at threshold 0 (d < threshold is false
+// for d == 0, but the behaviour is now explicit, not incidental).
+func TestSlowLoggerZeroThresholdZeroDuration(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLogger(slowTestLogger(&buf), 0, nil)
+	l.Observe("write", "req-zero", 0)
+	if !strings.Contains(buf.String(), "req=req-zero") {
+		t.Fatalf("zero-duration op not logged at threshold 0: %q", buf.String())
+	}
+}
+
+// TestSlowLoggerEmitsTraceID verifies every slow-op line carries the
+// request ID again under the "trace" key, joining logs to the trace
+// store's /debug/traces/<id> endpoint.
+func TestSlowLoggerEmitsTraceID(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLogger(slowTestLogger(&buf), 0, nil)
+	l.Observe("read", "deadbeef00c0ffee", time.Millisecond, "tier", "SSD")
+	out := buf.String()
+	if !strings.Contains(out, "trace=deadbeef00c0ffee") {
+		t.Errorf("slow log missing trace attribute: %q", out)
+	}
+	if !strings.Contains(out, "tier=SSD") {
+		t.Errorf("extra attrs dropped: %q", out)
+	}
+	if l.Threshold() != 0 {
+		t.Errorf("Threshold() = %v, want 0", l.Threshold())
+	}
+	var nilLogger *SlowLogger
+	if nilLogger.Threshold() >= 0 {
+		t.Error("nil logger threshold should be negative (disabled)")
+	}
+}
+
 func TestSlowLoggerThresholdFilters(t *testing.T) {
 	var buf bytes.Buffer
 	l := NewSlowLogger(slowTestLogger(&buf), 100*time.Millisecond, nil)

@@ -1,6 +1,9 @@
 package rpc
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/trace"
+)
 
 // This file defines the net/rpc message types of the two master
 // protocols: the client protocol (file system operations, paper §2.3)
@@ -330,4 +333,26 @@ type WorkerReport struct {
 
 type WorkerReportsReply struct {
 	Workers []WorkerReport
+}
+
+// ReportSpansArgs / -Reply implement Master.ReportSpans: clients push
+// their locally recorded spans to the master at the end of an
+// operation, making the master the rendezvous point for cross-daemon
+// trace assembly (the client process is usually gone by the time
+// anyone asks for the trace).
+type ReportSpansArgs struct {
+	ReqHeader
+	Spans []trace.Span
+}
+type ReportSpansReply struct{}
+
+// GetTraceArgs / GetTraceReply implement Master.GetTrace: assemble
+// the full timeline of one trace by merging the master's own spans,
+// client-reported spans, and spans fanned out from live workers.
+type GetTraceArgs struct {
+	ReqHeader
+	TraceID string
+}
+type GetTraceReply struct {
+	Spans []trace.Span
 }

@@ -14,9 +14,12 @@ import (
 
 // ReqHeader is embedded in RPC argument structs to carry the request
 // ID across the master protocols. The zero value (no ID) is valid:
-// unidentified requests simply cannot be correlated.
+// unidentified requests simply cannot be correlated. The request ID
+// doubles as the trace ID for distributed tracing; SpanID names the
+// caller's span so the server can parent its own span under it.
 type ReqHeader struct {
-	ReqID string
+	ReqID  string
+	SpanID string
 }
 
 // RequestID returns the carried request ID.
@@ -25,11 +28,24 @@ func (h ReqHeader) RequestID() string { return h.ReqID }
 // SetRequestID stamps the request ID.
 func (h *ReqHeader) SetRequestID(id string) { h.ReqID = id }
 
+// ParentSpan returns the caller's span ID, if any.
+func (h ReqHeader) ParentSpan() string { return h.SpanID }
+
+// SetParentSpan stamps the caller's span ID.
+func (h *ReqHeader) SetParentSpan(id string) { h.SpanID = id }
+
 // Identified is satisfied by pointers to argument structs embedding
 // ReqHeader, letting generic call paths stamp and read request IDs.
 type Identified interface {
 	RequestID() string
 	SetRequestID(string)
+}
+
+// Traced is satisfied by pointers to argument structs embedding
+// ReqHeader, letting generic call paths propagate span context.
+type Traced interface {
+	ParentSpan() string
+	SetParentSpan(string)
 }
 
 var reqFallback atomic.Uint64

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // DialTimeout bounds data-connection establishment.
@@ -61,6 +62,12 @@ func OpenBlockReader(addr string, block core.Block, storageID core.StorageID, of
 // the exchange header so the worker's logs can be correlated with the
 // client operation.
 func OpenBlockReaderReq(addr string, block core.Block, storageID core.StorageID, offset, length int64, reqID string) (io.ReadCloser, int64, error) {
+	return OpenBlockReaderSpan(addr, block, storageID, offset, length, reqID, "")
+}
+
+// OpenBlockReaderSpan is OpenBlockReaderReq with the caller's span ID
+// stamped on the header, parenting the worker's read span.
+func OpenBlockReaderSpan(addr string, block core.Block, storageID core.StorageID, offset, length int64, reqID, spanID string) (io.ReadCloser, int64, error) {
 	conn, err := dialData(addr)
 	if err != nil {
 		return nil, 0, err
@@ -69,7 +76,7 @@ func OpenBlockReaderReq(addr string, block core.Block, storageID core.StorageID,
 		conn.Close()
 		return nil, 0, fmt.Errorf("rpc: sending read opcode: %w", err)
 	}
-	hdr := ReadBlockHeader{Block: block, Storage: storageID, Offset: offset, Length: length, ReqID: reqID}
+	hdr := ReadBlockHeader{Block: block, Storage: storageID, Offset: offset, Length: length, ReqID: reqID, SpanID: spanID}
 	if err := WriteFrame(conn, hdr); err != nil {
 		conn.Close()
 		return nil, 0, err
@@ -114,6 +121,12 @@ func OpenBlockWriter(block core.Block, pipeline []PipelineTarget, client string)
 // the pipeline header; every downstream stage forwards it, so one
 // write is traceable across all its workers.
 func OpenBlockWriterReq(block core.Block, pipeline []PipelineTarget, client, reqID string) (*BlockWriter, error) {
+	return OpenBlockWriterSpan(block, pipeline, client, reqID, "")
+}
+
+// OpenBlockWriterSpan is OpenBlockWriterReq with the sender's span ID
+// stamped on the header, parenting the first stage's write span.
+func OpenBlockWriterSpan(block core.Block, pipeline []PipelineTarget, client, reqID, spanID string) (*BlockWriter, error) {
 	if len(pipeline) == 0 {
 		return nil, fmt.Errorf("rpc: empty write pipeline: %w", core.ErrNoWorkers)
 	}
@@ -125,7 +138,7 @@ func OpenBlockWriterReq(block core.Block, pipeline []PipelineTarget, client, req
 		conn.Close()
 		return nil, fmt.Errorf("rpc: sending write opcode: %w", err)
 	}
-	hdr := WriteBlockHeader{Block: block, Pipeline: pipeline, Client: client, ReqID: reqID}
+	hdr := WriteBlockHeader{Block: block, Pipeline: pipeline, Client: client, ReqID: reqID, SpanID: spanID}
 	if err := WriteFrame(conn, hdr); err != nil {
 		conn.Close()
 		return nil, err
@@ -173,3 +186,25 @@ func (w *BlockWriter) Commit() error {
 
 // Abort closes the connection without completing the stream.
 func (w *BlockWriter) Abort() error { return w.conn.Close() }
+
+// FetchSpans asks the worker at addr for its retained spans of one
+// trace via an OpTraceDump exchange. The master uses it to assemble
+// cross-daemon timelines.
+func FetchSpans(addr, traceID string) ([]trace.Span, error) {
+	conn, err := dialData(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{OpTraceDump}); err != nil {
+		return nil, fmt.Errorf("rpc: sending trace-dump opcode: %w", err)
+	}
+	if err := WriteFrame(conn, TraceDumpHeader{TraceID: traceID}); err != nil {
+		return nil, err
+	}
+	var resp TraceDumpResponse
+	if err := ReadFrame(conn, &resp); err != nil {
+		return nil, fmt.Errorf("rpc: reading trace dump: %w", err)
+	}
+	return resp.Spans, nil
+}

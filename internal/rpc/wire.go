@@ -9,6 +9,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // The data-transfer protocol spoken on a worker's data port. Every
@@ -25,6 +26,11 @@ const (
 	// OpReplicateBlock instructs a worker to fetch a block from
 	// another worker and store it locally (paper §5).
 	OpReplicateBlock
+
+	// OpTraceDump asks a worker for its stored spans of one trace, so
+	// the master can assemble a cross-daemon timeline without the
+	// worker exposing an RPC server.
+	OpTraceDump
 )
 
 // MaxPacketSize bounds one data packet. 64 KiB balances syscall
@@ -50,6 +56,10 @@ type WriteBlockHeader struct {
 	// ReqID correlates this exchange with the client operation that
 	// caused it across master and worker logs.
 	ReqID string
+	// SpanID is the sender's span, parenting this stage's span; each
+	// stage replaces it with its own span ID before forwarding, so the
+	// pipeline's spans chain client → worker → downstream worker.
+	SpanID string
 }
 
 // WriteBlockAck closes an OpWriteBlock exchange, reporting per-stage
@@ -71,6 +81,8 @@ type ReadBlockHeader struct {
 	// ReqID correlates this exchange with the client operation that
 	// caused it across master and worker logs.
 	ReqID string
+	// SpanID is the reader's span, parenting the worker's read span.
+	SpanID string
 }
 
 // ReadBlockResponse precedes the packet stream of an OpReadBlock.
@@ -88,11 +100,25 @@ type ReplicateBlockHeader struct {
 	Sources []core.BlockLocation // replica locations to copy from, best first
 	// ReqID correlates this exchange across master and worker logs.
 	ReqID string
+	// SpanID is the requester's span, parenting the replication span.
+	SpanID string
 }
 
 // ReplicateBlockAck closes an OpReplicateBlock exchange.
 type ReplicateBlockAck struct {
 	Err string
+}
+
+// TraceDumpHeader opens an OpTraceDump exchange.
+type TraceDumpHeader struct {
+	TraceID string
+}
+
+// TraceDumpResponse carries the worker's retained spans for the
+// requested trace. The per-trace span cap keeps it well under the
+// control-frame size limit.
+type TraceDumpResponse struct {
+	Spans []trace.Span
 }
 
 // WriteFrame gob-encodes v as one length-prefixed frame.

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// RegisterDebugHandlers mounts a trace store on mux at /debug/traces
+// (JSON list of retained traces, newest first) and
+// /debug/traces/<traceID> (the trace's spans as JSON). fetch, when
+// non-nil, overrides single-trace lookup — the master passes its
+// cluster-assembly fan-out so the endpoint serves merged timelines;
+// workers pass nil and serve their local store.
+func RegisterDebugHandlers(mux *http.ServeMux, store *Store, fetch func(traceID string) ([]Span, error)) {
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(v)
+	}
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		list := store.List()
+		if list == nil {
+			list = []Summary{}
+		}
+		writeJSON(w, list)
+	})
+	mux.HandleFunc("/debug/traces/", func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/debug/traces/")
+		if id == "" || strings.Contains(id, "/") {
+			http.NotFound(w, r)
+			return
+		}
+		var spans []Span
+		if fetch != nil {
+			spans, _ = fetch(id)
+		}
+		if len(spans) == 0 {
+			spans = store.Get(id)
+		}
+		if len(spans) == 0 {
+			http.Error(w, "trace not retained: "+id, http.StatusNotFound)
+			return
+		}
+		writeJSON(w, spans)
+	})
+}

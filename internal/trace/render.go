@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderTree writes the spans of one trace as an indented tree with
+// per-span durations. Spans whose parent is absent from the set
+// (e.g. lost to sampling on another daemon) render as roots, so a
+// partial trace still produces a readable timeline.
+func RenderTree(w io.Writer, spans []Span) error {
+	if len(spans) == 0 {
+		_, err := fmt.Fprintln(w, "(no spans)")
+		return err
+	}
+	byID := make(map[string]Span, len(spans))
+	children := make(map[string][]Span)
+	for _, sp := range spans {
+		byID[sp.SpanID] = sp
+	}
+	var roots []Span
+	for _, sp := range spans {
+		if sp.ParentID != "" {
+			if _, ok := byID[sp.ParentID]; ok {
+				children[sp.ParentID] = append(children[sp.ParentID], sp)
+				continue
+			}
+		}
+		roots = append(roots, sp)
+	}
+	sortByStart := func(s []Span) {
+		sort.Slice(s, func(i, j int) bool {
+			if s[i].Start != s[j].Start {
+				return s[i].Start < s[j].Start
+			}
+			return s[i].SpanID < s[j].SpanID
+		})
+	}
+	sortByStart(roots)
+	for _, c := range children {
+		sortByStart(c)
+	}
+	var render func(sp Span, depth int) error
+	render = func(sp Span, depth int) error {
+		if _, err := fmt.Fprintln(w, renderLine(sp, depth)); err != nil {
+			return err
+		}
+		for _, c := range children[sp.SpanID] {
+			if err := render(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := render(r, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func renderLine(sp Span, depth int) string {
+	var b strings.Builder
+	b.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(&b, "%s %s (%s)", sp.Op, sp.Duration().Round(time.Microsecond), sp.Service)
+	for _, k := range sortedKeys(sp.Attrs) {
+		fmt.Fprintf(&b, " %s=%s", k, sp.Attrs[k])
+	}
+	if sp.Error != "" {
+		fmt.Fprintf(&b, " [ERROR: %s]", sp.Error)
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]string) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,6 +1,7 @@
 package worker
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -8,6 +9,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rpc"
+	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // serveData accepts and dispatches data-transfer connections.
@@ -62,6 +65,8 @@ func (w *Worker) handleConn(conn net.Conn) {
 		w.handleReadBlock(conn)
 	case rpc.OpReplicateBlock:
 		w.handleReplicateBlock(conn)
+	case rpc.OpTraceDump:
+		w.handleTraceDump(conn)
 	default:
 		w.cfg.Logger.Warn("unknown data opcode", "op", op[0])
 	}
@@ -78,21 +83,48 @@ func (w *Worker) handleWriteBlock(conn net.Conn) {
 		return
 	}
 	start := time.Now()
-	ack := w.writeBlockPipeline(conn, hdr)
-	ack.Err = rpc.WithReqID(ack.Err, hdr.ReqID)
+	sp := w.tracer.Start(hdr.ReqID, hdr.SpanID, "worker.write")
+	sp.Annotate("worker", string(w.id)).AnnotateInt("block", int64(hdr.Block.ID))
 	tier := "UNKNOWN"
+	var limiter *storage.RateLimiter
 	if len(hdr.Pipeline) > 0 {
 		if m, ok := w.media[hdr.Pipeline[0].Storage]; ok {
 			tier = m.Tier().String()
+			limiter = m.WriteLimit()
 		}
 	}
+	waitBefore := limiterWait(limiter)
+	ack := w.writeBlockPipeline(conn, hdr, sp)
+	ack.Err = rpc.WithReqID(ack.Err, hdr.ReqID)
+	sp.Annotate("tier", tier).AnnotateInt("bytes", ack.Stored)
+	if d := limiterWait(limiter) - waitBefore; d > 0 {
+		// Approximate under concurrent transfers on the same media:
+		// the counter delta includes other streams' waits.
+		sp.Annotate("throttle_wait", d.String())
+	}
+	if ack.Err != "" {
+		sp.SetError(errors.New(ack.Err))
+	}
+	// End (and thus store) the span before acking: once the client
+	// sees the ack, this stage's span is queryable.
+	sp.End()
 	w.metrics.observeOp("write", hdr.ReqID, start, ack.Stored, tier, ack.Err != "")
 	if err := rpc.WriteFrame(conn, ack); err != nil {
 		w.cfg.Logger.Warn("write ack failed", "err", err)
 	}
 }
 
-func (w *Worker) writeBlockPipeline(conn net.Conn, hdr rpc.WriteBlockHeader) rpc.WriteBlockAck {
+// limiterWait samples a throttle's cumulative wait time (0 for
+// unthrottled media).
+func limiterWait(l *storage.RateLimiter) time.Duration {
+	if l == nil {
+		return 0
+	}
+	_, d := l.Stats()
+	return d
+}
+
+func (w *Worker) writeBlockPipeline(conn net.Conn, hdr rpc.WriteBlockHeader, sp *trace.ActiveSpan) rpc.WriteBlockAck {
 	if len(hdr.Pipeline) == 0 {
 		return rpc.WriteBlockAck{Err: rpc.EncodeError(fmt.Errorf("worker: empty pipeline: %w", core.ErrNotFound))}
 	}
@@ -101,11 +133,13 @@ func (w *Worker) writeBlockPipeline(conn net.Conn, hdr rpc.WriteBlockHeader) rpc
 		return rpc.WriteBlockAck{Err: rpc.EncodeError(fmt.Errorf("worker: unknown media %s: %w", hdr.Pipeline[0].Storage, core.ErrNotFound))}
 	}
 
-	// Open the downstream stage, if any.
+	// Open the downstream stage, if any. The forwarded header carries
+	// this stage's span ID, chaining the pipeline's spans client →
+	// worker → downstream worker.
 	var downstream *rpc.BlockWriter
 	if len(hdr.Pipeline) > 1 {
 		var err error
-		downstream, err = rpc.OpenBlockWriterReq(hdr.Block, hdr.Pipeline[1:], hdr.Client, hdr.ReqID)
+		downstream, err = rpc.OpenBlockWriterSpan(hdr.Block, hdr.Pipeline[1:], hdr.Client, hdr.ReqID, sp.ID())
 		if err != nil {
 			return rpc.WriteBlockAck{Err: rpc.EncodeError(err)}
 		}
@@ -186,7 +220,20 @@ func (w *Worker) handleReadBlock(conn net.Conn) {
 		return
 	}
 	start := time.Now()
+	sp := w.tracer.Start(hdr.ReqID, hdr.SpanID, "worker.read")
+	sp.Annotate("worker", string(w.id)).AnnotateInt("block", int64(hdr.Block.ID))
+	var limiter *storage.RateLimiter
+	if m, ok := w.media[hdr.Storage]; ok {
+		limiter = m.ReadLimit()
+	}
+	waitBefore := limiterWait(limiter)
 	served, tier, err := w.readBlock(conn, hdr)
+	sp.Annotate("tier", tier).AnnotateInt("bytes", served)
+	if d := limiterWait(limiter) - waitBefore; d > 0 {
+		sp.Annotate("throttle_wait", d.String())
+	}
+	sp.SetError(err)
+	sp.End()
 	w.metrics.observeOp("read", hdr.ReqID, start, served, tier, err != nil)
 }
 
@@ -255,16 +302,35 @@ func (w *Worker) handleReplicateBlock(conn net.Conn) {
 		reqID = rpc.NewRequestID()
 	}
 	start := time.Now()
-	n, tier, err := w.replicate(reqID, hdr.Block, hdr.Target, hdr.Sources)
+	sp := w.tracer.Start(reqID, hdr.SpanID, "worker.replicate")
+	sp.Annotate("worker", string(w.id)).AnnotateInt("block", int64(hdr.Block.ID))
+	n, tier, err := w.replicate(reqID, sp, hdr.Block, hdr.Target, hdr.Sources)
+	sp.Annotate("tier", tier).AnnotateInt("bytes", n)
+	sp.SetError(err)
+	sp.End()
 	w.metrics.observeOp("replicate", reqID, start, n, tier, err != nil)
 	rpc.WriteFrame(conn, rpc.ReplicateBlockAck{Err: rpc.WithReqID(rpc.EncodeError(err), reqID)})
+}
+
+// handleTraceDump serves the worker's retained spans of one trace to
+// the master's assembly fan-out.
+func (w *Worker) handleTraceDump(conn net.Conn) {
+	var hdr rpc.TraceDumpHeader
+	if err := rpc.ReadFrame(conn, &hdr); err != nil {
+		return
+	}
+	if err := rpc.WriteFrame(conn, rpc.TraceDumpResponse{Spans: w.traces.Get(hdr.TraceID)}); err != nil {
+		w.cfg.Logger.Warn("trace dump failed", "trace", hdr.TraceID, "err", err)
+	}
 }
 
 // replicate copies a block from the best available source replica onto
 // local media (paper §5: the hosting worker uses the retrieval policy's
 // source ordering for copying from the most efficient location). It
-// returns the bytes stored and the target media's tier label.
-func (w *Worker) replicate(reqID string, block core.Block, target core.StorageID, sources []core.BlockLocation) (int64, string, error) {
+// returns the bytes stored and the target media's tier label. sp is
+// the caller's replication span; source reads carry its ID so the
+// serving worker's read span parents under it.
+func (w *Worker) replicate(reqID string, sp *trace.ActiveSpan, block core.Block, target core.StorageID, sources []core.BlockLocation) (int64, string, error) {
 	media, ok := w.media[target]
 	if !ok {
 		return 0, "UNKNOWN", fmt.Errorf("worker: unknown media %s: %w", target, core.ErrNotFound)
@@ -294,7 +360,7 @@ func (w *Worker) replicate(reqID string, block core.Block, target core.StorageID
 				return n, tier, nil
 			}
 		}
-		rc, _, err := rpc.OpenBlockReaderReq(src.Address, block, src.Storage, 0, -1, reqID)
+		rc, _, err := rpc.OpenBlockReaderSpan(src.Address, block, src.Storage, 0, -1, reqID, sp.ID())
 		if err != nil {
 			lastErr = err
 			continue

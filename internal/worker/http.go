@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // WorkerStatus is the JSON document served at /status.
@@ -58,6 +60,14 @@ func (w *Worker) ServeHTTP(addr string) (string, error) {
 	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(rw, "ok")
 	})
+	trace.RegisterDebugHandlers(mux, w.traces, nil)
+	if w.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	srv := &http.Server{Handler: mux}
 	w.wg.Add(1)
 	go func() {

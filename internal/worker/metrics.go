@@ -57,6 +57,7 @@ func newWorkerMetrics(w *Worker) *workerMetrics {
 	}
 	reg.GaugeFunc("octopus_worker_net_connections", "Active data-port connections.", nil,
 		func() float64 { return float64(w.netConns.Load()) })
+	metrics.RegisterRuntimeGauges(reg, "octopus_worker", time.Now())
 	return wm
 }
 

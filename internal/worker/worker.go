@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/rpc"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Config configures a Worker.
@@ -61,6 +62,20 @@ type Config struct {
 	// operation; negative disables slow-op logging. Daemons default it
 	// to 100ms via their -slowop flag.
 	SlowOpThreshold time.Duration
+
+	// TraceSample is the fraction of non-slow traces the in-memory
+	// trace store retains; slow traces (per SlowOpThreshold) are
+	// always kept. Zero selects the default (trace.DefaultSample);
+	// negative keeps only slow traces.
+	TraceSample float64
+
+	// TraceCapacity bounds the number of retained traces; zero
+	// selects trace.DefaultCapacity.
+	TraceCapacity int
+
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the HTTP
+	// endpoint. Off by default.
+	Pprof bool
 }
 
 func (c *Config) fillDefaults() {
@@ -93,6 +108,8 @@ type Worker struct {
 	conns    map[net.Conn]struct{}
 
 	metrics *workerMetrics
+	traces  *trace.Store
+	tracer  *trace.Tracer
 
 	done   chan struct{}
 	wg     sync.WaitGroup
@@ -136,6 +153,8 @@ func New(cfg Config) (*Worker, error) {
 		}
 		w.media[mc.ID] = m
 	}
+	w.traces = trace.NewStore(cfg.TraceCapacity, cfg.SlowOpThreshold, cfg.TraceSample)
+	w.tracer = trace.NewTracer("worker", w.traces)
 	w.metrics = newWorkerMetrics(w)
 
 	if err := w.register(); err != nil {
@@ -354,7 +373,12 @@ func (w *Worker) execute(cmd rpc.Command) {
 		w.metrics.commands.With("replicate").Inc()
 		reqID := rpc.NewRequestID()
 		start := time.Now()
-		n, tier, err := w.replicate(reqID, cmd.Block, cmd.Target, cmd.Sources)
+		sp := w.tracer.Start(reqID, "", "worker.replicate")
+		sp.Annotate("worker", string(w.id)).AnnotateInt("block", int64(cmd.Block.ID))
+		n, tier, err := w.replicate(reqID, sp, cmd.Block, cmd.Target, cmd.Sources)
+		sp.Annotate("tier", tier).AnnotateInt("bytes", n)
+		sp.SetError(err)
+		sp.End()
 		w.metrics.observeOp("replicate", reqID, start, n, tier, err != nil)
 		if err != nil {
 			w.cfg.Logger.Warn("replication command failed",
