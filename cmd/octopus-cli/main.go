@@ -20,16 +20,24 @@
 //	quota <dir> <tier|total> <MB>    set a per-tier space quota (-1 clears)
 //	du <path>                        subtree usage incl. per-tier bytes
 //	fsck <path>                      per-file replication health
-//	metrics <http-addr>              dump a daemon's /metrics endpoint
+//	metrics [-json] <http-addr>      dump a daemon's /metrics endpoint
 //	trace <req-id>                   print the merged span timeline of one request
+//	events [-json] [-since n] [-type t] [-limit n]
+//	                                 page through the cluster event journal
+//	top [-last n]                    cluster telemetry: live sample + history
+//	health                           probe master + all live workers' /healthz
+//	explain <path>                   why each replica landed where it did
+//	decommission <worker-id>         remove a worker from service
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -38,6 +46,17 @@ import (
 	"repro/internal/core"
 	"repro/internal/trace"
 )
+
+// knownCommands lists every subcommand run() dispatches on, so main
+// can reject typos with usage and a non-zero exit before dialling the
+// master.
+var knownCommands = map[string]bool{
+	"mkdir": true, "ls": true, "put": true, "get": true, "cat": true,
+	"rm": true, "mv": true, "stat": true, "setrep": true, "locations": true,
+	"tiers": true, "report": true, "quota": true, "du": true, "fsck": true,
+	"trace": true, "events": true, "top": true, "health": true,
+	"explain": true, "decommission": true,
+}
 
 func main() {
 	masterAddr := flag.String("master", "localhost:9000", "master RPC address")
@@ -54,11 +73,19 @@ func main() {
 	// metrics talks to a daemon's HTTP endpoint, not the master RPC
 	// port, so handle it before dialling.
 	if args[0] == "metrics" {
-		need(args[1:], 1)
-		if err := showMetrics(os.Stdout, args[1]); err != nil {
+		fl := flag.NewFlagSet("metrics", flag.ExitOnError)
+		jsonOut := fl.Bool("json", false, "dump the JSON exposition instead of Prometheus text")
+		fl.Parse(args[1:])
+		need(fl.Args(), 1)
+		if err := showMetrics(os.Stdout, fl.Args()[0], *jsonOut); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if !knownCommands[args[0]] {
+		fmt.Fprintf(os.Stderr, "octopus-cli: unknown command %q\n", args[0])
+		usage()
+		os.Exit(2)
 	}
 
 	opts := []client.Option{
@@ -309,18 +336,193 @@ func run(fs *client.FileSystem, args []string) error {
 		}
 		fmt.Printf("trace %s: %d spans\n", rest[0], len(spans))
 		return trace.RenderTree(os.Stdout, spans)
+
+	case "events":
+		fl := flag.NewFlagSet("events", flag.ContinueOnError)
+		jsonOut := fl.Bool("json", false, "emit the page as JSON")
+		since := fl.Uint64("since", 0, "exclusive sequence cursor (0 = oldest retained)")
+		typ := fl.String("type", "", "filter by event type")
+		limit := fl.Int("limit", 0, "page size cap (0 = server default)")
+		if err := fl.Parse(rest); err != nil {
+			return err
+		}
+		page, counts, err := fs.Events(*since, *typ, *limit)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(struct {
+				Events  any               `json:"events"`
+				Next    uint64            `json:"next"`
+				Missed  uint64            `json:"missed"`
+				Evicted uint64            `json:"evicted"`
+				Counts  map[string]uint64 `json:"counts"`
+			}{page.Events, page.Next, page.Missed, page.Evicted, counts})
+		}
+		for _, e := range page.Events {
+			line := fmt.Sprintf("%6d  %s  %-5s %-22s %s",
+				e.Seq, time.Unix(0, e.Time).Format("15:04:05.000"), e.Severity, e.Type, e.Message)
+			if len(e.Attrs) > 0 {
+				keys := make([]string, 0, len(e.Attrs))
+				for k := range e.Attrs {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					line += fmt.Sprintf(" %s=%s", k, e.Attrs[k])
+				}
+			}
+			if e.TraceID != "" {
+				line += " trace=" + e.TraceID
+			}
+			fmt.Println(line)
+		}
+		if page.Missed > 0 {
+			fmt.Printf("(%d events missed to eviction)\n", page.Missed)
+		}
+		fmt.Printf("next cursor: %d\n", page.Next)
+		return nil
+
+	case "top":
+		fl := flag.NewFlagSet("top", flag.ContinueOnError)
+		last := fl.Int("last", 0, "trailing history samples to fetch (0 = all retained)")
+		if err := fl.Parse(rest); err != nil {
+			return err
+		}
+		samples, err := fs.ClusterHistory(*last)
+		if err != nil {
+			return err
+		}
+		if len(samples) == 0 {
+			fmt.Println("no telemetry samples")
+			return nil
+		}
+		latest := samples[len(samples)-1]
+		span := time.Duration(latest.TimeNs - samples[0].TimeNs)
+		fmt.Printf("cluster telemetry: %d samples spanning %s — %d files, %d blocks\n",
+			len(samples), span.Round(time.Millisecond), latest.Files, latest.Blocks)
+		fmt.Printf("\n%-10s%8s%14s%14s%12s%12s\n",
+			"tier", "media", "capacity MB", "remaining MB", "write MB/s", "read MB/s")
+		for _, t := range latest.Tiers {
+			fmt.Printf("%-10s%8d%14d%14d%12.1f%12.1f\n",
+				t.Tier, t.NumMedia, t.Capacity>>20, t.Remaining>>20,
+				t.WriteThruMBps, t.ReadThruMBps)
+		}
+		fmt.Printf("\n%-14s%14s%12s%8s%12s%12s\n",
+			"worker", "capacity MB", "used MB", "conns", "write MB/s", "read MB/s")
+		for _, w := range latest.Workers {
+			fmt.Printf("%-14s%14d%12d%8d%12.1f%12.1f\n",
+				w.ID, w.Capacity>>20, w.Used>>20, w.NetConns, w.WriteMBps, w.ReadMBps)
+		}
+		return nil
+
+	case "health":
+		rep, err := fs.ClusterReport()
+		if err != nil {
+			return err
+		}
+		type probe struct{ name, addr string }
+		probes := []probe{{"master", rep.MasterHTTP}}
+		for _, w := range rep.Workers {
+			probes = append(probes, probe{"worker " + string(w.ID), w.HTTPAddr})
+		}
+		failed := 0
+		for _, p := range probes {
+			status := "ok"
+			if p.addr == "" {
+				status = "no http endpoint"
+			} else if err := checkHealthz(p.addr); err != nil {
+				status = "FAIL: " + err.Error()
+				failed++
+			}
+			fmt.Printf("%-24s %-22s %s\n", p.name, p.addr, status)
+		}
+		if failed > 0 {
+			return fmt.Errorf("%d of %d health checks failed", failed, len(probes))
+		}
+		return nil
+
+	case "explain":
+		need(rest, 1)
+		reply, err := fs.Explain(rest[0])
+		if err != nil {
+			return err
+		}
+		if len(reply.Blocks) == 0 {
+			fmt.Printf("%s: no retained placement decisions (old block, or non-MOOP policy)\n", rest[0])
+			return nil
+		}
+		names := reply.Objectives
+		fvec := func(v [4]float64) string {
+			return fmt.Sprintf("%s=%.3f %s=%.3f %s=%.3f %s=%.3f",
+				names[0], v[0], names[1], v[1], names[2], v[2], names[3], v[3])
+		}
+		fmt.Printf("%s: %d blocks with placement decisions\n", reply.Path, len(reply.Blocks))
+		for _, b := range reply.Blocks {
+			fmt.Printf("\nblock %d  placed %s  trace=%s\n",
+				b.Block, time.Unix(0, b.TimeNs).Format("15:04:05.000"), b.TraceID)
+			for i, r := range b.Replicas {
+				entry := "any tier"
+				if r.Entry != core.TierUnspecified {
+					entry = r.Entry.String()
+				}
+				fmt.Printf("  replica %d (%s): %d candidates considered, ideal %s\n",
+					i, entry, r.Considered, fvec(r.Ideal))
+				for _, c := range r.Candidates {
+					mark := "      "
+					if c.Chosen {
+						mark = "chosen"
+					}
+					fmt.Printf("    %s %-20s %-8s %-10s score=%.4f  %s\n",
+						mark, c.Storage, c.Tier, c.Node, c.Score, fvec(c.Objectives))
+				}
+			}
+		}
+		return nil
+
+	case "decommission":
+		need(rest, 1)
+		if err := fs.Decommission(core.WorkerID(rest[0])); err != nil {
+			return err
+		}
+		fmt.Printf("worker %s decommissioned; replicas will be re-replicated\n", rest[0])
+		return nil
 	}
 	usage()
 	return fmt.Errorf("unknown command %q", cmd)
 }
 
-// showMetrics dumps the Prometheus exposition of a master's or
-// worker's HTTP endpoint.
-func showMetrics(out io.Writer, addr string) error {
+// checkHealthz probes one daemon's /healthz endpoint.
+func checkHealthz(addr string) error {
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
 	}
-	resp, err := http.Get(strings.TrimSuffix(addr, "/") + "/metrics")
+	c := &http.Client{Timeout: 3 * time.Second}
+	resp, err := c.Get(strings.TrimSuffix(addr, "/") + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz returned %s", resp.Status)
+	}
+	return nil
+}
+
+// showMetrics dumps the Prometheus exposition of a master's or
+// worker's HTTP endpoint (or the JSON exposition with jsonOut).
+func showMetrics(out io.Writer, addr string, jsonOut bool) error {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	url := strings.TrimSuffix(addr, "/") + "/metrics"
+	if jsonOut {
+		url += "?format=json"
+	}
+	resp, err := http.Get(url)
 	if err != nil {
 		return err
 	}
@@ -341,7 +543,8 @@ func need(args []string, n int) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: octopus-cli [-master addr] [-node name] [-readahead k] [-write-window k] <command> [args]
-commands: mkdir ls put get cat rm mv stat setrep locations tiers report quota du fsck metrics trace`)
+commands: mkdir ls put get cat rm mv stat setrep locations tiers report quota du fsck
+          metrics trace events top health explain decommission`)
 }
 
 func fatal(err error) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -36,6 +37,13 @@ func TestCLICommands(t *testing.T) {
 		{"ls", "/cli"},
 		{"stat", "/cli/f"},
 		{"locations", "/cli/f"},
+		{"explain", "/cli/f"},
+		{"events"},
+		{"events", "-json", "-limit", "5"},
+		{"events", "-type", "block_committed"},
+		{"top"},
+		{"top", "-last", "3"},
+		{"health"},
 		{"tiers"},
 		{"report"},
 		{"du", "/cli"},
@@ -88,6 +96,12 @@ func TestCLICommands(t *testing.T) {
 	if err := run(fs, []string{"definitely-not-a-command"}); err == nil {
 		t.Error("unknown command succeeded")
 	}
+	if err := run(fs, []string{"explain", "/missing"}); err == nil {
+		t.Error("explain of missing path succeeded")
+	}
+	if err := run(fs, []string{"decommission", "no-such-worker"}); err == nil {
+		t.Error("decommission of unknown worker succeeded")
+	}
 }
 
 // TestCLIMetrics fetches a live master's Prometheus exposition through
@@ -104,14 +118,24 @@ func TestCLIMetrics(t *testing.T) {
 	}
 
 	var out strings.Builder
-	if err := showMetrics(&out, addr); err != nil {
+	if err := showMetrics(&out, addr, false); err != nil {
 		t.Fatalf("showMetrics: %v", err)
 	}
 	if !strings.Contains(out.String(), "octopus_master_workers") {
 		t.Fatalf("exposition missing octopus_master_workers:\n%s", out.String())
 	}
 
-	if err := showMetrics(&out, "127.0.0.1:1"); err == nil {
+	// The -json variant fetches the JSON exposition.
+	var jsonOut strings.Builder
+	if err := showMetrics(&jsonOut, addr, true); err != nil {
+		t.Fatalf("showMetrics -json: %v", err)
+	}
+	var doc any
+	if err := json.Unmarshal([]byte(jsonOut.String()), &doc); err != nil {
+		t.Fatalf("-json exposition is not JSON: %v\n%s", err, jsonOut.String())
+	}
+
+	if err := showMetrics(&out, "127.0.0.1:1", false); err == nil {
 		t.Error("showMetrics against a dead address succeeded")
 	}
 }

@@ -35,6 +35,8 @@ func main() {
 		httpAddr  = flag.String("http", "", "HTTP status/metrics endpoint address (e.g. :9870; empty disables)")
 		slowOp    = flag.Duration("slowop", 100*time.Millisecond, "slow-op log threshold (0 logs every op, negative disables)")
 		traceRate = flag.Float64("trace-sample", 0.1, "fraction of fast traces retained (slow traces always kept)")
+		eventCap  = flag.Int("events", 0, "event journal capacity (0 = default)")
+		histEvery = flag.Duration("history-interval", 0, "telemetry history sampling interval (0 = default, negative disables)")
 		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -http endpoint")
 		backup    = flag.Bool("backup", false, "run as a Backup Master")
 		primary   = flag.String("primary", "", "primary master address (backup mode)")
@@ -83,6 +85,8 @@ func main() {
 		Logger:          logger,
 		SlowOpThreshold: *slowOp,
 		TraceSample:     *traceRate,
+		EventCapacity:   *eventCap,
+		HistoryInterval: *histEvery,
 		Pprof:           *pprofOn,
 	})
 	if err != nil {

@@ -1,0 +1,58 @@
+package client
+
+import (
+	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/rpc"
+)
+
+// This file holds the administrative/observability client surface:
+// the cluster event journal, the telemetry history, placement
+// explanations, and worker decommissioning. octopus-cli builds its
+// events/top/explain/health/decommission subcommands on it.
+
+// Events fetches one page of the cluster event journal. since is an
+// exclusive sequence cursor (0 = oldest retained); polling with
+// since = page.Next is exactly-once over retained events. typ filters
+// by event type ("" = all); limit caps the page (<= 0 = server
+// default). The second result carries the per-type lifetime counters.
+func (fs *FileSystem) Events(since uint64, typ string, limit int) (events.Page, map[string]uint64, error) {
+	var reply rpc.GetEventsReply
+	err := fs.call("Master.GetEvents", &rpc.GetEventsArgs{
+		Since: since, Type: typ, Limit: limit,
+	}, &reply)
+	return reply.Page, reply.Counts, err
+}
+
+// ClusterHistory fetches the master's sampled telemetry history,
+// oldest first, always ending with a fresh live sample. last trims to
+// the trailing n samples (<= 0 = all retained).
+func (fs *FileSystem) ClusterHistory(last int) ([]rpc.ClusterSample, error) {
+	var reply rpc.GetClusterHistoryReply
+	err := fs.call("Master.GetClusterHistory", &rpc.GetClusterHistoryArgs{Last: last}, &reply)
+	return reply.Samples, err
+}
+
+// Explain fetches the retained placement decisions for a file: for
+// every replica of every block, the winning (worker, tier) with its
+// four-objective score vector plus the rejected candidates' scores.
+func (fs *FileSystem) Explain(path string) (rpc.ExplainReply, error) {
+	var reply rpc.ExplainReply
+	err := fs.call("Master.Explain", &rpc.ExplainArgs{Path: path}, &reply)
+	return reply, err
+}
+
+// Decommission removes a worker from service: its replicas are
+// re-replicated elsewhere and the worker may not re-register.
+func (fs *FileSystem) Decommission(id core.WorkerID) error {
+	return fs.call("Master.Decommission", &rpc.DecommissionArgs{ID: id}, &rpc.DecommissionReply{})
+}
+
+// ClusterReport returns the full worker-reports reply, including each
+// worker's debug HTTP endpoint and the master's own, so admin tools
+// can fan out health checks without extra configuration.
+func (fs *FileSystem) ClusterReport() (rpc.WorkerReportsReply, error) {
+	var reply rpc.WorkerReportsReply
+	err := fs.call("Master.GetWorkerReports", &rpc.WorkerReportsArgs{}, &reply)
+	return reply, err
+}

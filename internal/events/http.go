@@ -1,0 +1,55 @@
+package events
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// debugResponse is the /debug/events JSON document: one cursor page
+// plus the per-type lifetime counters.
+type debugResponse struct {
+	Page
+	Counts map[string]uint64 `json:"counts"`
+}
+
+// RegisterDebugHandler mounts the journal on mux at /debug/events.
+// Query parameters: ?since=<seq> resumes a cursor (default 0 = from
+// the oldest retained event), ?type=<type> filters by event type, and
+// ?limit=<n> caps the page size (default 1000). The response carries
+// the next cursor and the number of events lost to eviction so pollers
+// can page through churn without re-delivery or silent gaps.
+func RegisterDebugHandler(mux *http.ServeMux, j *Journal) {
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		since, err := parseUint(q.Get("since"))
+		if err != nil {
+			http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		limit := 1000
+		if s := q.Get("limit"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				http.Error(w, "bad limit: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		page := j.Since(since, q.Get("type"), limit)
+		if page.Events == nil {
+			page.Events = []Event{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(debugResponse{Page: page, Counts: j.Counts()})
+	})
+}
+
+func parseUint(s string) (uint64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	return strconv.ParseUint(s, 10, 64)
+}

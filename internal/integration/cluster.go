@@ -76,6 +76,13 @@ type ClusterConfig struct {
 	// heartbeats before declaring a worker dead (0 = 10s). Failover
 	// tests shrink it so killed workers deregister quickly.
 	WorkerTimeout time.Duration
+
+	// EventCapacity bounds each daemon's event journal (0 = default).
+	EventCapacity int
+
+	// HistoryInterval paces the master's telemetry sampling (0 =
+	// default; negative disables sampling).
+	HistoryInterval time.Duration
 }
 
 // DefaultClusterConfig mirrors the paper's worker shape at laptop
@@ -144,6 +151,8 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		Logger:          cfg.MasterLogger,
 		SlowOpThreshold: cfg.SlowOpThreshold,
 		TraceSample:     cfg.TraceSample,
+		EventCapacity:   cfg.EventCapacity,
+		HistoryInterval: cfg.HistoryInterval,
 	})
 	if err != nil {
 		return nil, err
@@ -228,6 +237,7 @@ func (c *Cluster) startWorker(i int) (*worker.Worker, error) {
 		Logger:              cfg.WorkerLogger,
 		SlowOpThreshold:     cfg.SlowOpThreshold,
 		TraceSample:         cfg.TraceSample,
+		EventCapacity:       cfg.EventCapacity,
 	})
 }
 

@@ -7,9 +7,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/events"
+	"repro/internal/rpc"
 	"repro/internal/trace"
 )
 
@@ -79,6 +82,26 @@ func (m *Master) ServeHTTP(addr string) (string, error) {
 	// /debug/traces/<id> serves the cluster-assembled timeline (the
 	// master fans out to live workers); the list shows the local store.
 	trace.RegisterDebugHandlers(mux, m.traces, m.AssembleTrace)
+	// /debug/events serves the cluster event journal with ?since
+	// cursoring; /debug/history the sampled telemetry ring.
+	events.RegisterDebugHandler(mux, m.journal)
+	mux.HandleFunc("/debug/history", func(w http.ResponseWriter, r *http.Request) {
+		last := 0
+		if s := r.URL.Query().Get("last"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				http.Error(w, "bad last: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			last = n
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Samples []rpc.ClusterSample `json:"samples"`
+		}{m.clusterHistory(last)})
+	})
 	if m.cfg.Pprof {
 		registerPprof(mux)
 	}
@@ -104,6 +127,9 @@ func (m *Master) ServeHTTP(addr string) (string, error) {
 		}
 	})
 	srv := &http.Server{Handler: mux}
+	m.mu.Lock()
+	m.httpAddr = ln.Addr().String()
+	m.mu.Unlock()
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()

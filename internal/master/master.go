@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/blockmgmt"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/namespace"
 	"repro/internal/policy"
 	"repro/internal/rpc"
@@ -82,6 +83,15 @@ type Config struct {
 	// selects trace.DefaultCapacity.
 	TraceCapacity int
 
+	// EventCapacity bounds the cluster event journal; zero selects
+	// events.DefaultCapacity.
+	EventCapacity int
+
+	// HistoryInterval paces telemetry history sampling; zero selects
+	// the default (2s). Negative disables sampling (GetClusterHistory
+	// then returns only a live sample).
+	HistoryInterval time.Duration
+
 	// Pprof mounts net/http/pprof under /debug/pprof/ on the HTTP
 	// endpoint. Off by default: profiling endpoints should be opted
 	// into on production daemons.
@@ -121,6 +131,7 @@ type workerState struct {
 	node     string
 	rack     string
 	dataAddr string
+	httpAddr string
 	netMBps  float64
 	netConns int
 	media    map[core.StorageID]rpc.MediaStat
@@ -156,6 +167,22 @@ type Master struct {
 	metrics *masterMetrics
 	traces  *trace.Store
 	tracer  *trace.Tracer
+	journal *events.Journal
+
+	// decommissioned workers may not re-register; guarded by mu.
+	decommissioned map[core.WorkerID]struct{}
+	// httpAddr is the bound debug HTTP endpoint (set by ServeHTTP);
+	// guarded by mu.
+	httpAddr string
+
+	histMu    sync.Mutex
+	history   []rpc.ClusterSample // telemetry ring, len == historyCapacity
+	histStart int
+	histN     int
+
+	placeMu    sync.Mutex
+	placements map[core.BlockID]rpc.BlockExplanation
+	placeOrder []core.BlockID // FIFO eviction order
 
 	ln     net.Listener
 	srv    *netrpc.Server
@@ -175,22 +202,30 @@ func New(cfg Config) (*Master, error) {
 		return nil, err
 	}
 	m := &Master{
-		cfg:       cfg,
-		ns:        ns,
-		blocks:    blockmgmt.NewManager(),
-		topo:      topology.NewMap(),
-		workers:   make(map[core.WorkerID]*workerState),
-		pending:   make(map[core.WorkerID][]rpc.Command),
-		scheduled: make(map[core.StorageID]int),
-		repairing: make(map[core.BlockID]time.Time),
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		done:      make(chan struct{}),
-		conns:     make(map[net.Conn]struct{}),
-		started:   time.Now(),
+		cfg:            cfg,
+		ns:             ns,
+		blocks:         blockmgmt.NewManager(),
+		topo:           topology.NewMap(),
+		workers:        make(map[core.WorkerID]*workerState),
+		pending:        make(map[core.WorkerID][]rpc.Command),
+		scheduled:      make(map[core.StorageID]int),
+		repairing:      make(map[core.BlockID]time.Time),
+		decommissioned: make(map[core.WorkerID]struct{}),
+		history:        make([]rpc.ClusterSample, historyCapacity),
+		placements:     make(map[core.BlockID]rpc.BlockExplanation),
+		rng:            rand.New(rand.NewSource(cfg.Seed)),
+		done:           make(chan struct{}),
+		conns:          make(map[net.Conn]struct{}),
+		started:        time.Now(),
 	}
+	m.journal = events.NewJournal(cfg.EventCapacity)
 	m.traces = trace.NewStore(cfg.TraceCapacity, cfg.SlowOpThreshold, cfg.TraceSample)
 	m.tracer = trace.NewTracer("master", m.traces)
 	m.metrics = newMasterMetrics(m)
+	m.metrics.slow.SetSink(func(op, reqID string, d time.Duration) {
+		m.journal.PublishTraced(events.Warn, evSlowOp, reqID,
+			"slow operation on master", "op", op, "dur", d.String())
+	})
 	// Rebuild the block map from the recovered namespace; replica
 	// locations arrive via the workers' block reports.
 	ns.ForEachFile(func(path string, blocks []core.Block, rv core.ReplicationVector) {
@@ -399,6 +434,11 @@ func (m *Master) monitor() {
 	defer m.wg.Done()
 	ticker := time.NewTicker(m.cfg.MonitorInterval)
 	defer ticker.Stop()
+	histEvery := m.cfg.HistoryInterval
+	if histEvery == 0 {
+		histEvery = defaultHistoryInterval
+	}
+	var lastSample time.Time
 	for {
 		select {
 		case <-m.done:
@@ -407,6 +447,10 @@ func (m *Master) monitor() {
 			m.expireWorkers()
 			m.recoverLeases()
 			m.repairBlocks()
+			if histEvery > 0 && time.Since(lastSample) >= histEvery {
+				m.sampleHistory()
+				lastSample = time.Now()
+			}
 		}
 	}
 }
@@ -422,26 +466,30 @@ func (m *Master) recoverLeases() {
 			continue // e.g. completed concurrently
 		}
 		m.cfg.Logger.Warn("lease expired; abandoned file", "path", path)
+		m.journal.Publish(events.Warn, evLeaseExpired,
+			"writer lease expired; file abandoned", "path", path)
 		m.invalidateBlocks(blocks)
 	}
 }
 
 func (m *Master) expireWorkers() {
 	cutoff := time.Now().Add(-m.cfg.WorkerTimeout)
-	var expired []core.WorkerID
+	var expired []*workerState
 	m.mu.Lock()
 	for id, w := range m.workers {
 		if w.lastSeen.Before(cutoff) {
-			expired = append(expired, id)
+			expired = append(expired, w)
 			delete(m.workers, id)
 			delete(m.pending, id)
 			m.topo.Remove(w.node)
 		}
 	}
 	m.mu.Unlock()
-	for _, id := range expired {
-		m.cfg.Logger.Warn("worker expired", "worker", id)
-		m.blocks.RemoveWorker(id)
+	for _, w := range expired {
+		m.cfg.Logger.Warn("worker expired", "worker", w.id)
+		m.journal.Publish(events.Warn, evWorkerExpired,
+			"worker heartbeat expired", "worker", string(w.id), "node", w.node)
+		m.blocks.RemoveWorker(w.id)
 	}
 }
 
@@ -535,6 +583,12 @@ func (m *Master) replicateBlock(snap *policy.Snapshot, info blockmgmt.BlockInfo,
 		})
 		m.cfg.Logger.Info("scheduled re-replication",
 			"block", info.Block.ID, "target", tgt.ID)
+		m.journal.Publish(events.Warn, evBlockRereplicated,
+			"under-replicated block scheduled for re-replication",
+			"block", formatBlockID(info.Block.ID),
+			"target", string(tgt.ID),
+			"worker", string(tgt.Worker),
+			"tier", tgt.Tier.String())
 	}
 }
 
@@ -573,6 +627,11 @@ func (m *Master) removeExcess(snap *policy.Snapshot, info blockmgmt.BlockInfo, s
 				})
 				m.cfg.Logger.Info("scheduled excess removal",
 					"block", info.Block.ID, "storage", r.Storage)
+				m.journal.Publish(events.Info, evBlockExcessRemoved,
+					"over-replicated block scheduled for replica removal",
+					"block", formatBlockID(info.Block.ID),
+					"storage", string(r.Storage),
+					"worker", string(r.Worker))
 				replicas = append(replicas[:i], replicas[i+1:]...)
 				break
 			}

@@ -5,10 +5,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/blockmgmt"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/namespace"
 	"repro/internal/policy"
 	"repro/internal/rpc"
@@ -65,7 +68,7 @@ func (s *Service) AddBlock(args *rpc.AddBlockArgs, reply *rpc.AddBlockReply) (er
 	opSpan, done := s.m.trackOpSpan("addBlock", args.ReqHeader)
 	defer done(&err)
 	if args.Previous != nil {
-		if err := s.m.commitBlock(args.Path, *args.Previous); err != nil {
+		if err := s.m.commitBlock(args.Path, *args.Previous, args.ReqID); err != nil {
 			return wire(err)
 		}
 	}
@@ -84,15 +87,22 @@ func (s *Service) AddBlock(args *rpc.AddBlockArgs, reply *rpc.AddBlockReply) (er
 	// tuning against observed per-tier service times.
 	placeSpan := s.m.tracer.Start(args.ReqID, opSpan.ID(), "master.placement")
 	var targets []policy.Media
+	var decisions []policy.ReplicaDecision
 	var perr error
+	explainer, canExplain := s.m.cfg.Placement.(policy.ExplainingPolicy)
 	s.m.withRand(func(rng *rand.Rand) {
-		targets, perr = s.m.cfg.Placement.PlaceReplicas(policy.PlacementRequest{
+		req := policy.PlacementRequest{
 			Snapshot:  snap,
 			Client:    s.clientLocation(args.ClientNode),
 			RepVector: rv,
 			BlockSize: blockSize,
 			Rand:      rng,
-		})
+		}
+		if canExplain {
+			targets, decisions, perr = explainer.PlaceReplicasExplained(req)
+		} else {
+			targets, perr = s.m.cfg.Placement.PlaceReplicas(req)
+		}
 	})
 	for _, t := range targets {
 		placeSpan.Annotate("tier."+string(t.ID), t.Tier.String())
@@ -108,6 +118,17 @@ func (s *Service) AddBlock(args *rpc.AddBlockArgs, reply *rpc.AddBlockReply) (er
 		return wire(err)
 	}
 	s.m.blocks.AddBlock(blk, rv)
+	tiers := make([]string, len(targets))
+	for i, t := range targets {
+		tiers[i] = t.Tier.String()
+	}
+	s.m.journal.PublishTraced(events.Info, evBlockAllocated, args.ReqID,
+		"block allocated",
+		"path", args.Path,
+		"block", formatBlockID(blk.ID),
+		"replicas", strconv.Itoa(len(targets)),
+		"tiers", strings.Join(tiers, ","))
+	s.m.recordPlacement(args.Path, blk, args.ReqID, decisions)
 
 	located := core.LocatedBlock{Block: blk, Offset: offset}
 	for _, t := range targets {
@@ -137,11 +158,16 @@ func (s *Service) AddBlock(args *rpc.AddBlockArgs, reply *rpc.AddBlockReply) (er
 }
 
 // commitBlock records a finished block in both metadata collections.
-func (m *Master) commitBlock(path string, b core.Block) error {
+func (m *Master) commitBlock(path string, b core.Block, reqID string) error {
 	if err := m.ns.CommitBlock(path, b); err != nil {
 		return err
 	}
 	m.blocks.CommitBlock(b)
+	m.journal.PublishTraced(events.Info, evBlockCommitted, reqID,
+		"block committed",
+		"path", path,
+		"block", formatBlockID(b.ID),
+		"bytes", strconv.FormatInt(b.NumBytes, 10))
 	return nil
 }
 
@@ -150,7 +176,7 @@ func (m *Master) commitBlock(path string, b core.Block) error {
 // each block as its pipeline ack arrives.
 func (s *Service) CommitBlock(args *rpc.CommitBlockArgs, _ *rpc.CommitBlockReply) (err error) {
 	defer s.m.trackOp("commitBlock", args.ReqHeader)(&err)
-	return wire(s.m.commitBlock(args.Path, args.Block))
+	return wire(s.m.commitBlock(args.Path, args.Block, args.ReqID))
 }
 
 // Complete seals a file after its final block.
@@ -158,6 +184,11 @@ func (s *Service) Complete(args *rpc.CompleteArgs, _ *rpc.CompleteReply) (err er
 	defer s.m.trackOp("complete", args.ReqHeader)(&err)
 	if args.Last != nil {
 		s.m.blocks.CommitBlock(*args.Last)
+		s.m.journal.PublishTraced(events.Info, evBlockCommitted, args.ReqID,
+			"final block committed at file completion",
+			"path", args.Path,
+			"block", formatBlockID(args.Last.ID),
+			"bytes", strconv.FormatInt(args.Last.NumBytes, 10))
 	}
 	return wire(s.m.ns.Complete(args.Path, args.Last))
 }
@@ -189,9 +220,14 @@ func (s *Service) AbandonBlock(args *rpc.AbandonBlockArgs, _ *rpc.AbandonBlockRe
 // their workers.
 func (m *Master) invalidateBlocks(blocks []core.Block) {
 	for _, b := range blocks {
-		for _, r := range m.blocks.RemoveBlock(b.ID) {
+		replicas := m.blocks.RemoveBlock(b.ID)
+		for _, r := range replicas {
 			m.enqueue(r.Worker, rpc.Command{Kind: rpc.CmdDelete, Block: b, Target: r.Storage})
 		}
+		m.journal.Publish(events.Info, evBlockAbandoned,
+			"block invalidated; replica deletion scheduled",
+			"block", formatBlockID(b.ID),
+			"replicas", strconv.Itoa(len(replicas)))
 	}
 }
 
@@ -349,6 +385,11 @@ func (s *Service) ReportBadBlock(args *ReportBadBlockArgs, _ *ReportBadBlockRepl
 	defer s.m.trackOp("reportBadBlock", args.ReqHeader)(&err)
 	s.m.blocks.RemoveReplica(args.Block.ID, args.Storage)
 	s.m.enqueue(args.Worker, rpc.Command{Kind: rpc.CmdDelete, Block: args.Block, Target: args.Storage})
+	s.m.journal.PublishTraced(events.Error, evBlockCorrupt, args.ReqID,
+		"corrupt replica reported; deletion scheduled",
+		"block", formatBlockID(args.Block.ID),
+		"storage", string(args.Storage),
+		"worker", string(args.Worker))
 	return nil
 }
 
@@ -364,6 +405,7 @@ func (s *Service) Register(args *rpc.RegisterArgs, reply *rpc.RegisterReply) (er
 		node:     args.Node,
 		rack:     rack,
 		dataAddr: args.DataAddr,
+		httpAddr: args.HTTPAddr,
 		netMBps:  args.NetMBps,
 		media:    make(map[core.StorageID]rpc.MediaStat, len(args.Media)),
 		lastSeen: time.Now(),
@@ -371,12 +413,20 @@ func (s *Service) Register(args *rpc.RegisterArgs, reply *rpc.RegisterReply) (er
 	for _, ms := range args.Media {
 		w.media[ms.ID] = ms
 	}
-	s.m.topo.Add(args.Node, rack)
 	s.m.mu.Lock()
+	if _, gone := s.m.decommissioned[args.ID]; gone {
+		s.m.mu.Unlock()
+		return wire(fmt.Errorf("master: worker %s is decommissioned: %w", args.ID, core.ErrPermission))
+	}
 	s.m.workers[args.ID] = w
 	s.m.mu.Unlock()
+	s.m.topo.Add(args.Node, rack)
 	s.m.cfg.Logger.Info("worker registered",
 		"worker", args.ID, "rack", rack, "media", len(args.Media))
+	s.m.journal.PublishTraced(events.Info, evWorkerRegister, args.ReqID,
+		"worker registered",
+		"worker", string(args.ID), "node", args.Node, "rack", rack,
+		"media", strconv.Itoa(len(args.Media)))
 	reply.Registered = args.ID
 	return nil
 }
@@ -395,6 +445,9 @@ func (s *Service) Heartbeat(args *rpc.HeartbeatArgs, reply *rpc.HeartbeatReply) 
 	w.netConns = args.NetConns
 	if args.NetMBps > 0 {
 		w.netMBps = args.NetMBps
+	}
+	if args.HTTPAddr != "" {
+		w.httpAddr = args.HTTPAddr
 	}
 	for _, ms := range args.Media {
 		w.media[ms.ID] = ms
@@ -573,10 +626,11 @@ func (s *Service) GetWorkerReports(args *rpc.WorkerReportsArgs, reply *rpc.Worke
 	defer s.m.trackOp("getWorkerReports", args.ReqHeader)(&err)
 	s.m.mu.RLock()
 	defer s.m.mu.RUnlock()
+	reply.MasterHTTP = s.m.httpAddr
 	for _, w := range s.m.workers {
 		wr := rpc.WorkerReport{
 			ID: w.id, Node: w.node, Rack: w.rack,
-			DataAddr: w.dataAddr, NetMBps: w.netMBps,
+			DataAddr: w.dataAddr, HTTPAddr: w.httpAddr, NetMBps: w.netMBps,
 		}
 		for _, ms := range w.media {
 			wr.Media = append(wr.Media, ms)

@@ -18,12 +18,24 @@ type SlowLogger struct {
 	logger    *slog.Logger
 	threshold time.Duration
 	count     *Counter // incremented per emitted line; may be nil
+	sink      func(op, reqID string, d time.Duration)
 }
 
 // NewSlowLogger builds a slow-op logger. A nil logger disables logging
 // regardless of threshold; count (optional) tallies emitted lines.
 func NewSlowLogger(logger *slog.Logger, threshold time.Duration, count *Counter) *SlowLogger {
 	return &SlowLogger{logger: logger, threshold: threshold, count: count}
+}
+
+// SetSink registers a callback invoked for every operation that the
+// logger emits (same threshold semantics as the log line). The daemons
+// use it to journal slow operations as cluster events with their trace
+// ID. Set once during daemon construction, before concurrent use.
+func (l *SlowLogger) SetSink(fn func(op, reqID string, d time.Duration)) {
+	if l == nil {
+		return
+	}
+	l.sink = fn
 }
 
 // Threshold returns the configured slow threshold, so subsystems that
@@ -49,6 +61,9 @@ func (l *SlowLogger) Observe(op, reqID string, d time.Duration, attrs ...any) {
 	}
 	if l.count != nil {
 		l.count.Inc()
+	}
+	if l.sink != nil {
+		l.sink(op, reqID, d)
 	}
 	all := make([]any, 0, 8+len(attrs))
 	all = append(all, "op", op, "req", reqID, "dur", d.String())

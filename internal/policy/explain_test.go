@@ -1,0 +1,152 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestExplainedMatchesPlainPlacement proves the explainability path is
+// a pure observer: for the same seeded request, PlaceReplicasExplained
+// must pick exactly the media PlaceReplicas picks.
+func TestExplainedMatchesPlainPlacement(t *testing.T) {
+	vectors := []core.ReplicationVector{
+		core.ReplicationVectorFromFactor(3),
+		core.NewReplicationVector(1, 1, 1, 0, 0),
+		core.NewReplicationVector(0, 2, 2, 0, 0),
+	}
+	for _, rv := range vectors {
+		s := paperCluster(9, 3)
+		p := NewMOOPPolicy(DefaultMOOPConfig())
+		plain, err := p.PlaceReplicas(moopRequest(s, rv))
+		if err != nil {
+			t.Fatalf("%s: PlaceReplicas: %v", rv, err)
+		}
+		explained, decisions, err := p.PlaceReplicasExplained(moopRequest(s, rv))
+		if err != nil {
+			t.Fatalf("%s: PlaceReplicasExplained: %v", rv, err)
+		}
+		if len(plain) != len(explained) {
+			t.Fatalf("%s: plain placed %d, explained placed %d", rv, len(plain), len(explained))
+		}
+		for i := range plain {
+			if plain[i].ID != explained[i].ID {
+				t.Errorf("%s: replica %d differs: plain=%s explained=%s",
+					rv, i, plain[i].ID, explained[i].ID)
+			}
+		}
+		if len(decisions) != len(explained) {
+			t.Fatalf("%s: %d decisions for %d replicas", rv, len(decisions), len(explained))
+		}
+	}
+}
+
+// TestExplainDecisionContents checks each decision is self-consistent:
+// winner first and marked Chosen, full objective vectors, candidate
+// ordering by score, and the Considered total covering the cap.
+func TestExplainDecisionContents(t *testing.T) {
+	s := paperCluster(9, 3)
+	p := NewMOOPPolicy(DefaultMOOPConfig())
+	rv := core.NewReplicationVector(1, 1, 1, 0, 0)
+	placed, decisions, err := p.PlaceReplicasExplained(moopRequest(s, rv))
+	if err != nil {
+		t.Fatalf("PlaceReplicasExplained: %v", err)
+	}
+	entries := rv.PinnedTiers()
+	for i, dec := range decisions {
+		if dec.Entry != entries[i] {
+			t.Errorf("decision %d entry = %v, want %v", i, dec.Entry, entries[i])
+		}
+		if len(dec.Candidates) == 0 {
+			t.Fatalf("decision %d has no candidates", i)
+		}
+		if len(dec.Candidates) < 2 {
+			t.Errorf("decision %d retained %d candidates, want winner plus at least one rejected",
+				i, len(dec.Candidates))
+		}
+		if len(dec.Candidates) > MaxExplainedCandidates {
+			t.Errorf("decision %d retained %d candidates, cap is %d",
+				i, len(dec.Candidates), MaxExplainedCandidates)
+		}
+		if dec.Considered < len(dec.Candidates) {
+			t.Errorf("decision %d considered %d < retained %d",
+				i, dec.Considered, len(dec.Candidates))
+		}
+		win := dec.Candidates[0]
+		if !win.Chosen {
+			t.Errorf("decision %d candidate 0 not marked Chosen", i)
+		}
+		if win.Media.ID != placed[i].ID {
+			t.Errorf("decision %d winner %s != placed %s", i, win.Media.ID, placed[i].ID)
+		}
+		for k, c := range dec.Candidates {
+			if k > 0 && c.Chosen {
+				t.Errorf("decision %d candidate %d also marked Chosen", i, k)
+			}
+			if k > 0 && c.Score < win.Score {
+				t.Errorf("decision %d candidate %d score %.6f beats winner %.6f",
+					i, k, c.Score, win.Score)
+			}
+			if k > 1 && c.Score < dec.Candidates[k-1].Score {
+				t.Errorf("decision %d candidates not in ascending score order at %d", i, k)
+			}
+			var zero [4]float64
+			if c.Objectives == zero {
+				t.Errorf("decision %d candidate %d has an all-zero objective vector", i, k)
+			}
+		}
+	}
+}
+
+// TestExplainScoreMatchesSolver proves the per-candidate score the
+// explainer reports is bit-identical to what the unexplained solver
+// computes for the same trial selection.
+func TestExplainScoreMatchesSolver(t *testing.T) {
+	s := paperCluster(6, 2)
+	cfg := DefaultMOOPConfig()
+	ctx := newEvalContext(s, testBlock)
+
+	var options []Media
+	for _, m := range s.Media {
+		if m.Tier == core.TierHDD {
+			options = append(options, m)
+		}
+	}
+	best, score, dec, ok := solveMOOPExplained(ctx, options, nil, cfg.Objectives, cfg.Norm)
+	if !ok {
+		t.Fatal("solveMOOPExplained found no candidate")
+	}
+	wantBest, wantScore, wantOK := solveMOOP(ctx, options, nil, cfg.Objectives, cfg.Norm)
+	if !wantOK || best.ID != wantBest.ID || score != wantScore {
+		t.Fatalf("explained solver picked (%s, %v), plain solver picked (%s, %v)",
+			best.ID, score, wantBest.ID, wantScore)
+	}
+	// Every retained candidate's score must equal a from-scratch
+	// evaluation of the same trial selection.
+	for _, c := range dec.Candidates {
+		if got := ctx.score([]Media{c.Media}, cfg.Objectives, cfg.Norm); got != c.Score {
+			t.Errorf("candidate %s score %v, independent evaluation %v", c.Media.ID, c.Score, got)
+		}
+	}
+}
+
+// TestExplainL1Norm covers the L1 branch of scoreFromVectors.
+func TestExplainL1Norm(t *testing.T) {
+	fvec := [4]float64{3, 1, 4, 1.5}
+	ideal := [4]float64{1, 1, 2, 0.5}
+	objectives := []Objective{DataBalancing, FaultTolerance, ThroughputMax}
+	if got := scoreFromVectors(fvec, ideal, objectives, NormL1); got != 5 {
+		t.Errorf("L1 score = %v, want 5", got)
+	}
+}
+
+// TestFormatVector pins the rendering used by octopus-cli explain.
+func TestFormatVector(t *testing.T) {
+	out := FormatVector([4]float64{1.9, 0.75, 2.333, 1.8})
+	for _, name := range ObjectiveNames() {
+		if !strings.Contains(out, name+"=") {
+			t.Errorf("FormatVector output %q missing objective %s", out, name)
+		}
+	}
+}

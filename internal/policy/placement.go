@@ -162,12 +162,20 @@ func (p *MOOPPolicy) Config() MOOPConfig { return p.cfg }
 // each entry and solving the MOOP instance (Algorithm 1) to pick the
 // best media, accumulating choices as it goes.
 func (p *MOOPPolicy) PlaceReplicas(req PlacementRequest) ([]Media, error) {
+	placed, _, err := p.placeReplicas(req, false)
+	return placed, err
+}
+
+// placeReplicas is the shared Algorithm 2 loop. With explain=true it
+// additionally records one ReplicaDecision per placed replica; the
+// winners and errors are identical either way.
+func (p *MOOPPolicy) placeReplicas(req PlacementRequest, explain bool) ([]Media, []ReplicaDecision, error) {
 	if req.Snapshot == nil || len(req.Snapshot.Media) == 0 {
-		return nil, core.ErrNoWorkers
+		return nil, nil, core.ErrNoWorkers
 	}
 	entries := req.RepVector.PinnedTiers()
 	if len(entries) == 0 {
-		return nil, fmt.Errorf("policy: empty replication vector: %w", core.ErrNoSpace)
+		return nil, nil, fmt.Errorf("policy: empty replication vector: %w", core.ErrNoSpace)
 	}
 	ctx := newEvalContext(req.Snapshot, req.BlockSize)
 
@@ -177,6 +185,10 @@ func (p *MOOPPolicy) PlaceReplicas(req PlacementRequest) ([]Media, error) {
 	chosen := make([]Media, 0, len(req.Existing)+len(entries))
 	chosen = append(chosen, req.Existing...)
 	placed := make([]Media, 0, len(entries))
+	var decisions []ReplicaDecision
+	if explain {
+		decisions = make([]ReplicaDecision, 0, len(entries))
+	}
 
 	memoryBudget := p.memoryBudget(req)
 	for _, m := range chosen {
@@ -187,13 +199,25 @@ func (p *MOOPPolicy) PlaceReplicas(req PlacementRequest) ([]Media, error) {
 
 	for _, entry := range entries {
 		options := p.genOptions(req, chosen, entry, len(placed), &memoryBudget)
-		best, score, ok := solveMOOP(ctx, options, chosen, p.cfg.Objectives, p.cfg.Norm)
+		var best Media
+		var score float64
+		var ok bool
+		if explain {
+			var dec ReplicaDecision
+			best, score, dec, ok = solveMOOPExplained(ctx, options, chosen, p.cfg.Objectives, p.cfg.Norm)
+			if ok {
+				dec.Entry = entry
+				decisions = append(decisions, dec)
+			}
+		} else {
+			best, score, ok = solveMOOP(ctx, options, chosen, p.cfg.Objectives, p.cfg.Norm)
+		}
 		if !ok {
 			if len(placed) == 0 {
-				return nil, fmt.Errorf("policy: no feasible media for %s entry of %s: %w",
+				return nil, nil, fmt.Errorf("policy: no feasible media for %s entry of %s: %w",
 					entry, req.RepVector, core.ErrNoSpace)
 			}
-			return placed, fmt.Errorf("policy: placed %d of %d replicas: %w",
+			return placed, decisions, fmt.Errorf("policy: placed %d of %d replicas: %w",
 				len(placed), len(entries), core.ErrNoSpace)
 		}
 		if best.Tier == core.TierMemory {
@@ -205,7 +229,7 @@ func (p *MOOPPolicy) PlaceReplicas(req PlacementRequest) ([]Media, error) {
 		chosen = append(chosen, best)
 		placed = append(placed, best)
 	}
-	return placed, nil
+	return placed, decisions, nil
 }
 
 // memoryBudget computes how many of the request's replicas may sit on

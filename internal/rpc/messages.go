@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/trace"
 )
 
@@ -194,6 +195,7 @@ type RegisterArgs struct {
 	Node     string
 	Rack     string
 	DataAddr string // host:port of the worker's data-transfer endpoint
+	HTTPAddr string // host:port of the worker's debug HTTP endpoint ("" if disabled)
 	NetMBps  float64
 	Media    []MediaStat
 }
@@ -233,6 +235,7 @@ type HeartbeatArgs struct {
 	Media    []MediaStat
 	NetConns int
 	NetMBps  float64
+	HTTPAddr string // worker debug HTTP endpoint; bound after register on the first serve
 }
 type HeartbeatReply struct {
 	Commands []Command
@@ -327,12 +330,17 @@ type WorkerReport struct {
 	Node     string
 	Rack     string
 	DataAddr string
+	HTTPAddr string // debug HTTP endpoint ("" if the worker runs without one)
 	NetMBps  float64
 	Media    []MediaStat
 }
 
 type WorkerReportsReply struct {
 	Workers []WorkerReport
+	// MasterHTTP is the master's own debug HTTP endpoint ("" if
+	// disabled), so admin tools can fan out health checks without extra
+	// configuration.
+	MasterHTTP string
 }
 
 // ReportSpansArgs / -Reply implement Master.ReportSpans: clients push
@@ -356,3 +364,108 @@ type GetTraceArgs struct {
 type GetTraceReply struct {
 	Spans []trace.Span
 }
+
+// GetEventsArgs / GetEventsReply implement Master.GetEvents, the RPC
+// face of the cluster event journal (the /debug/events endpoint serves
+// the same page over HTTP). Since is an exclusive sequence cursor;
+// polling with Since = Page.Next is exactly-once over retained events.
+type GetEventsArgs struct {
+	ReqHeader
+	Since uint64
+	Type  string // "" = all types
+	Limit int    // <= 0 = journal default
+}
+type GetEventsReply struct {
+	Page   events.Page
+	Counts map[string]uint64
+}
+
+// WorkerSample is one worker's point-in-time telemetry inside a
+// ClusterSample: capacity, usage, and throughput aggregated over the
+// worker's media, as last reported by heartbeat.
+type WorkerSample struct {
+	ID        core.WorkerID
+	Capacity  int64
+	Used      int64
+	NetConns  int
+	NetMBps   float64
+	WriteMBps float64 // sum over media
+	ReadMBps  float64 // sum over media
+}
+
+// ClusterSample is one row of the master's telemetry history ring:
+// cluster-wide per-tier usage plus per-worker aggregates at TimeNs.
+type ClusterSample struct {
+	TimeNs  int64
+	Workers []WorkerSample
+	Tiers   []core.StorageTierReport
+	Files   int
+	Blocks  int
+}
+
+// GetClusterHistoryArgs / -Reply implement Master.GetClusterHistory:
+// the sampled telemetry ring, oldest first, always ending with a fresh
+// live sample so "octopus-cli top" is current even between ticks.
+type GetClusterHistoryArgs struct {
+	ReqHeader
+	// Last caps how many trailing samples to return (<= 0 = all).
+	Last int
+}
+type GetClusterHistoryReply struct {
+	Samples []ClusterSample
+}
+
+// CandidateScore mirrors policy.CandidateScore on the wire: one
+// candidate media's four-objective vector and scalarised score from a
+// placement decision.
+type CandidateScore struct {
+	Worker     core.WorkerID
+	Storage    core.StorageID
+	Node       string
+	Rack       string
+	Tier       core.StorageTier
+	Score      float64
+	Objectives [4]float64
+	Chosen     bool
+}
+
+// ReplicaExplanation explains where one replica of a block went and
+// why: the requested tier entry, the ideal vector, and the scored
+// candidates with the winner first.
+type ReplicaExplanation struct {
+	Entry      core.StorageTier
+	Ideal      [4]float64
+	Candidates []CandidateScore
+	Considered int
+}
+
+// BlockExplanation is one block's placement record.
+type BlockExplanation struct {
+	Block    core.BlockID
+	TimeNs   int64
+	TraceID  string
+	Replicas []ReplicaExplanation
+}
+
+// ExplainArgs / ExplainReply implement Master.Explain: retrieve the
+// retained placement decisions for a file's blocks.
+type ExplainArgs struct {
+	ReqHeader
+	Path string
+}
+type ExplainReply struct {
+	Path       string
+	Objectives [4]string // objective display names, vector order
+	Blocks     []BlockExplanation
+}
+
+// DecommissionArgs / -Reply implement Master.Decommission: remove a
+// worker from service deliberately. Its replicas become
+// under-replicated and the monitor re-replicates them, exactly as on
+// heartbeat expiry, but the event journal records the removal as
+// operator-initiated and the worker may not re-register.
+type DecommissionArgs struct {
+	ReqHeader
+	ID core.WorkerID
+}
+type DecommissionReply struct{}

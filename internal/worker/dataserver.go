@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/rpc"
 	"repro/internal/storage"
 	"repro/internal/trace"
@@ -253,6 +254,10 @@ func (w *Worker) readBlock(conn net.Conn, hdr rpc.ReadBlockHeader) (served int64
 	// Scrub the replica before serving so disk corruption surfaces as
 	// an explicit error the client can report (paper §5 repairs it).
 	if err := media.Verify(hdr.Block); err != nil {
+		w.journal.PublishTraced(events.Error, "block_corrupt", hdr.ReqID,
+			"replica failed checksum scrub; read refused",
+			"block", fmt.Sprintf("%d", hdr.Block.ID),
+			"storage", string(hdr.Storage))
 		return refuse(err)
 	}
 	rc, err := media.Open(hdr.Block)

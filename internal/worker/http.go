@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/trace"
 )
 
@@ -61,6 +62,7 @@ func (w *Worker) ServeHTTP(addr string) (string, error) {
 		fmt.Fprintln(rw, "ok")
 	})
 	trace.RegisterDebugHandlers(mux, w.traces, nil)
+	events.RegisterDebugHandler(mux, w.journal)
 	if w.cfg.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -69,6 +71,11 @@ func (w *Worker) ServeHTTP(addr string) (string, error) {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	srv := &http.Server{Handler: mux}
+	// Record the bound address so subsequent heartbeats advertise it to
+	// the master (Register usually runs before ServeHTTP).
+	w.httpMu.Lock()
+	w.httpAddr = ln.Addr().String()
+	w.httpMu.Unlock()
 	w.wg.Add(1)
 	go func() {
 		defer w.wg.Done()

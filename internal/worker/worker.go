@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/rpc"
 	"repro/internal/storage"
 	"repro/internal/trace"
@@ -73,6 +74,10 @@ type Config struct {
 	// selects trace.DefaultCapacity.
 	TraceCapacity int
 
+	// EventCapacity bounds the worker's event journal; zero selects
+	// events.DefaultCapacity.
+	EventCapacity int
+
 	// Pprof mounts net/http/pprof under /debug/pprof/ on the HTTP
 	// endpoint. Off by default.
 	Pprof bool
@@ -110,6 +115,10 @@ type Worker struct {
 	metrics *workerMetrics
 	traces  *trace.Store
 	tracer  *trace.Tracer
+	journal *events.Journal
+
+	httpMu   sync.Mutex
+	httpAddr string // bound debug HTTP endpoint ("" until ServeHTTP)
 
 	done   chan struct{}
 	wg     sync.WaitGroup
@@ -153,9 +162,15 @@ func New(cfg Config) (*Worker, error) {
 		}
 		w.media[mc.ID] = m
 	}
+	w.journal = events.NewJournal(cfg.EventCapacity)
 	w.traces = trace.NewStore(cfg.TraceCapacity, cfg.SlowOpThreshold, cfg.TraceSample)
 	w.tracer = trace.NewTracer("worker", w.traces)
 	w.metrics = newWorkerMetrics(w)
+	w.metrics.slow.SetSink(func(op, reqID string, d time.Duration) {
+		w.journal.PublishTraced(events.Warn, "slow_op", reqID,
+			"slow operation on worker", "op", op, "dur", d.String(),
+			"worker", string(w.id))
+	})
 
 	if err := w.register(); err != nil {
 		ln.Close()
@@ -177,6 +192,19 @@ func (w *Worker) DataAddr() string { return w.ln.Addr().String() }
 
 // Media returns the managed media keyed by storage ID (for tests).
 func (w *Worker) Media() map[core.StorageID]*storage.Media { return w.media }
+
+// Journal exposes the worker's event journal (for the HTTP handler and
+// tests).
+func (w *Worker) Journal() *events.Journal { return w.journal }
+
+// HTTPAddr returns the bound debug HTTP endpoint ("" until ServeHTTP
+// runs). Heartbeats advertise it to the master so admin tools can fan
+// out health checks.
+func (w *Worker) HTTPAddr() string {
+	w.httpMu.Lock()
+	defer w.httpMu.Unlock()
+	return w.httpAddr
+}
 
 // Close shuts the worker down.
 func (w *Worker) Close() error {
@@ -268,6 +296,7 @@ func (w *Worker) register() error {
 		Node:      w.cfg.Node,
 		Rack:      w.cfg.Rack,
 		DataAddr:  w.ln.Addr().String(),
+		HTTPAddr:  w.HTTPAddr(),
 		NetMBps:   w.cfg.NetMBps,
 		Media:     w.mediaStats(),
 	}
@@ -299,6 +328,7 @@ func (w *Worker) heartbeat() {
 		Media:     w.mediaStats(),
 		NetConns:  int(w.netConns.Load()),
 		NetMBps:   w.cfg.NetMBps,
+		HTTPAddr:  w.HTTPAddr(),
 	}
 	w.metrics.heartbeats.Inc()
 	var reply rpc.HeartbeatReply
@@ -363,6 +393,10 @@ func (w *Worker) execute(cmd rpc.Command) {
 			w.cfg.Logger.Warn("delete command failed", "block", cmd.Block.ID, "err", err)
 			return
 		}
+		w.journal.Publish(events.Info, "block_deleted",
+			"replica deleted on master command",
+			"block", fmt.Sprintf("%d", cmd.Block.ID),
+			"storage", string(cmd.Target))
 		var reply rpc.BlockDeletedReply
 		w.callMaster("Master.BlockDeleted", &rpc.BlockDeletedArgs{
 			ID: w.id, Storage: cmd.Target, Block: cmd.Block,
@@ -383,6 +417,15 @@ func (w *Worker) execute(cmd rpc.Command) {
 		if err != nil {
 			w.cfg.Logger.Warn("replication command failed",
 				"block", cmd.Block.ID, "target", cmd.Target, "req", reqID, "err", err)
+			w.journal.PublishTraced(events.Warn, "block_replicate_failed", reqID,
+				"replication command failed",
+				"block", fmt.Sprintf("%d", cmd.Block.ID),
+				"target", string(cmd.Target), "err", err.Error())
+		} else {
+			w.journal.PublishTraced(events.Info, "block_replicated", reqID,
+				"replica copied on master command",
+				"block", fmt.Sprintf("%d", cmd.Block.ID),
+				"target", string(cmd.Target), "tier", tier)
 		}
 	}
 }
