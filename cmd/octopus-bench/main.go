@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	octopus-bench [table2|table3|fig2|fig3|fig4|fig5|fig6|fig7|ablation|datapath|all]
+//	octopus-bench [table2|table3|fig2|fig3|fig4|fig5|fig6|fig7|ablation|datapath|heat|all]
 //
 // Simulator-backed experiments (fig2–fig7) run the paper's full data
 // sizes in seconds; table2 and table3 run against live in-process
@@ -21,11 +21,11 @@ import (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [table2|table3|fig2|fig3|fig4|fig5|fig6|fig7|ablation|datapath|all]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [table2|table3|fig2|fig3|fig4|fig5|fig6|fig7|ablation|datapath|heat|all]\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	scale := flag.Int64("scale-mb", 0, "override experiment data size in MB (0 = paper size)")
-	jsonPath := flag.String("json", "", "also write datapath results as JSON to this path")
+	jsonPath := flag.String("json", "", "also write datapath/heat results as JSON to this path")
 	flag.Parse()
 
 	targets := flag.Args()
@@ -132,6 +132,23 @@ func main() {
 		if *jsonPath != "" {
 			if err := bench.WriteDataPathJSON(*jsonPath, fileMB, 1, results); err != nil {
 				fail("datapath", err)
+			}
+		}
+	}
+	if all || want["heat"] {
+		dir, cleanup, err := integration.TempDir()
+		if err != nil {
+			fail("heat", err)
+		}
+		res, err := bench.RunHeat(dir, 24, 2000, 1.2)
+		cleanup()
+		if err != nil {
+			fail("heat", err)
+		}
+		bench.PrintHeat(out, res)
+		if *jsonPath != "" {
+			if err := bench.WriteHeatJSON(*jsonPath, res); err != nil {
+				fail("heat", err)
 			}
 		}
 	}

@@ -25,6 +25,8 @@
 //	events [-json] [-since n] [-type t] [-limit n]
 //	                                 page through the cluster event journal
 //	top [-last n]                    cluster telemetry: live sample + history
+//	heat [-json] [-top n] [-file p] [-misplaced]
+//	                                 hottest files/blocks + tier-fitness report
 //	health                           probe master + all live workers' /healthz
 //	explain <path>                   why each replica landed where it did
 //	decommission <worker-id>         remove a worker from service
@@ -44,6 +46,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/rpc"
 	"repro/internal/trace"
 )
 
@@ -54,7 +57,7 @@ var knownCommands = map[string]bool{
 	"mkdir": true, "ls": true, "put": true, "get": true, "cat": true,
 	"rm": true, "mv": true, "stat": true, "setrep": true, "locations": true,
 	"tiers": true, "report": true, "quota": true, "du": true, "fsck": true,
-	"trace": true, "events": true, "top": true, "health": true,
+	"trace": true, "events": true, "top": true, "heat": true, "health": true,
 	"explain": true, "decommission": true,
 }
 
@@ -403,12 +406,15 @@ func run(fs *client.FileSystem, args []string) error {
 		span := time.Duration(latest.TimeNs - samples[0].TimeNs)
 		fmt.Printf("cluster telemetry: %d samples spanning %s — %d files, %d blocks\n",
 			len(samples), span.Round(time.Millisecond), latest.Files, latest.Blocks)
-		fmt.Printf("\n%-10s%8s%14s%14s%12s%12s\n",
-			"tier", "media", "capacity MB", "remaining MB", "write MB/s", "read MB/s")
+		hk := latest.Heat
+		fmt.Printf("heat: %d blocks / %d files tracked, total %.1f ops (max %.1f), misplaced %d hot / %d cold\n",
+			hk.TrackedBlocks, hk.TrackedFiles, hk.TotalHeat, hk.MaxHeat, hk.MisplacedHot, hk.MisplacedCold)
+		fmt.Printf("\n%-10s%8s%14s%14s%12s%12s%10s\n",
+			"tier", "media", "capacity MB", "remaining MB", "write MB/s", "read MB/s", "heat")
 		for _, t := range latest.Tiers {
-			fmt.Printf("%-10s%8d%14d%14d%12.1f%12.1f\n",
+			fmt.Printf("%-10s%8d%14d%14d%12.1f%12.1f%10.1f\n",
 				t.Tier, t.NumMedia, t.Capacity>>20, t.Remaining>>20,
-				t.WriteThruMBps, t.ReadThruMBps)
+				t.WriteThruMBps, t.ReadThruMBps, hk.TierHeat[t.Tier])
 		}
 		fmt.Printf("\n%-14s%14s%12s%8s%12s%12s\n",
 			"worker", "capacity MB", "used MB", "conns", "write MB/s", "read MB/s")
@@ -416,6 +422,27 @@ func run(fs *client.FileSystem, args []string) error {
 			fmt.Printf("%-14s%14d%12d%8d%12.1f%12.1f\n",
 				w.ID, w.Capacity>>20, w.Used>>20, w.NetConns, w.WriteMBps, w.ReadMBps)
 		}
+		return nil
+
+	case "heat":
+		fl := flag.NewFlagSet("heat", flag.ContinueOnError)
+		jsonOut := fl.Bool("json", false, "emit the report as JSON")
+		top := fl.Int("top", 0, "entries per list (0 = server default)")
+		file := fl.String("file", "", "restrict the block list to one file")
+		misplaced := fl.Bool("misplaced", false, "only the tier-fitness (misplacement) report")
+		if err := fl.Parse(rest); err != nil {
+			return err
+		}
+		report, err := fs.Heat(*top, *file, *misplaced)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(report)
+		}
+		printHeatReport(report, *misplaced)
 		return nil
 
 	case "health":
@@ -494,6 +521,72 @@ func run(fs *client.FileSystem, args []string) error {
 	return fmt.Errorf("unknown command %q", cmd)
 }
 
+// printHeatReport renders the heat document: the aggregate line, the
+// hottest files and blocks, and the tier-fitness findings with their
+// originating placement decisions.
+func printHeatReport(r rpc.HeatReport, misplacedOnly bool) {
+	agg := r.Aggregate
+	fmt.Printf("access heat @ %s (half-life %s): %d blocks / %d files tracked, total %.1f ops, max %.1f\n",
+		time.Unix(0, r.TimeNs).Format("15:04:05.000"),
+		time.Duration(r.HalfLifeNs), agg.TrackedBlocks, agg.TrackedFiles,
+		agg.TotalHeat, agg.MaxHeat)
+
+	if !misplacedOnly {
+		if len(r.Files) > 0 {
+			fmt.Printf("\n%-32s%10s%12s%12s%14s%14s\n",
+				"file", "heat", "read ops", "write ops", "read MB", "write MB")
+			for _, f := range r.Files {
+				fmt.Printf("%-32s%10.2f%12.2f%12.2f%14.2f%14.2f\n",
+					f.Path, f.Heat, f.Read.Ops, f.Write.Ops,
+					f.Read.Bytes/(1<<20), f.Write.Bytes/(1<<20))
+			}
+		}
+		if len(r.Blocks) > 0 {
+			fmt.Printf("\n%-10s%-28s%10s%12s%12s  %s\n",
+				"block", "file", "heat", "read ops", "write ops", "tiers")
+			for _, b := range r.Blocks {
+				fmt.Printf("%-10d%-28s%10.2f%12.2f%12.2f  %s\n",
+					b.Block, b.Path, b.Heat, b.Read.Ops, b.Write.Ops,
+					formatTiers(b.Tiers))
+			}
+		}
+	}
+
+	if len(r.Misplaced) == 0 {
+		fmt.Printf("\ntier fitness: no misplaced blocks\n")
+		return
+	}
+	fmt.Printf("\ntier fitness: %d hot-on-cold, %d cold-on-premium\n",
+		agg.MisplacedHot, agg.MisplacedCold)
+	fmt.Printf("%-10s%-24s%-18s%10s%10s%14s  %s\n",
+		"block", "file", "kind", "heat", "score", "tiers", "decision")
+	for _, mb := range r.Misplaced {
+		decision := "(aged out)"
+		if mb.DecisionTraceID != "" {
+			decision = fmt.Sprintf("trace=%s @ %s", mb.DecisionTraceID,
+				time.Unix(0, mb.DecisionTimeNs).Format("15:04:05.000"))
+		}
+		fmt.Printf("%-10d%-24s%-18s%10.2f%10.2f%14s  %s\n",
+			mb.Block, mb.Path, mb.Kind, mb.Heat, mb.Score,
+			formatTiers(mb.Tiers), decision)
+	}
+}
+
+// formatTiers renders a replica-count-per-tier vector compactly,
+// e.g. "HDD:2" or "MEMORY:1,HDD:2".
+func formatTiers(tiers [core.NumTiers]int) string {
+	var parts []string
+	for t, n := range tiers {
+		if n > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d", core.StorageTier(t), n))
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
 // checkHealthz probes one daemon's /healthz endpoint.
 func checkHealthz(addr string) error {
 	if !strings.Contains(addr, "://") {
@@ -544,7 +637,7 @@ func need(args []string, n int) {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: octopus-cli [-master addr] [-node name] [-readahead k] [-write-window k] <command> [args]
 commands: mkdir ls put get cat rm mv stat setrep locations tiers report quota du fsck
-          metrics trace events top health explain decommission`)
+          metrics trace events top heat health explain decommission`)
 }
 
 func fatal(err error) {

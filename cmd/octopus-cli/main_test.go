@@ -2,13 +2,16 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/client"
+	"repro/internal/core"
 	"repro/internal/integration"
+	"repro/internal/rpc"
 )
 
 // TestCLICommands drives the shell's command dispatcher end to end
@@ -43,6 +46,11 @@ func TestCLICommands(t *testing.T) {
 		{"events", "-type", "block_committed"},
 		{"top"},
 		{"top", "-last", "3"},
+		{"heat"},
+		{"heat", "-json"},
+		{"heat", "-top", "5"},
+		{"heat", "-file", "/cli/f"},
+		{"heat", "-misplaced"},
 		{"health"},
 		{"tiers"},
 		{"report"},
@@ -101,6 +109,80 @@ func TestCLICommands(t *testing.T) {
 	}
 	if err := run(fs, []string{"decommission", "no-such-worker"}); err == nil {
 		t.Error("decommission of unknown worker succeeded")
+	}
+}
+
+// TestCLIHeatRanking checks the heat subcommand's rendered ranking
+// puts a skew-read hot file above a barely-touched one, and that the
+// -json variant emits the machine-readable report in the same order.
+func TestCLIHeatRanking(t *testing.T) {
+	cluster, err := integration.StartCluster(integration.DefaultClusterConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	fs, err := cluster.Client("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	data := []byte("heat ranking payload")
+	for _, path := range []string{"/hotfile", "/coldfile"} {
+		if err := fs.WriteFile(path, data, core.NewReplicationVector(0, 0, 2, 0, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read := func(path string, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			r, err := fs.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, r)
+			r.Close()
+		}
+	}
+	read("/hotfile", 8)
+	read("/coldfile", 1)
+
+	// File-level heat is recorded synchronously at open time, so the
+	// ranking is immediately visible.
+	capture := func(args []string) string {
+		t.Helper()
+		old := os.Stdout
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdout = w
+		runErr := run(fs, args)
+		w.Close()
+		os.Stdout = old
+		out, _ := io.ReadAll(r)
+		if runErr != nil {
+			t.Fatalf("cli %v: %v", args, runErr)
+		}
+		return string(out)
+	}
+
+	out := capture([]string{"heat", "-top", "5"})
+	hotAt := strings.Index(out, "/hotfile")
+	coldAt := strings.Index(out, "/coldfile")
+	if hotAt < 0 || coldAt < 0 {
+		t.Fatalf("heat output missing files:\n%s", out)
+	}
+	if hotAt > coldAt {
+		t.Errorf("/hotfile ranked below /coldfile:\n%s", out)
+	}
+
+	var report rpc.HeatReport
+	if err := json.Unmarshal([]byte(capture([]string{"heat", "-json"})), &report); err != nil {
+		t.Fatalf("heat -json is not JSON: %v", err)
+	}
+	if len(report.Files) == 0 || report.Files[0].Path != "/hotfile" {
+		t.Errorf("heat -json ranking = %+v, want /hotfile first", report.Files)
 	}
 }
 

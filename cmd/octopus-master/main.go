@@ -37,6 +37,7 @@ func main() {
 		traceRate = flag.Float64("trace-sample", 0.1, "fraction of fast traces retained (slow traces always kept)")
 		eventCap  = flag.Int("events", 0, "event journal capacity (0 = default)")
 		histEvery = flag.Duration("history-interval", 0, "telemetry history sampling interval (0 = default, negative disables)")
+		heatHalf  = flag.Duration("heat-half-life", 0, "access-heat decay half-life (0 = default 60s)")
 		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -http endpoint")
 		backup    = flag.Bool("backup", false, "run as a Backup Master")
 		primary   = flag.String("primary", "", "primary master address (backup mode)")
@@ -87,6 +88,7 @@ func main() {
 		TraceSample:     *traceRate,
 		EventCapacity:   *eventCap,
 		HistoryInterval: *histEvery,
+		HeatHalfLife:    *heatHalf,
 		Pprof:           *pprofOn,
 	})
 	if err != nil {

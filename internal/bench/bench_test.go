@@ -301,3 +301,33 @@ func TestAblationShapes(t *testing.T) {
 		}
 	}
 }
+
+func TestHeatBenchTracksZipf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster benchmark")
+	}
+	res, err := RunHeat(t.TempDir(), 8, 300, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OpsPerSec <= 0 {
+		t.Fatal("heat bench measured no throughput")
+	}
+	if res.TrackedFiles != 8 || res.TrackedBlocks != 8 {
+		t.Errorf("heat plane tracked %d files / %d blocks, want 8 / 8",
+			res.TrackedFiles, res.TrackedBlocks)
+	}
+	// The zipfian head is pronounced enough that the decayed ranking
+	// must nail the hottest file and most of the top 3.
+	if res.AccuracyAt1 != 1 {
+		t.Errorf("accuracy@1 = %.2f, want 1", res.AccuracyAt1)
+	}
+	if res.AccuracyAt3 < 2.0/3.0 {
+		t.Errorf("accuracy@3 = %.2f, want >= 0.67", res.AccuracyAt3)
+	}
+	var buf bytes.Buffer
+	PrintHeat(&buf, res)
+	if !strings.Contains(buf.String(), "Access-heat plane") {
+		t.Error("PrintHeat missing header")
+	}
+}

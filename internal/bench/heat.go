@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/integration"
+	"repro/internal/rpc"
+)
+
+// HeatResult is one measurement of the access-heat plane: a zipfian
+// read workload over a set of small files on a live in-process
+// cluster, the achieved open+read throughput, and how faithfully the
+// master's decayed heat ranking reproduces the true access ranking.
+type HeatResult struct {
+	Files     int     `json:"files"`
+	Reads     int     `json:"reads"`
+	ZipfS     float64 `json:"zipf_s"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// AccuracyAt1/3/5 is the overlap fraction between the true top-k
+	// files (by actual read count) and the master's reported top-k.
+	AccuracyAt1 float64 `json:"accuracy_at_1"`
+	AccuracyAt3 float64 `json:"accuracy_at_3"`
+	AccuracyAt5 float64 `json:"accuracy_at_5"`
+	// TrackedBlocks and TrackedFiles echo the master-side aggregate so
+	// the report shows the plane saw the whole working set.
+	TrackedBlocks int `json:"tracked_blocks"`
+	TrackedFiles  int `json:"tracked_files"`
+}
+
+// RunHeat drives a zipfian (s = zipfS) read workload over files small
+// files and then asks the master for its heat ranking. The half-life
+// is set well above the run length so the decayed scores are a nearly
+// pure access count and ranking accuracy measures tracking fidelity,
+// not decay. Every read is a full client open (one getBlockLocations
+// plus one worker block transfer), so ops/sec is the end-to-end rate
+// the heat plane must keep up with.
+func RunHeat(dir string, files, reads int, zipfS float64) (HeatResult, error) {
+	if files <= 0 {
+		files = 24
+	}
+	if reads <= 0 {
+		reads = 2000
+	}
+	if zipfS <= 1 {
+		zipfS = 1.2
+	}
+	res := HeatResult{Files: files, Reads: reads, ZipfS: zipfS}
+
+	cfg := integration.DefaultClusterConfig(dir)
+	cfg.NumWorkers = 2
+	cfg.BlockSize = 256 << 10
+	cfg.HeatHalfLife = time.Hour
+	c, err := integration.StartCluster(cfg)
+	if err != nil {
+		return res, err
+	}
+	defer c.Close()
+	fs, err := c.Client("")
+	if err != nil {
+		return res, err
+	}
+	defer fs.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	data := make([]byte, 64<<10)
+	rng.Read(data)
+	if err := fs.Mkdir("/heat", true); err != nil {
+		return res, err
+	}
+	paths := make([]string, files)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/heat/f%02d", i)
+		if err := fs.WriteFile(paths[i], data, core.ReplicationVectorFromFactor(1)); err != nil {
+			return res, err
+		}
+	}
+
+	// Zipf ranks map to file indices directly: file 0 is the true
+	// hottest, file 1 the next, and so on.
+	zipf := rand.NewZipf(rng, zipfS, 1, uint64(files-1))
+	counts := make([]int, files)
+	start := time.Now()
+	for i := 0; i < reads; i++ {
+		idx := int(zipf.Uint64())
+		counts[idx]++
+		r, err := fs.Open(paths[idx])
+		if err != nil {
+			return res, err
+		}
+		if _, err := io.Copy(io.Discard, r); err != nil {
+			r.Close()
+			return res, err
+		}
+		r.Close()
+	}
+	res.OpsPerSec = float64(reads) / time.Since(start).Seconds()
+
+	report, err := fs.Heat(files, "", false)
+	if err != nil {
+		return res, err
+	}
+	res.TrackedBlocks = report.Aggregate.TrackedBlocks
+	res.TrackedFiles = report.Aggregate.TrackedFiles
+	res.AccuracyAt1 = topKAccuracy(counts, paths, report.Files, 1)
+	res.AccuracyAt3 = topKAccuracy(counts, paths, report.Files, 3)
+	res.AccuracyAt5 = topKAccuracy(counts, paths, report.Files, 5)
+	return res, nil
+}
+
+// topKAccuracy computes |true top-k ∩ reported top-k| / k, where the
+// true ranking orders files by actual read count (ties broken by
+// index, matching zipf's rank order).
+func topKAccuracy(counts []int, paths []string, reported []rpc.FileHeat, k int) float64 {
+	order := make([]int, len(counts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
+	truth := make(map[string]bool, k)
+	for _, i := range order[:min(k, len(order))] {
+		truth[paths[i]] = true
+	}
+	hits := 0
+	for _, f := range reported[:min(k, len(reported))] {
+		if truth[f.Path] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// PrintHeat renders the heat-plane measurement as a table.
+func PrintHeat(w io.Writer, r HeatResult) {
+	fmt.Fprintf(w, "\nAccess-heat plane: zipfian read workload (s=%.1f, %d files, %d reads)\n",
+		r.ZipfS, r.Files, r.Reads)
+	fmt.Fprintf(w, "%-14s%12s%12s%12s%12s%12s\n",
+		"ops/sec", "acc@1", "acc@3", "acc@5", "blocks", "files")
+	fmt.Fprintf(w, "%-14.1f%12.2f%12.2f%12.2f%12d%12d\n",
+		r.OpsPerSec, r.AccuracyAt1, r.AccuracyAt3, r.AccuracyAt5,
+		r.TrackedBlocks, r.TrackedFiles)
+}
+
+// WriteHeatJSON writes the heat measurement to path as JSON.
+func WriteHeatJSON(path string, r HeatResult) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

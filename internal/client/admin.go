@@ -48,6 +48,20 @@ func (fs *FileSystem) Decommission(id core.WorkerID) error {
 	return fs.call("Master.Decommission", &rpc.DecommissionArgs{ID: id}, &rpc.DecommissionReply{})
 }
 
+// Heat fetches the cluster access-heat report: the hottest files and
+// blocks (decayed read/write counters) plus the tier-fitness report
+// of misplaced blocks. top caps each list (<= 0 = server default);
+// file restricts the block list to one file's blocks ("" = all);
+// misplacedOnly omits the rankings and returns only the fitness
+// report.
+func (fs *FileSystem) Heat(top int, file string, misplacedOnly bool) (rpc.HeatReport, error) {
+	var reply rpc.GetHeatReply
+	err := fs.call("Master.GetHeat", &rpc.GetHeatArgs{
+		Top: top, File: file, Misplaced: misplacedOnly,
+	}, &reply)
+	return reply.Report, err
+}
+
 // ClusterReport returns the full worker-reports reply, including each
 // worker's debug HTTP endpoint and the master's own, so admin tools
 // can fan out health checks without extra configuration.

@@ -1,9 +1,9 @@
 package events
 
 import (
-	"encoding/json"
 	"net/http"
-	"strconv"
+
+	"repro/internal/httpjson"
 )
 
 // debugResponse is the /debug/events JSON document: one cursor page
@@ -21,35 +21,18 @@ type debugResponse struct {
 // can page through churn without re-delivery or silent gaps.
 func RegisterDebugHandler(mux *http.ServeMux, j *Journal) {
 	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
-		q := r.URL.Query()
-		since, err := parseUint(q.Get("since"))
-		if err != nil {
-			http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+		since, ok := httpjson.Uint64Param(w, r, "since", 0)
+		if !ok {
 			return
 		}
-		limit := 1000
-		if s := q.Get("limit"); s != "" {
-			n, err := strconv.Atoi(s)
-			if err != nil {
-				http.Error(w, "bad limit: "+err.Error(), http.StatusBadRequest)
-				return
-			}
-			limit = n
+		limit, ok := httpjson.IntParam(w, r, "limit", 1000)
+		if !ok {
+			return
 		}
-		page := j.Since(since, q.Get("type"), limit)
+		page := j.Since(since, r.URL.Query().Get("type"), limit)
 		if page.Events == nil {
 			page.Events = []Event{}
 		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(debugResponse{Page: page, Counts: j.Counts()})
+		httpjson.Write(w, debugResponse{Page: page, Counts: j.Counts()})
 	})
-}
-
-func parseUint(s string) (uint64, error) {
-	if s == "" {
-		return 0, nil
-	}
-	return strconv.ParseUint(s, 10, 64)
 }

@@ -1,0 +1,76 @@
+package httpjson
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestWriteSetsContentType(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Write(rec, map[string]int{"a": 1})
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var got map[string]int
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil || got["a"] != 1 {
+		t.Errorf("body = %q err=%v", rec.Body.String(), err)
+	}
+}
+
+func TestIntParam(t *testing.T) {
+	r := httptest.NewRequest("GET", "/x?top=5", nil)
+	w := httptest.NewRecorder()
+	if v, ok := IntParam(w, r, "top", 10); !ok || v != 5 {
+		t.Errorf("got %d ok=%v", v, ok)
+	}
+	if v, ok := IntParam(w, r, "missing", 10); !ok || v != 10 {
+		t.Errorf("default: got %d ok=%v", v, ok)
+	}
+	r = httptest.NewRequest("GET", "/x?top=abc", nil)
+	w = httptest.NewRecorder()
+	if _, ok := IntParam(w, r, "top", 10); ok {
+		t.Error("bad value should fail")
+	}
+	if w.Code != 400 {
+		t.Errorf("status = %d, want 400", w.Code)
+	}
+}
+
+func TestUint64Param(t *testing.T) {
+	r := httptest.NewRequest("GET", "/x?since=0x10", nil)
+	w := httptest.NewRecorder()
+	if v, ok := Uint64Param(w, r, "since", 0); !ok || v != 16 {
+		t.Errorf("got %d ok=%v", v, ok)
+	}
+	r = httptest.NewRequest("GET", "/x?since=-3", nil)
+	w = httptest.NewRecorder()
+	if _, ok := Uint64Param(w, r, "since", 0); ok || w.Code != 400 {
+		t.Errorf("negative should 400, code=%d", w.Code)
+	}
+}
+
+func TestBoolParam(t *testing.T) {
+	for _, c := range []struct {
+		url  string
+		def  bool
+		want bool
+		ok   bool
+	}{
+		{"/x", false, false, true},
+		{"/x?misplaced", false, true, true},
+		{"/x?misplaced=true", false, true, true},
+		{"/x?misplaced=0", true, false, true},
+		{"/x?misplaced=banana", false, false, false},
+	} {
+		r := httptest.NewRequest("GET", c.url, nil)
+		w := httptest.NewRecorder()
+		v, ok := BoolParam(w, r, "misplaced", c.def)
+		if ok != c.ok || (ok && v != c.want) {
+			t.Errorf("%s: got %v ok=%v, want %v ok=%v", c.url, v, ok, c.want, c.ok)
+		}
+		if !c.ok && w.Code != 400 {
+			t.Errorf("%s: status = %d, want 400", c.url, w.Code)
+		}
+	}
+}

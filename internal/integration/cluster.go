@@ -83,6 +83,10 @@ type ClusterConfig struct {
 	// HistoryInterval paces the master's telemetry sampling (0 =
 	// default; negative disables sampling).
 	HistoryInterval time.Duration
+
+	// HeatHalfLife is the master's access-heat decay half-life (0 =
+	// default 60s).
+	HeatHalfLife time.Duration
 }
 
 // DefaultClusterConfig mirrors the paper's worker shape at laptop
@@ -153,6 +157,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		TraceSample:     cfg.TraceSample,
 		EventCapacity:   cfg.EventCapacity,
 		HistoryInterval: cfg.HistoryInterval,
+		HeatHalfLife:    cfg.HeatHalfLife,
 	})
 	if err != nil {
 		return nil, err

@@ -1,17 +1,16 @@
 package master
 
 import (
-	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sort"
-	"strconv"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/events"
+	"repro/internal/httpjson"
 	"repro/internal/rpc"
 	"repro/internal/trace"
 )
@@ -62,10 +61,7 @@ func (m *Master) ServeHTTP(addr string) (string, error) {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(m.statusReport())
+		httpjson.Write(w, m.statusReport())
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Query().Get("format") == "json" {
@@ -86,21 +82,27 @@ func (m *Master) ServeHTTP(addr string) (string, error) {
 	// cursoring; /debug/history the sampled telemetry ring.
 	events.RegisterDebugHandler(mux, m.journal)
 	mux.HandleFunc("/debug/history", func(w http.ResponseWriter, r *http.Request) {
-		last := 0
-		if s := r.URL.Query().Get("last"); s != "" {
-			n, err := strconv.Atoi(s)
-			if err != nil {
-				http.Error(w, "bad last: "+err.Error(), http.StatusBadRequest)
-				return
-			}
-			last = n
+		last, ok := httpjson.IntParam(w, r, "last", 0)
+		if !ok {
+			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(struct {
+		httpjson.Write(w, struct {
 			Samples []rpc.ClusterSample `json:"samples"`
 		}{m.clusterHistory(last)})
+	})
+	// /debug/heat serves the cluster heat map and tier-fitness report;
+	// ?top= caps the lists, ?file= restricts to one file's blocks,
+	// ?misplaced omits the rankings and returns only the fitness report.
+	mux.HandleFunc("/debug/heat", func(w http.ResponseWriter, r *http.Request) {
+		top, ok := httpjson.IntParam(w, r, "top", 0)
+		if !ok {
+			return
+		}
+		misplaced, ok := httpjson.BoolParam(w, r, "misplaced", false)
+		if !ok {
+			return
+		}
+		httpjson.Write(w, m.heatReport(top, r.URL.Query().Get("file"), misplaced))
 	})
 	if m.cfg.Pprof {
 		registerPprof(mux)

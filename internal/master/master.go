@@ -92,6 +92,14 @@ type Config struct {
 	// then returns only a live sample).
 	HistoryInterval time.Duration
 
+	// HeatHalfLife is the decay half-life of the access-heat counters;
+	// zero selects heat.DefaultHalfLife (60s).
+	HeatHalfLife time.Duration
+
+	// HeatCapacity bounds the block heat map (the file heat map gets a
+	// quarter of it); zero selects heat.DefaultMapCapacity.
+	HeatCapacity int
+
 	// Pprof mounts net/http/pprof under /debug/pprof/ on the HTTP
 	// endpoint. Off by default: profiling endpoints should be opted
 	// into on production daemons.
@@ -184,6 +192,10 @@ type Master struct {
 	placements map[core.BlockID]rpc.BlockExplanation
 	placeOrder []core.BlockID // FIFO eviction order
 
+	// heat is the access-heat plane: decayed per-block/per-file
+	// counters and the block → path index (see heat.go).
+	heat *heatPlane
+
 	ln     net.Listener
 	srv    *netrpc.Server
 	done   chan struct{}
@@ -219,6 +231,7 @@ func New(cfg Config) (*Master, error) {
 		started:        time.Now(),
 	}
 	m.journal = events.NewJournal(cfg.EventCapacity)
+	m.heat = newHeatPlane(cfg.HeatHalfLife, cfg.HeatCapacity)
 	m.traces = trace.NewStore(cfg.TraceCapacity, cfg.SlowOpThreshold, cfg.TraceSample)
 	m.tracer = trace.NewTracer("master", m.traces)
 	m.metrics = newMasterMetrics(m)
@@ -234,6 +247,7 @@ func New(cfg Config) (*Master, error) {
 			// Recovered blocks are committed: release them to the
 			// replication monitor right away.
 			m.blocks.CommitBlock(b)
+			m.heat.indexBlock(b.ID, path)
 		}
 	})
 
@@ -449,6 +463,7 @@ func (m *Master) monitor() {
 			m.repairBlocks()
 			if histEvery > 0 && time.Since(lastSample) >= histEvery {
 				m.sampleHistory()
+				m.scanMisplaced()
 				lastSample = time.Now()
 			}
 		}

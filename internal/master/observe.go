@@ -35,6 +35,7 @@ const (
 	evLeaseExpired         = "lease_expired"
 	evPlacement            = "placement"
 	evSlowOp               = "slow_op"
+	evHeatMisplaced        = "heat_misplaced"
 )
 
 const (
@@ -79,6 +80,7 @@ func (m *Master) liveSample() rpc.ClusterSample {
 		Tiers:  m.tierReports(),
 		Files:  files,
 		Blocks: blocks,
+		Heat:   m.liveHeatAggregate(),
 	}
 	m.mu.RLock()
 	for id, w := range m.workers {

@@ -59,6 +59,7 @@ func (s *Service) Create(args *rpc.CreateArgs, _ *rpc.CreateReply) (err error) {
 		return wire(err)
 	}
 	s.m.invalidateBlocks(removed)
+	s.m.touchFileWrite(args.Path)
 	return nil
 }
 
@@ -129,6 +130,7 @@ func (s *Service) AddBlock(args *rpc.AddBlockArgs, reply *rpc.AddBlockReply) (er
 		"replicas", strconv.Itoa(len(targets)),
 		"tiers", strings.Join(tiers, ","))
 	s.m.recordPlacement(args.Path, blk, args.ReqID, decisions)
+	s.m.heat.indexBlock(blk.ID, args.Path)
 
 	located := core.LocatedBlock{Block: blk, Offset: offset}
 	for _, t := range targets {
@@ -219,6 +221,7 @@ func (s *Service) AbandonBlock(args *rpc.AbandonBlockArgs, _ *rpc.AbandonBlockRe
 // invalidateBlocks forgets blocks and schedules replica deletion on
 // their workers.
 func (m *Master) invalidateBlocks(blocks []core.Block) {
+	m.heat.forgetBlocks(blocks)
 	for _, b := range blocks {
 		replicas := m.blocks.RemoveBlock(b.ID)
 		for _, r := range replicas {
@@ -249,6 +252,18 @@ func (s *Service) GetBlockLocations(args *rpc.GetBlockLocationsArgs, reply *rpc.
 		length = fileLen
 	}
 	end := args.Offset + length
+	// One getBlockLocations is one application-level open/read of the
+	// file: record it as file-level read heat covering the requested
+	// range (block-level heat arrives from the workers that actually
+	// serve the bytes).
+	touched := length
+	if touched > fileLen-args.Offset {
+		touched = fileLen - args.Offset
+	}
+	if touched < 0 {
+		touched = 0
+	}
+	s.m.touchFileRead(args.Path, touched)
 
 	snap := s.m.snapshot()
 	client := s.clientLocation(args.ClientNode)
@@ -329,13 +344,18 @@ func (s *Service) Delete(args *rpc.DeleteArgs, _ *rpc.DeleteReply) (err error) {
 		return wire(err)
 	}
 	s.m.invalidateBlocks(blocks)
+	s.m.heat.forgetPath(args.Path)
 	return nil
 }
 
 // Rename moves a path.
 func (s *Service) Rename(args *rpc.RenameArgs, _ *rpc.RenameReply) (err error) {
 	defer s.m.trackOp("rename", args.ReqHeader)(&err)
-	return wire(s.m.ns.Rename(args.Src, args.Dst))
+	if err := s.m.ns.Rename(args.Src, args.Dst); err != nil {
+		return wire(err)
+	}
+	s.m.heat.rename(args.Src, args.Dst)
+	return nil
 }
 
 // SetReplication changes a file's replication vector; the replication
@@ -455,6 +475,9 @@ func (s *Service) Heartbeat(args *rpc.HeartbeatArgs, reply *rpc.HeartbeatReply) 
 	reply.Commands = s.m.pending[args.ID]
 	delete(s.m.pending, args.ID)
 	s.m.mu.Unlock()
+	// Fold the piggybacked heat deltas outside the worker lock: the
+	// heat maps have their own synchronisation.
+	s.m.foldHeat(args.Heat)
 	return nil
 }
 

@@ -3,6 +3,7 @@ package rpc
 import (
 	"repro/internal/core"
 	"repro/internal/events"
+	"repro/internal/heat"
 	"repro/internal/trace"
 )
 
@@ -236,6 +237,10 @@ type HeartbeatArgs struct {
 	NetConns int
 	NetMBps  float64
 	HTTPAddr string // worker debug HTTP endpoint; bound after register on the first serve
+	// Heat carries the per-block access deltas accumulated on this
+	// worker's data path since the previous successful heartbeat
+	// (piggybacked so heat costs no extra RPC).
+	Heat []heat.Delta
 }
 type HeartbeatReply struct {
 	Commands []Command
@@ -401,6 +406,7 @@ type ClusterSample struct {
 	Tiers   []core.StorageTierReport
 	Files   int
 	Blocks  int
+	Heat    HeatAggregate
 }
 
 // GetClusterHistoryArgs / -Reply implement Master.GetClusterHistory:
@@ -469,3 +475,92 @@ type DecommissionArgs struct {
 	ID core.WorkerID
 }
 type DecommissionReply struct{}
+
+// HeatScore mirrors heat.Score on the wire: decayed operations and
+// bytes for one access direction.
+type HeatScore struct {
+	Ops   float64
+	Bytes float64
+}
+
+// FileHeat is one file's decayed access statistics.
+type FileHeat struct {
+	Path   string
+	Read   HeatScore
+	Write  HeatScore
+	Heat   float64 // Read.Ops + Write.Ops, the ranking scalar
+	LastNs int64
+}
+
+// BlockHeat is one block's decayed access statistics plus where its
+// replicas currently live.
+type BlockHeat struct {
+	Block  core.BlockID
+	Path   string // owning file, "" if the index has no mapping
+	Read   HeatScore
+	Write  HeatScore
+	Heat   float64
+	Tiers  [core.NumTiers]int // replica count per storage tier
+	LastNs int64
+}
+
+// Misplacement kinds reported by the tier-fitness scan.
+const (
+	MisplacedHotOnCold     = "hot_on_cold"     // hot block, replicas only on HDD/REMOTE
+	MisplacedColdOnPremium = "cold_on_premium" // cold block squatting on MEMORY/SSD
+)
+
+// MisplacedBlock is one tier-fitness finding: a block whose replica
+// tier vector does not match its heat, annotated with the placement
+// decision that put it there (via the retained explain records).
+type MisplacedBlock struct {
+	Block        core.BlockID
+	Path         string
+	Kind         string  // MisplacedHotOnCold or MisplacedColdOnPremium
+	Heat         float64 // decayed ops at report time
+	Misplacement float64 // 0..1, how far the best replica is from a fitting tier
+	Score        float64 // ranking key: heat × misplacement (hot), misplacement (cold)
+	Tiers        [core.NumTiers]int
+	BestTier     core.StorageTier // highest (most premium) tier holding a replica
+	// Originating placement decision, zero-valued when the decision
+	// has aged out of the explain ring.
+	DecisionTraceID string
+	DecisionTimeNs  int64
+}
+
+// HeatAggregate summarises the cluster heat map for telemetry
+// samples: totals, the hottest single block, per-tier heat (each
+// block's heat split evenly across its replicas' tiers), and the
+// current misplacement counts.
+type HeatAggregate struct {
+	TrackedBlocks int
+	TrackedFiles  int
+	TotalHeat     float64
+	MaxHeat       float64
+	TierHeat      [core.NumTiers]float64
+	MisplacedHot  int
+	MisplacedCold int
+}
+
+// GetHeatArgs / -Reply implement Master.GetHeat: the cluster heat map
+// and tier-fitness report.
+type GetHeatArgs struct {
+	ReqHeader
+	Top       int    // cap files/blocks/misplaced lists (<= 0 = default)
+	File      string // restrict block list to this file's blocks
+	Misplaced bool   // only compute/return the misplacement report
+}
+type GetHeatReply struct {
+	Report HeatReport
+}
+
+// HeatReport is the full heat observability document, also served at
+// /debug/heat.
+type HeatReport struct {
+	TimeNs     int64
+	HalfLifeNs int64
+	Aggregate  HeatAggregate
+	Files      []FileHeat
+	Blocks     []BlockHeat
+	Misplaced  []MisplacedBlock
+}

@@ -1,9 +1,10 @@
 package trace
 
 import (
-	"encoding/json"
 	"net/http"
 	"strings"
+
+	"repro/internal/httpjson"
 )
 
 // RegisterDebugHandlers mounts a trace store on mux at /debug/traces
@@ -13,18 +14,12 @@ import (
 // cluster-assembly fan-out so the endpoint serves merged timelines;
 // workers pass nil and serve their local store.
 func RegisterDebugHandlers(mux *http.ServeMux, store *Store, fetch func(traceID string) ([]Span, error)) {
-	writeJSON := func(w http.ResponseWriter, v any) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(v)
-	}
 	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
 		list := store.List()
 		if list == nil {
 			list = []Summary{}
 		}
-		writeJSON(w, list)
+		httpjson.Write(w, list)
 	})
 	mux.HandleFunc("/debug/traces/", func(w http.ResponseWriter, r *http.Request) {
 		id := strings.TrimPrefix(r.URL.Path, "/debug/traces/")
@@ -43,6 +38,6 @@ func RegisterDebugHandlers(mux *http.ServeMux, store *Store, fetch func(traceID 
 			http.Error(w, "trace not retained: "+id, http.StatusNotFound)
 			return
 		}
-		writeJSON(w, spans)
+		httpjson.Write(w, spans)
 	})
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/events"
+	"repro/internal/heat"
 	"repro/internal/rpc"
 	"repro/internal/storage"
 	"repro/internal/trace"
@@ -109,6 +110,9 @@ func (w *Worker) handleWriteBlock(conn net.Conn) {
 	// End (and thus store) the span before acking: once the client
 	// sees the ack, this stage's span is queryable.
 	sp.End()
+	if ack.Stored > 0 {
+		w.heat.Touch(hdr.Block.ID, heat.Write, ack.Stored)
+	}
 	w.metrics.observeOp("write", hdr.ReqID, start, ack.Stored, tier, ack.Err != "")
 	if err := rpc.WriteFrame(conn, ack); err != nil {
 		w.cfg.Logger.Warn("write ack failed", "err", err)
@@ -235,6 +239,9 @@ func (w *Worker) handleReadBlock(conn net.Conn) {
 	}
 	sp.SetError(err)
 	sp.End()
+	if err == nil {
+		w.heat.Touch(hdr.Block.ID, heat.Read, served)
+	}
 	w.metrics.observeOp("read", hdr.ReqID, start, served, tier, err != nil)
 }
 
@@ -313,6 +320,9 @@ func (w *Worker) handleReplicateBlock(conn net.Conn) {
 	sp.Annotate("tier", tier).AnnotateInt("bytes", n)
 	sp.SetError(err)
 	sp.End()
+	if err == nil {
+		w.heat.Touch(hdr.Block.ID, heat.Write, n)
+	}
 	w.metrics.observeOp("replicate", reqID, start, n, tier, err != nil)
 	rpc.WriteFrame(conn, rpc.ReplicateBlockAck{Err: rpc.WithReqID(rpc.EncodeError(err), reqID)})
 }

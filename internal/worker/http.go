@@ -1,7 +1,6 @@
 package worker
 
 import (
-	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -10,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/events"
+	"repro/internal/httpjson"
 	"repro/internal/trace"
 )
 
@@ -44,10 +44,7 @@ func (w *Worker) ServeHTTP(addr string) (string, error) {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", func(rw http.ResponseWriter, r *http.Request) {
-		rw.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(rw)
-		enc.SetIndent("", "  ")
-		enc.Encode(w.status())
+		httpjson.Write(rw, w.status())
 	})
 	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, r *http.Request) {
 		if r.URL.Query().Get("format") == "json" {

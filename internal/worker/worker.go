@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/events"
+	"repro/internal/heat"
 	"repro/internal/rpc"
 	"repro/internal/storage"
 	"repro/internal/trace"
@@ -116,6 +117,7 @@ type Worker struct {
 	traces  *trace.Store
 	tracer  *trace.Tracer
 	journal *events.Journal
+	heat    *heat.Collector
 
 	httpMu   sync.Mutex
 	httpAddr string // bound debug HTTP endpoint ("" until ServeHTTP)
@@ -163,6 +165,7 @@ func New(cfg Config) (*Worker, error) {
 		w.media[mc.ID] = m
 	}
 	w.journal = events.NewJournal(cfg.EventCapacity)
+	w.heat = heat.NewCollector()
 	w.traces = trace.NewStore(cfg.TraceCapacity, cfg.SlowOpThreshold, cfg.TraceSample)
 	w.tracer = trace.NewTracer("worker", w.traces)
 	w.metrics = newWorkerMetrics(w)
@@ -329,12 +332,15 @@ func (w *Worker) heartbeat() {
 		NetConns:  int(w.netConns.Load()),
 		NetMBps:   w.cfg.NetMBps,
 		HTTPAddr:  w.HTTPAddr(),
+		Heat:      w.heat.Drain(),
 	}
 	w.metrics.heartbeats.Inc()
 	var reply rpc.HeartbeatReply
 	if err := w.callMaster("Master.Heartbeat", args, &reply); err != nil {
 		// The master may have expired us (e.g. after its restart):
-		// re-register and retry on the next tick.
+		// re-register and retry on the next tick. Put the drained heat
+		// deltas back so access history survives master hiccups.
+		w.heat.Restore(args.Heat)
 		w.metrics.hbErrs.Inc()
 		w.cfg.Logger.Warn("heartbeat failed", "req", args.ReqID, "err", err)
 		if err := w.register(); err != nil {
@@ -393,6 +399,7 @@ func (w *Worker) execute(cmd rpc.Command) {
 			w.cfg.Logger.Warn("delete command failed", "block", cmd.Block.ID, "err", err)
 			return
 		}
+		w.heat.Forget(cmd.Block.ID)
 		w.journal.Publish(events.Info, "block_deleted",
 			"replica deleted on master command",
 			"block", fmt.Sprintf("%d", cmd.Block.ID),
@@ -422,6 +429,7 @@ func (w *Worker) execute(cmd rpc.Command) {
 				"block", fmt.Sprintf("%d", cmd.Block.ID),
 				"target", string(cmd.Target), "err", err.Error())
 		} else {
+			w.heat.Touch(cmd.Block.ID, heat.Write, n)
 			w.journal.PublishTraced(events.Info, "block_replicated", reqID,
 				"replica copied on master command",
 				"block", fmt.Sprintf("%d", cmd.Block.ID),
