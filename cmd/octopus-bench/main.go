@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	octopus-bench [table2|table3|fig2|fig3|fig4|fig5|fig6|fig7|ablation|datapath|heat|all]
+//	octopus-bench [table2|table3|fig2|fig3|fig4|fig5|fig6|fig7|ablation|datapath|heat|mover|all]
 //
 // Simulator-backed experiments (fig2–fig7) run the paper's full data
 // sizes in seconds; table2 and table3 run against live in-process
@@ -21,11 +21,11 @@ import (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [table2|table3|fig2|fig3|fig4|fig5|fig6|fig7|ablation|datapath|heat|all]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [table2|table3|fig2|fig3|fig4|fig5|fig6|fig7|ablation|datapath|heat|mover|all]\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	scale := flag.Int64("scale-mb", 0, "override experiment data size in MB (0 = paper size)")
-	jsonPath := flag.String("json", "", "also write datapath/heat results as JSON to this path")
+	jsonPath := flag.String("json", "", "also write datapath/heat/mover results as JSON to this path")
 	flag.Parse()
 
 	targets := flag.Args()
@@ -149,6 +149,23 @@ func main() {
 		if *jsonPath != "" {
 			if err := bench.WriteHeatJSON(*jsonPath, res); err != nil {
 				fail("heat", err)
+			}
+		}
+	}
+	if all || want["mover"] {
+		dir, cleanup, err := integration.TempDir()
+		if err != nil {
+			fail("mover", err)
+		}
+		res, err := bench.RunMover(dir, 12, 400, 1.5)
+		cleanup()
+		if err != nil {
+			fail("mover", err)
+		}
+		bench.PrintMover(out, res)
+		if *jsonPath != "" {
+			if err := bench.WriteMoverJSON(*jsonPath, res); err != nil {
+				fail("mover", err)
 			}
 		}
 	}

@@ -58,7 +58,7 @@ var knownCommands = map[string]bool{
 	"rm": true, "mv": true, "stat": true, "setrep": true, "locations": true,
 	"tiers": true, "report": true, "quota": true, "du": true, "fsck": true,
 	"trace": true, "events": true, "top": true, "heat": true, "health": true,
-	"explain": true, "decommission": true,
+	"explain": true, "decommission": true, "mover": true,
 }
 
 func main() {
@@ -445,6 +445,24 @@ func run(fs *client.FileSystem, args []string) error {
 		printHeatReport(report, *misplaced)
 		return nil
 
+	case "mover":
+		fl := flag.NewFlagSet("mover", flag.ContinueOnError)
+		jsonOut := fl.Bool("json", false, "emit the status as JSON")
+		if err := fl.Parse(rest); err != nil {
+			return err
+		}
+		status, err := fs.Mover()
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(status)
+		}
+		printMoverStatus(status)
+		return nil
+
 	case "health":
 		rep, err := fs.ClusterReport()
 		if err != nil {
@@ -488,8 +506,14 @@ func run(fs *client.FileSystem, args []string) error {
 		}
 		fmt.Printf("%s: %d blocks with placement decisions\n", reply.Path, len(reply.Blocks))
 		for _, b := range reply.Blocks {
-			fmt.Printf("\nblock %d  placed %s  trace=%s\n",
-				b.Block, time.Unix(0, b.TimeNs).Format("15:04:05.000"), b.TraceID)
+			verb := "placed"
+			if b.Origin != "" {
+				// The tier mover rewrote this record: the block's last
+				// placement was a heat-driven promotion or demotion.
+				verb = fmt.Sprintf("moved (%s, heat %.2f)", b.Origin, b.Heat)
+			}
+			fmt.Printf("\nblock %d  %s %s  trace=%s\n",
+				b.Block, verb, time.Unix(0, b.TimeNs).Format("15:04:05.000"), b.TraceID)
 			for i, r := range b.Replicas {
 				entry := "any tier"
 				if r.Entry != core.TierUnspecified {
@@ -572,6 +596,52 @@ func printHeatReport(r rpc.HeatReport, misplacedOnly bool) {
 	}
 }
 
+// printMoverStatus renders the tier mover document: governors,
+// counters, in-flight moves, and the recent-move ring.
+func printMoverStatus(st rpc.MoverStatus) {
+	state := "enabled"
+	if !st.Enabled {
+		state = "disabled"
+	}
+	budget := "unlimited"
+	if st.BytesPerSec > 0 {
+		budget = fmt.Sprintf("%d MB/s", st.BytesPerSec>>20)
+	}
+	fmt.Printf("tier mover %s: interval %s, max %d concurrent, budget %s, cooldown %s\n",
+		state, time.Duration(st.IntervalNs), st.MaxConcurrent, budget,
+		time.Duration(st.CooldownNs))
+	c := st.Counters
+	fmt.Printf("moved: %d promoted, %d demoted, %d MB; %d scheduled, %d expired\n",
+		c.Promoted, c.Demoted, c.MovedBytes>>20, c.Scheduled, c.Expired)
+	fmt.Printf("held back: %d cooldown, %d concurrency, %d budget, %d no-target, %d unhealthy\n",
+		c.SkippedCooldown, c.SkippedConcurrency, c.SkippedBudget,
+		c.SkippedNoTarget, c.SkippedUnhealthy)
+
+	printMoves := func(title string, moves []rpc.MoveRecord) {
+		if len(moves) == 0 {
+			return
+		}
+		fmt.Printf("\n%s:\n", title)
+		fmt.Printf("%-10s%-24s%-10s%8s  %-22s%-16s%-16s%s\n",
+			"block", "file", "kind", "heat", "move", "before", "after", "outcome")
+		for _, mv := range moves {
+			after := formatTiers(mv.AfterTiers)
+			if mv.FinishedNs == 0 {
+				after = "-"
+			}
+			fmt.Printf("%-10d%-24s%-10s%8.2f  %-22s%-16s%-16s%s\n",
+				mv.Block, mv.Path, mv.Kind, mv.Heat,
+				fmt.Sprintf("%s→%s", mv.FromTier, mv.ToTier),
+				formatTiers(mv.BeforeTiers), after, mv.Outcome)
+		}
+	}
+	printMoves("in flight", st.InFlight)
+	printMoves("recent moves (newest first)", st.Recent)
+	if len(st.InFlight) == 0 && len(st.Recent) == 0 {
+		fmt.Println("no moves yet")
+	}
+}
+
 // formatTiers renders a replica-count-per-tier vector compactly,
 // e.g. "HDD:2" or "MEMORY:1,HDD:2".
 func formatTiers(tiers [core.NumTiers]int) string {
@@ -637,7 +707,7 @@ func need(args []string, n int) {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: octopus-cli [-master addr] [-node name] [-readahead k] [-write-window k] <command> [args]
 commands: mkdir ls put get cat rm mv stat setrep locations tiers report quota du fsck
-          metrics trace events top heat health explain decommission`)
+          metrics trace events top heat mover health explain decommission`)
 }
 
 func fatal(err error) {

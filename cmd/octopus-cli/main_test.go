@@ -51,6 +51,8 @@ func TestCLICommands(t *testing.T) {
 		{"heat", "-top", "5"},
 		{"heat", "-file", "/cli/f"},
 		{"heat", "-misplaced"},
+		{"mover"},
+		{"mover", "-json"},
 		{"health"},
 		{"tiers"},
 		{"report"},

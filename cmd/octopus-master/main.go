@@ -38,6 +38,10 @@ func main() {
 		eventCap  = flag.Int("events", 0, "event journal capacity (0 = default)")
 		histEvery = flag.Duration("history-interval", 0, "telemetry history sampling interval (0 = default, negative disables)")
 		heatHalf  = flag.Duration("heat-half-life", 0, "access-heat decay half-life (0 = default 60s)")
+		moverIvl  = flag.Duration("mover-interval", 0, "tier mover pass interval (0 = default 2s, negative disables)")
+		moverMax  = flag.Int("mover-max-moves", 0, "max concurrent tier moves (0 = default 4)")
+		moverBps  = flag.Int64("mover-mbps", 0, "tier mover bandwidth budget in MB/s (0 = default 64, negative unlimited)")
+		moverCool = flag.Duration("mover-cooldown", 0, "per-block cooldown between tier moves (0 = default 30s)")
 		pprofOn   = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -http endpoint")
 		backup    = flag.Bool("backup", false, "run as a Backup Master")
 		primary   = flag.String("primary", "", "primary master address (backup mode)")
@@ -89,7 +93,19 @@ func main() {
 		EventCapacity:   *eventCap,
 		HistoryInterval: *histEvery,
 		HeatHalfLife:    *heatHalf,
-		Pprof:           *pprofOn,
+		MoverInterval:   *moverIvl,
+		MoverMaxMoves:   *moverMax,
+		MoverBytesPerSec: func() int64 {
+			if *moverBps == 0 {
+				return 0
+			}
+			if *moverBps < 0 {
+				return -1
+			}
+			return *moverBps << 20
+		}(),
+		MoverCooldown: *moverCool,
+		Pprof:         *pprofOn,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "octopus-master: %v\n", err)

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/integration"
+)
+
+// MoverResult is one measurement of the background tier mover closing
+// the heat loop: a zipfian read workload over HDD-resident files on a
+// throttled cluster, split into four equal quartiles. As the mover
+// promotes the hot set to memory, the later quartiles run at memory
+// speed — the improvement ratio is the figure of merit.
+type MoverResult struct {
+	Files int     `json:"files"`
+	Reads int     `json:"reads"`
+	ZipfS float64 `json:"zipf_s"`
+	// QuartileOpsPerSec is the achieved open+read throughput of each
+	// quarter of the read stream, in order.
+	QuartileOpsPerSec [4]float64 `json:"quartile_ops_per_sec"`
+	// Improvement = Q4 / Q1 throughput; the acceptance floor is 1.5.
+	Improvement float64 `json:"improvement_q4_over_q1"`
+	// Promoted and MovedBytes echo the master's mover counters.
+	Promoted   int64 `json:"promoted"`
+	MovedBytes int64 `json:"moved_bytes"`
+	// MemoryResidentTop5 counts how many of the five truly hottest
+	// files finished the run with a memory replica.
+	MemoryResidentTop5 int `json:"memory_resident_top5"`
+}
+
+// RunMover drives a zipfian (s = zipfS) read workload over files
+// HDD-resident files on a cluster throttled to the paper's Table 2
+// device speeds (scaled down), with the tier mover passing every
+// 100ms. All files start on HDD (factor-1 writes, no memory use at
+// placement time); only the mover can migrate them, so any throughput
+// rise across quartiles is the mover's doing.
+func RunMover(dir string, files, reads int, zipfS float64) (MoverResult, error) {
+	if files <= 0 {
+		files = 12
+	}
+	if reads <= 0 {
+		reads = 400
+	}
+	if zipfS <= 1 {
+		zipfS = 1.5
+	}
+	res := MoverResult{Files: files, Reads: reads, ZipfS: zipfS}
+
+	cfg := integration.DefaultClusterConfig(dir)
+	cfg.NumWorkers = 2
+	cfg.SSDCapacity = 0 // promotions land in memory, the strongest contrast
+	cfg.BlockSize = 256 << 10
+	cfg.Throttle = true
+	cfg.ThrottleScale = 0.03 // HDD ~5 MB/s, memory ~97 MB/s
+	cfg.HeatHalfLife = time.Hour
+	cfg.MoverInterval = 100 * time.Millisecond
+	cfg.MoverCooldown = time.Hour
+	cfg.MoverMaxMoves = 8
+	c, err := integration.StartCluster(cfg)
+	if err != nil {
+		return res, err
+	}
+	defer c.Close()
+	fs, err := c.Client("")
+	if err != nil {
+		return res, err
+	}
+	defer fs.Close()
+
+	rng := rand.New(rand.NewSource(11))
+	data := make([]byte, 256<<10)
+	rng.Read(data)
+	if err := fs.Mkdir("/mover", true); err != nil {
+		return res, err
+	}
+	paths := make([]string, files)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/mover/f%02d", i)
+		if err := fs.WriteFile(paths[i], data, core.ReplicationVectorFromFactor(1)); err != nil {
+			return res, err
+		}
+	}
+
+	// Zipf ranks map to file indices directly: file 0 is the true
+	// hottest. The stream is split into four equal quartiles timed
+	// separately.
+	zipf := rand.NewZipf(rng, zipfS, 1, uint64(files-1))
+	quarter := reads / 4
+	for q := 0; q < 4; q++ {
+		start := time.Now()
+		for i := 0; i < quarter; i++ {
+			r, err := fs.Open(paths[int(zipf.Uint64())])
+			if err != nil {
+				return res, err
+			}
+			if _, err := io.Copy(io.Discard, r); err != nil {
+				r.Close()
+				return res, err
+			}
+			r.Close()
+		}
+		res.QuartileOpsPerSec[q] = float64(quarter) / time.Since(start).Seconds()
+	}
+	if res.QuartileOpsPerSec[0] > 0 {
+		res.Improvement = res.QuartileOpsPerSec[3] / res.QuartileOpsPerSec[0]
+	}
+
+	st, err := fs.Mover()
+	if err != nil {
+		return res, err
+	}
+	res.Promoted = st.Counters.Promoted
+	res.MovedBytes = st.Counters.MovedBytes
+	for i := 0; i < 5 && i < files; i++ {
+		blocks, err := fs.GetFileBlockLocations(paths[i], 0, -1)
+		if err != nil {
+			return res, err
+		}
+		inMemory := false
+		for _, b := range blocks {
+			for _, loc := range b.Locations {
+				if loc.Tier == core.TierMemory {
+					inMemory = true
+				}
+			}
+		}
+		if inMemory {
+			res.MemoryResidentTop5++
+		}
+	}
+	return res, nil
+}
+
+// PrintMover renders the mover measurement as a table.
+func PrintMover(w io.Writer, r MoverResult) {
+	fmt.Fprintf(w, "\nTier mover: zipfian reads over HDD-resident files (s=%.1f, %d files, %d reads)\n",
+		r.ZipfS, r.Files, r.Reads)
+	fmt.Fprintf(w, "%-10s%12s%12s%12s%12s%14s%10s%12s\n",
+		"q1 ops/s", "q2 ops/s", "q3 ops/s", "q4 ops/s", "q4/q1", "promoted", "mem@top5", "moved MB")
+	fmt.Fprintf(w, "%-10.1f%12.1f%12.1f%12.1f%12.2fx%14d%10d%12.1f\n",
+		r.QuartileOpsPerSec[0], r.QuartileOpsPerSec[1], r.QuartileOpsPerSec[2], r.QuartileOpsPerSec[3],
+		r.Improvement, r.Promoted, r.MemoryResidentTop5, float64(r.MovedBytes)/(1<<20))
+}
+
+// WriteMoverJSON writes the mover measurement to path as JSON.
+func WriteMoverJSON(path string, r MoverResult) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -62,6 +62,14 @@ func (fs *FileSystem) Heat(top int, file string, misplacedOnly bool) (rpc.HeatRe
 	return reply.Report, err
 }
 
+// Mover returns the background tier mover's status: governors,
+// in-flight moves, recently finished moves, and counters.
+func (fs *FileSystem) Mover() (rpc.MoverStatus, error) {
+	var reply rpc.GetMoverReply
+	err := fs.call("Master.GetMover", &rpc.GetMoverArgs{}, &reply)
+	return reply.Status, err
+}
+
 // ClusterReport returns the full worker-reports reply, including each
 // worker's debug HTTP endpoint and the master's own, so admin tools
 // can fan out health checks without extra configuration.

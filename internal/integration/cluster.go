@@ -87,6 +87,18 @@ type ClusterConfig struct {
 	// HeatHalfLife is the master's access-heat decay half-life (0 =
 	// default 60s).
 	HeatHalfLife time.Duration
+
+	// MoverInterval enables the master's background tier mover at this
+	// cadence. Unlike on a production master, zero keeps the mover
+	// DISABLED in test clusters, so heat-plane tests can observe
+	// misplacements without the mover fixing them underneath.
+	MoverInterval time.Duration
+
+	// MoverMaxMoves, MoverBytesPerSec, and MoverCooldown forward the
+	// mover governors to the master (0 = master defaults).
+	MoverMaxMoves    int
+	MoverBytesPerSec int64
+	MoverCooldown    time.Duration
 }
 
 // DefaultClusterConfig mirrors the paper's worker shape at laptop
@@ -143,21 +155,29 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.WorkerTimeout <= 0 {
 		cfg.WorkerTimeout = 10 * time.Second
 	}
+	moverInterval := cfg.MoverInterval
+	if moverInterval == 0 {
+		moverInterval = -1 // disabled unless a test opts in
+	}
 	m, err := master.New(master.Config{
-		ListenAddr:      "127.0.0.1:0",
-		MetaDir:         cfg.MetaDir,
-		Placement:       cfg.Placement,
-		Retrieval:       cfg.Retrieval,
-		BlockSize:       cfg.BlockSize,
-		WorkerTimeout:   cfg.WorkerTimeout,
-		MonitorInterval: 50 * time.Millisecond,
-		Seed:            1,
-		Logger:          cfg.MasterLogger,
-		SlowOpThreshold: cfg.SlowOpThreshold,
-		TraceSample:     cfg.TraceSample,
-		EventCapacity:   cfg.EventCapacity,
-		HistoryInterval: cfg.HistoryInterval,
-		HeatHalfLife:    cfg.HeatHalfLife,
+		ListenAddr:       "127.0.0.1:0",
+		MetaDir:          cfg.MetaDir,
+		Placement:        cfg.Placement,
+		Retrieval:        cfg.Retrieval,
+		BlockSize:        cfg.BlockSize,
+		WorkerTimeout:    cfg.WorkerTimeout,
+		MonitorInterval:  50 * time.Millisecond,
+		Seed:             1,
+		Logger:           cfg.MasterLogger,
+		SlowOpThreshold:  cfg.SlowOpThreshold,
+		TraceSample:      cfg.TraceSample,
+		EventCapacity:    cfg.EventCapacity,
+		HistoryInterval:  cfg.HistoryInterval,
+		HeatHalfLife:     cfg.HeatHalfLife,
+		MoverInterval:    moverInterval,
+		MoverMaxMoves:    cfg.MoverMaxMoves,
+		MoverBytesPerSec: cfg.MoverBytesPerSec,
+		MoverCooldown:    cfg.MoverCooldown,
 	})
 	if err != nil {
 		return nil, err

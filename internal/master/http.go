@@ -104,6 +104,11 @@ func (m *Master) ServeHTTP(addr string) (string, error) {
 		}
 		httpjson.Write(w, m.heatReport(top, r.URL.Query().Get("file"), misplaced))
 	})
+	// /debug/mover serves the tier mover's status: governors,
+	// in-flight moves, the recent-move ring, and counters.
+	mux.HandleFunc("/debug/mover", func(w http.ResponseWriter, r *http.Request) {
+		httpjson.Write(w, m.moverStatus())
+	})
 	if m.cfg.Pprof {
 		registerPprof(mux)
 	}

@@ -100,6 +100,26 @@ type Config struct {
 	// quarter of it); zero selects heat.DefaultMapCapacity.
 	HeatCapacity int
 
+	// MoverInterval paces the background tier mover that acts on the
+	// tier-fitness findings; zero selects the default (2s), negative
+	// disables the mover. The mover runs from the monitor loop, so its
+	// effective cadence is at least MonitorInterval.
+	MoverInterval time.Duration
+
+	// MoverMaxMoves caps concurrent in-flight tier moves; zero selects
+	// the default (4).
+	MoverMaxMoves int
+
+	// MoverBytesPerSec budgets the replication traffic the mover may
+	// generate; zero selects the default (64 MiB/s), negative removes
+	// the budget.
+	MoverBytesPerSec int64
+
+	// MoverCooldown is the per-block hysteresis window after any
+	// completed or expired move, so flapping heat cannot thrash a
+	// block between tiers; zero selects the default (30s).
+	MoverCooldown time.Duration
+
 	// Pprof mounts net/http/pprof under /debug/pprof/ on the HTTP
 	// endpoint. Off by default: profiling endpoints should be opted
 	// into on production daemons.
@@ -160,6 +180,10 @@ type Master struct {
 	// confirmed via BlockReceived, so placement sees in-flight load
 	// between heartbeats.
 	scheduled map[core.StorageID]int
+	// schedTargets records, per in-flight block, the pipeline targets
+	// still awaiting BlockReceived, so the scheduled counts drain when
+	// a pipeline dies (abandon, lease recovery) instead of leaking.
+	schedTargets map[core.BlockID][]core.StorageID
 	// repairing de-duplicates replication work across monitor ticks.
 	repairing map[core.BlockID]time.Time
 
@@ -196,6 +220,10 @@ type Master struct {
 	// counters and the block → path index (see heat.go).
 	heat *heatPlane
 
+	// mover is the background tier mover acting on the heat plane's
+	// tier-fitness findings (see mover.go).
+	mover *mover
+
 	ln     net.Listener
 	srv    *netrpc.Server
 	done   chan struct{}
@@ -221,6 +249,7 @@ func New(cfg Config) (*Master, error) {
 		workers:        make(map[core.WorkerID]*workerState),
 		pending:        make(map[core.WorkerID][]rpc.Command),
 		scheduled:      make(map[core.StorageID]int),
+		schedTargets:   make(map[core.BlockID][]core.StorageID),
 		repairing:      make(map[core.BlockID]time.Time),
 		decommissioned: make(map[core.WorkerID]struct{}),
 		history:        make([]rpc.ClusterSample, historyCapacity),
@@ -232,6 +261,7 @@ func New(cfg Config) (*Master, error) {
 	}
 	m.journal = events.NewJournal(cfg.EventCapacity)
 	m.heat = newHeatPlane(cfg.HeatHalfLife, cfg.HeatCapacity)
+	m.mover = newMover(cfg)
 	m.traces = trace.NewStore(cfg.TraceCapacity, cfg.SlowOpThreshold, cfg.TraceSample)
 	m.tracer = trace.NewTracer("master", m.traces)
 	m.metrics = newMasterMetrics(m)
@@ -453,6 +483,9 @@ func (m *Master) monitor() {
 		histEvery = defaultHistoryInterval
 	}
 	var lastSample time.Time
+	// The first mover pass waits a full interval: at boot there is no
+	// heat history worth acting on yet.
+	lastMove := time.Now()
 	for {
 		select {
 		case <-m.done:
@@ -461,6 +494,10 @@ func (m *Master) monitor() {
 			m.expireWorkers()
 			m.recoverLeases()
 			m.repairBlocks()
+			if m.mover.enabled() && time.Since(lastMove) >= m.mover.interval {
+				m.moverPass()
+				lastMove = time.Now()
+			}
 			if histEvery > 0 && time.Since(lastSample) >= histEvery {
 				m.sampleHistory()
 				m.scanMisplaced()
@@ -496,6 +533,13 @@ func (m *Master) expireWorkers() {
 			expired = append(expired, w)
 			delete(m.workers, id)
 			delete(m.pending, id)
+		}
+	}
+	// Drop a node's rack mapping only when its last worker left:
+	// evicting a node that still hosts a live worker would corrupt
+	// fault-domain scoring for every placement that follows.
+	for _, w := range expired {
+		if !m.nodeInUseLocked(w.node) {
 			m.topo.Remove(w.node)
 		}
 	}
@@ -517,19 +561,34 @@ func (m *Master) repairBlocks() {
 	}
 	now := time.Now()
 	m.blocks.ScanUnhealthy(func(info blockmgmt.BlockInfo, st blockmgmt.ReplicationState) {
+		// Blocks with an in-flight tier move belong to the mover: the
+		// transient extra replica mid-move is not excess, and the
+		// mover's retire step finishes the transition.
+		if m.moverBusy(info.Block.ID) {
+			return
+		}
 		m.mu.Lock()
 		if until, busy := m.repairing[info.Block.ID]; busy && now.Before(until) {
 			m.mu.Unlock()
 			return
 		}
-		m.repairing[info.Block.ID] = now.Add(5 * m.cfg.MonitorInterval)
 		m.mu.Unlock()
 
+		issued := 0
 		if st.MissingTotal() > 0 && len(info.Replicas) > 0 {
-			m.replicateBlock(snap, info, st)
+			issued += m.replicateBlock(snap, info, st)
 		}
 		if st.Excess > 0 {
-			m.removeExcess(snap, info, st)
+			issued += m.removeExcess(snap, info, st)
+		}
+		// Arm the backoff marker only when work was actually scheduled:
+		// a block whose repair could not start (no source replica yet,
+		// placement infeasible) must retry on the next tick, not wait
+		// out a pointless backoff.
+		if issued > 0 {
+			m.mu.Lock()
+			m.repairing[info.Block.ID] = now.Add(5 * m.cfg.MonitorInterval)
+			m.mu.Unlock()
 		}
 	})
 	// Drop stale repair markers.
@@ -542,11 +601,22 @@ func (m *Master) repairBlocks() {
 	m.mu.Unlock()
 }
 
+// nodeInUseLocked reports whether any live worker still runs on node.
+// Callers must hold m.mu.
+func (m *Master) nodeInUseLocked(node string) bool {
+	for _, w := range m.workers {
+		if w.node == node {
+			return true
+		}
+	}
+	return false
+}
+
 // replicateBlock selects targets for the missing replicas via the
 // placement policy (with the surviving replicas as context, paper §5)
 // and instructs the chosen workers to copy the block from the most
-// efficient source.
-func (m *Master) replicateBlock(snap *policy.Snapshot, info blockmgmt.BlockInfo, st blockmgmt.ReplicationState) {
+// efficient source. It returns the number of commands issued.
+func (m *Master) replicateBlock(snap *policy.Snapshot, info blockmgmt.BlockInfo, st blockmgmt.ReplicationState) int {
 	missing := core.ReplicationVector(0)
 	for tier, n := range st.MissingPerTier {
 		missing = missing.WithTier(tier, n)
@@ -555,7 +625,7 @@ func (m *Master) replicateBlock(snap *policy.Snapshot, info blockmgmt.BlockInfo,
 
 	existing := m.mediaFor(info.Replicas)
 	if len(existing) == 0 {
-		return // nothing to copy from
+		return 0 // nothing to copy from
 	}
 	var targets []policy.Media
 	var err error
@@ -570,7 +640,7 @@ func (m *Master) replicateBlock(snap *policy.Snapshot, info blockmgmt.BlockInfo,
 	})
 	if err != nil && len(targets) == 0 {
 		m.cfg.Logger.Warn("re-replication placement failed", "block", info.Block.ID, "err", err)
-		return
+		return 0
 	}
 
 	// Order sources once with the retrieval policy; each target worker
@@ -605,17 +675,19 @@ func (m *Master) replicateBlock(snap *policy.Snapshot, info blockmgmt.BlockInfo,
 			"worker", string(tgt.Worker),
 			"tier", tgt.Tier.String())
 	}
+	return len(targets)
 }
 
 // removeExcess picks the replicas whose removal leaves the
 // best-scoring remaining set (paper §5) and instructs their workers to
-// delete them.
-func (m *Master) removeExcess(snap *policy.Snapshot, info blockmgmt.BlockInfo, st blockmgmt.ReplicationState) {
+// delete them. It returns the number of removals scheduled.
+func (m *Master) removeExcess(snap *policy.Snapshot, info blockmgmt.BlockInfo, st blockmgmt.ReplicationState) int {
+	removed := 0
 	replicas := append([]blockmgmt.Replica(nil), info.Replicas...)
 	for n := 0; n < st.Excess; n++ {
 		media := m.mediaFor(replicas)
 		if len(media) == 0 {
-			return
+			return removed
 		}
 		// Restrict removal to the tiers with surplus replicas.
 		idx := -1
@@ -629,7 +701,7 @@ func (m *Master) removeExcess(snap *policy.Snapshot, info blockmgmt.BlockInfo, s
 			var ok bool
 			idx, ok = policy.SelectExcessReplica(snap, info.Block.NumBytes, media, core.TierUnspecified)
 			if !ok {
-				return
+				return removed
 			}
 		}
 		victim := media[idx]
@@ -648,10 +720,12 @@ func (m *Master) removeExcess(snap *policy.Snapshot, info blockmgmt.BlockInfo, s
 					"storage", string(r.Storage),
 					"worker", string(r.Worker))
 				replicas = append(replicas[:i], replicas[i+1:]...)
+				removed++
 				break
 			}
 		}
 	}
+	return removed
 }
 
 // tierReports aggregates per-tier statistics for the

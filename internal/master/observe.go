@@ -36,6 +36,8 @@ const (
 	evPlacement            = "placement"
 	evSlowOp               = "slow_op"
 	evHeatMisplaced        = "heat_misplaced"
+	evBlockMoved           = "block_moved"
+	evBlockMoveExpired     = "block_move_expired"
 )
 
 const (
@@ -226,7 +228,11 @@ func (m *Master) decommission(id core.WorkerID, reqID string) error {
 	}
 	delete(m.workers, id)
 	delete(m.pending, id)
-	m.topo.Remove(w.node)
+	// Keep the node's rack mapping while other live workers still run
+	// on it — co-hosted workers share one fault domain.
+	if !m.nodeInUseLocked(w.node) {
+		m.topo.Remove(w.node)
+	}
 	m.decommissioned[id] = struct{}{}
 	m.mu.Unlock()
 	m.blocks.RemoveWorker(id)

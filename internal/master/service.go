@@ -139,6 +139,7 @@ func (s *Service) AddBlock(args *rpc.AddBlockArgs, reply *rpc.AddBlockReply) (er
 	s.m.mu.Lock()
 	for _, t := range targets {
 		s.m.scheduled[t.ID]++
+		s.m.schedTargets[blk.ID] = append(s.m.schedTargets[blk.ID], t.ID)
 		w := s.m.workers[t.Worker]
 		if w == nil {
 			continue
@@ -159,12 +160,30 @@ func (s *Service) AddBlock(args *rpc.AddBlockArgs, reply *rpc.AddBlockReply) (er
 	return nil
 }
 
+// drainScheduled releases any still-outstanding pipeline targets for
+// a block whose write finished or died, so their in-flight load stops
+// inflating that medium's Connections in placement snapshots.
+func (m *Master) drainScheduled(id core.BlockID) {
+	m.mu.Lock()
+	for _, sid := range m.schedTargets[id] {
+		if m.scheduled[sid] > 0 {
+			m.scheduled[sid]--
+		}
+		if m.scheduled[sid] == 0 {
+			delete(m.scheduled, sid)
+		}
+	}
+	delete(m.schedTargets, id)
+	m.mu.Unlock()
+}
+
 // commitBlock records a finished block in both metadata collections.
 func (m *Master) commitBlock(path string, b core.Block, reqID string) error {
 	if err := m.ns.CommitBlock(path, b); err != nil {
 		return err
 	}
 	m.blocks.CommitBlock(b)
+	m.drainScheduled(b.ID)
 	m.journal.PublishTraced(events.Info, evBlockCommitted, reqID,
 		"block committed",
 		"path", path,
@@ -186,6 +205,7 @@ func (s *Service) Complete(args *rpc.CompleteArgs, _ *rpc.CompleteReply) (err er
 	defer s.m.trackOp("complete", args.ReqHeader)(&err)
 	if args.Last != nil {
 		s.m.blocks.CommitBlock(*args.Last)
+		s.m.drainScheduled(args.Last.ID)
 		s.m.journal.PublishTraced(events.Info, evBlockCommitted, args.ReqID,
 			"final block committed at file completion",
 			"path", args.Path,
@@ -223,6 +243,7 @@ func (s *Service) AbandonBlock(args *rpc.AbandonBlockArgs, _ *rpc.AbandonBlockRe
 func (m *Master) invalidateBlocks(blocks []core.Block) {
 	m.heat.forgetBlocks(blocks)
 	for _, b := range blocks {
+		m.drainScheduled(b.ID)
 		replicas := m.blocks.RemoveBlock(b.ID)
 		for _, r := range replicas {
 			m.enqueue(r.Worker, rpc.Command{Kind: rpc.CmdDelete, Block: b, Target: r.Storage})
@@ -560,9 +581,29 @@ func (s *Service) BlockReceived(args *rpc.BlockReceivedArgs, _ *rpc.BlockReceive
 	s.m.blocks.AddReplica(args.Block, blockmgmt.Replica{
 		Worker: args.ID, Storage: args.Storage, Tier: tier,
 	})
+	// Release exactly the scheduled count this (block, storage) pair
+	// took out in AddBlock. Confirmations for replication/mover copies
+	// (never counted) and duplicates leave the counts alone.
 	s.m.mu.Lock()
-	if s.m.scheduled[args.Storage] > 0 {
-		s.m.scheduled[args.Storage]--
+	if outstanding, ok := s.m.schedTargets[args.Block.ID]; ok {
+		for i, sid := range outstanding {
+			if sid != args.Storage {
+				continue
+			}
+			if s.m.scheduled[sid] > 0 {
+				s.m.scheduled[sid]--
+			}
+			if s.m.scheduled[sid] == 0 {
+				delete(s.m.scheduled, sid)
+			}
+			outstanding = append(outstanding[:i], outstanding[i+1:]...)
+			if len(outstanding) == 0 {
+				delete(s.m.schedTargets, args.Block.ID)
+			} else {
+				s.m.schedTargets[args.Block.ID] = outstanding
+			}
+			break
+		}
 	}
 	s.m.mu.Unlock()
 	return nil

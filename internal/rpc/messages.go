@@ -445,11 +445,17 @@ type ReplicaExplanation struct {
 	Considered int
 }
 
-// BlockExplanation is one block's placement record.
+// BlockExplanation is one block's placement record. Origin is ""
+// for the initial write placement; the background tier mover
+// overwrites the record with Origin "promote" or "demote" and the
+// block's decayed heat at decision time, so explain shows why the
+// block last moved.
 type BlockExplanation struct {
 	Block    core.BlockID
 	TimeNs   int64
 	TraceID  string
+	Origin   string
+	Heat     float64
 	Replicas []ReplicaExplanation
 }
 
@@ -563,4 +569,73 @@ type HeatReport struct {
 	Files      []FileHeat
 	Blocks     []BlockHeat
 	Misplaced  []MisplacedBlock
+}
+
+// Move kinds and outcomes reported by the background tier mover.
+const (
+	MovePromote = "promote" // hot block copied up to MEMORY/SSD
+	MoveDemote  = "demote"  // cold block copied down to HDD/REMOTE
+
+	MoveInFlight = "in_flight" // replicate scheduled, awaiting confirmation
+	MoveDone     = "moved"     // new replica confirmed, source retired
+	MoveExpired  = "expired"   // replicate never confirmed before the deadline
+)
+
+// MoveRecord is one tier move, in flight or finished: which replica
+// was (or is being) copied where, the block's heat and tier vector
+// before and after, and the journal/explain trace it was recorded
+// under.
+type MoveRecord struct {
+	Block       core.BlockID
+	Path        string
+	Kind        string // MovePromote or MoveDemote
+	Heat        float64
+	Bytes       int64
+	FromTier    core.StorageTier
+	FromStorage core.StorageID
+	FromWorker  core.WorkerID
+	ToTier      core.StorageTier
+	ToStorage   core.StorageID
+	ToWorker    core.WorkerID
+	BeforeTiers [core.NumTiers]int
+	AfterTiers  [core.NumTiers]int
+	StartedNs   int64
+	FinishedNs  int64 // zero while in flight
+	Outcome     string
+	TraceID     string
+}
+
+// MoverCounters accumulates what the mover did and why it held back.
+type MoverCounters struct {
+	Promoted           int64 // completed promotions
+	Demoted            int64 // completed demotions
+	Scheduled          int64 // moves started
+	Expired            int64 // moves abandoned after the confirm deadline
+	SkippedCooldown    int64 // finding ignored: block in post-move cooldown
+	SkippedConcurrency int64 // finding ignored: max concurrent moves reached
+	SkippedBudget      int64 // finding ignored: bytes/sec budget exhausted
+	SkippedNoTarget    int64 // finding ignored: policy had no feasible target
+	SkippedUnhealthy   int64 // finding ignored: block not in a steady healthy state
+	MovedBytes         int64 // bytes of completed moves
+}
+
+// MoverStatus is the mover observability document, also served at
+// /debug/mover.
+type MoverStatus struct {
+	Enabled       bool
+	IntervalNs    int64
+	MaxConcurrent int
+	BytesPerSec   int64
+	CooldownNs    int64
+	InFlight      []MoveRecord
+	Recent        []MoveRecord // newest first, bounded ring
+	Counters      MoverCounters
+}
+
+// GetMoverArgs / -Reply implement Master.GetMover.
+type GetMoverArgs struct {
+	ReqHeader
+}
+type GetMoverReply struct {
+	Status MoverStatus
 }
