@@ -3,11 +3,14 @@
 //
 // Usage:
 //
-//	octopus-bench [table2|table3|fig2|fig3|fig4|fig5|fig6|fig7|ablation|datapath|heat|mover|all]
+//	octopus-bench [table2|table3|fig2|fig3|fig4|fig5|fig6|fig7|ablation|datapath|heat|mover|metadata|all]
 //
 // Simulator-backed experiments (fig2–fig7) run the paper's full data
 // sizes in seconds; table2 and table3 run against live in-process
-// components and take a little longer.
+// components and take a little longer. metadata drives create / stat /
+// ls / rename / delete against a persistent master with -md-clients
+// concurrent clients over -md-files files (the baseline behind the
+// audit log's per-phase latency breakdown).
 package main
 
 import (
@@ -21,11 +24,13 @@ import (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [table2|table3|fig2|fig3|fig4|fig5|fig6|fig7|ablation|datapath|heat|mover|all]\n", os.Args[0])
+		fmt.Fprintf(os.Stderr, "usage: %s [table2|table3|fig2|fig3|fig4|fig5|fig6|fig7|ablation|datapath|heat|mover|metadata|all]\n", os.Args[0])
 		flag.PrintDefaults()
 	}
 	scale := flag.Int64("scale-mb", 0, "override experiment data size in MB (0 = paper size)")
-	jsonPath := flag.String("json", "", "also write datapath/heat/mover results as JSON to this path")
+	jsonPath := flag.String("json", "", "also write datapath/heat/mover/metadata results as JSON to this path")
+	mdFiles := flag.Int("md-files", 100000, "metadata benchmark: number of files")
+	mdClients := flag.Int("md-clients", 8, "metadata benchmark: concurrent clients")
 	flag.Parse()
 
 	targets := flag.Args()
@@ -42,6 +47,15 @@ func main() {
 	fail := func(what string, err error) {
 		fmt.Fprintf(os.Stderr, "octopus-bench: %s: %v\n", what, err)
 		os.Exit(1)
+	}
+	// emitJSON is the one -json code path every target shares.
+	emitJSON := func(what string, write func(path string) error) {
+		if *jsonPath == "" {
+			return
+		}
+		if err := write(*jsonPath); err != nil {
+			fail(what, err)
+		}
 	}
 
 	if all || want["table2"] {
@@ -129,11 +143,7 @@ func main() {
 			results = append(results, res)
 		}
 		bench.PrintDataPath(out, results)
-		if *jsonPath != "" {
-			if err := bench.WriteDataPathJSON(*jsonPath, fileMB, 1, results); err != nil {
-				fail("datapath", err)
-			}
-		}
+		emitJSON("datapath", func(p string) error { return bench.WriteDataPathJSON(p, fileMB, 1, results) })
 	}
 	if all || want["heat"] {
 		dir, cleanup, err := integration.TempDir()
@@ -146,11 +156,7 @@ func main() {
 			fail("heat", err)
 		}
 		bench.PrintHeat(out, res)
-		if *jsonPath != "" {
-			if err := bench.WriteHeatJSON(*jsonPath, res); err != nil {
-				fail("heat", err)
-			}
-		}
+		emitJSON("heat", func(p string) error { return bench.WriteHeatJSON(p, res) })
 	}
 	if all || want["mover"] {
 		dir, cleanup, err := integration.TempDir()
@@ -163,10 +169,19 @@ func main() {
 			fail("mover", err)
 		}
 		bench.PrintMover(out, res)
-		if *jsonPath != "" {
-			if err := bench.WriteMoverJSON(*jsonPath, res); err != nil {
-				fail("mover", err)
-			}
+		emitJSON("mover", func(p string) error { return bench.WriteMoverJSON(p, res) })
+	}
+	if all || want["metadata"] {
+		dir, cleanup, err := integration.TempDir()
+		if err != nil {
+			fail("metadata", err)
 		}
+		res, err := bench.RunMetadata(dir, *mdFiles, *mdClients)
+		cleanup()
+		if err != nil {
+			fail("metadata", err)
+		}
+		bench.PrintMetadata(out, res)
+		emitJSON("metadata", func(p string) error { return bench.WriteJSON(p, res) })
 	}
 }

@@ -24,6 +24,9 @@
 //	trace <req-id>                   print the merged span timeline of one request
 //	events [-json] [-since n] [-type t] [-limit n]
 //	                                 page through the cluster event journal
+//	audit [-json] [-follow] [-since n] [-op name] [-limit n]
+//	                                 tail the namespace audit log: per-op
+//	                                 phase breakdown (queue/lock/apply/append/fsync)
 //	top [-last n]                    cluster telemetry: live sample + history
 //	heat [-json] [-top n] [-file p] [-misplaced]
 //	                                 hottest files/blocks + tier-fitness report
@@ -44,6 +47,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/rpc"
@@ -57,8 +61,8 @@ var knownCommands = map[string]bool{
 	"mkdir": true, "ls": true, "put": true, "get": true, "cat": true,
 	"rm": true, "mv": true, "stat": true, "setrep": true, "locations": true,
 	"tiers": true, "report": true, "quota": true, "du": true, "fsck": true,
-	"trace": true, "events": true, "top": true, "heat": true, "health": true,
-	"explain": true, "decommission": true, "mover": true,
+	"trace": true, "events": true, "audit": true, "top": true, "heat": true,
+	"health": true, "explain": true, "decommission": true, "mover": true,
 }
 
 func main() {
@@ -388,6 +392,52 @@ func run(fs *client.FileSystem, args []string) error {
 		fmt.Printf("next cursor: %d\n", page.Next)
 		return nil
 
+	case "audit":
+		fl := flag.NewFlagSet("audit", flag.ContinueOnError)
+		jsonOut := fl.Bool("json", false, "emit pages as JSON")
+		since := fl.Uint64("since", 0, "exclusive sequence cursor (0 = oldest retained)")
+		opFilter := fl.String("op", "", "filter by operation name (e.g. create)")
+		limit := fl.Int("limit", 0, "page size cap (0 = no cap)")
+		follow := fl.Bool("follow", false, "poll for new entries until interrupted")
+		if err := fl.Parse(rest); err != nil {
+			return err
+		}
+		cursor := *since
+		for {
+			page, counts, err := fs.Audit(cursor, *opFilter, *limit)
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(struct {
+					Entries any               `json:"entries"`
+					Next    uint64            `json:"next"`
+					Missed  uint64            `json:"missed"`
+					Dropped uint64            `json:"dropped"`
+					Counts  map[string]uint64 `json:"counts"`
+				}{page.Entries, page.Next, page.Missed, page.Dropped, counts}); err != nil {
+					return err
+				}
+			} else {
+				for _, e := range page.Entries {
+					fmt.Println(formatAuditEntry(e))
+				}
+				if page.Missed > 0 {
+					fmt.Printf("(%d entries missed to eviction)\n", page.Missed)
+				}
+			}
+			cursor = page.Next
+			if !*follow {
+				if !*jsonOut {
+					fmt.Printf("next cursor: %d\n", cursor)
+				}
+				return nil
+			}
+			time.Sleep(500 * time.Millisecond)
+		}
+
 	case "top":
 		fl := flag.NewFlagSet("top", flag.ContinueOnError)
 		last := fl.Int("last", 0, "trailing history samples to fetch (0 = all retained)")
@@ -548,6 +598,43 @@ func run(fs *client.FileSystem, args []string) error {
 // printHeatReport renders the heat document: the aggregate line, the
 // hottest files and blocks, and the tier-fitness findings with their
 // originating placement decisions.
+// formatAuditEntry renders one audit entry on a single line: when it
+// finished, what it did to which path, and where the time went.
+func formatAuditEntry(e audit.Entry) string {
+	status := "ok"
+	if e.Result != "ok" {
+		status = "ERR"
+	}
+	line := fmt.Sprintf("%6d  %s  %-19s %-4s total=%-10s queue=%s lock=%s apply=%s",
+		e.Seq, time.Unix(0, e.Time).Format("15:04:05.000"), e.Op, status,
+		fmtNs(e.TotalNs), fmtNs(e.QueueNs), fmtNs(e.LockWaitNs), fmtNs(e.ApplyNs))
+	if e.AppendNs > 0 {
+		line += " append=" + fmtNs(e.AppendNs)
+	}
+	if e.FsyncNs > 0 {
+		line += " fsync=" + fmtNs(e.FsyncNs)
+	}
+	if e.Bytes > 0 {
+		line += fmt.Sprintf(" bytes=%d", e.Bytes)
+	}
+	line += "  " + e.Path
+	if e.Dst != "" {
+		line += " -> " + e.Dst
+	}
+	if e.Result != "ok" {
+		line += "  err=" + e.Result
+	}
+	if e.TraceID != "" {
+		line += "  trace=" + e.TraceID
+	}
+	return line
+}
+
+// fmtNs renders a nanosecond latency compactly for audit lines.
+func fmtNs(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
 func printHeatReport(r rpc.HeatReport, misplacedOnly bool) {
 	agg := r.Aggregate
 	fmt.Printf("access heat @ %s (half-life %s): %d blocks / %d files tracked, total %.1f ops, max %.1f\n",
@@ -707,7 +794,7 @@ func need(args []string, n int) {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: octopus-cli [-master addr] [-node name] [-readahead k] [-write-window k] <command> [args]
 commands: mkdir ls put get cat rm mv stat setrep locations tiers report quota du fsck
-          metrics trace events top heat mover health explain decommission`)
+          metrics trace events audit top heat mover health explain decommission`)
 }
 
 func fatal(err error) {

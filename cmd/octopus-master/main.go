@@ -28,6 +28,8 @@ func main() {
 	var (
 		listen    = flag.String("listen", ":9000", "RPC listen address")
 		meta      = flag.String("meta", "", "metadata directory (empty = in-memory only)")
+		editSync  = flag.Bool("edit-sync", false, "fsync the edit log after every append (durability over latency)")
+		auditCap  = flag.Int("audit", 0, "namespace audit log capacity (0 = default)")
 		placement = flag.String("placement", "moop", "placement policy: moop, db, lb, ft, tm, rulebased, hdfs, hdfs-ssd")
 		retrieval = flag.String("retrieval", "octopus", "retrieval policy: octopus, hdfs")
 		useMemory = flag.Bool("use-memory", false, "let the MOOP policy place unspecified replicas in memory")
@@ -84,6 +86,8 @@ func main() {
 	m, err := master.New(master.Config{
 		ListenAddr:      *listen,
 		MetaDir:         *meta,
+		EditLogSync:     *editSync,
+		AuditCapacity:   *auditCap,
 		Placement:       pol,
 		Retrieval:       ret,
 		BlockSize:       *blockMB << 20,

@@ -1,0 +1,254 @@
+// Package audit implements the master's namespace audit log: one
+// structured entry per namespace RPC (mutations and reads alike),
+// carrying the op, path(s), result, the client's request/trace ID,
+// byte sizes, and a per-phase latency breakdown — queue-wait in the
+// RPC server, lock-wait on the namespace mutex, in-memory apply,
+// edit-log append, and fsync. Where a trace answers "what happened
+// inside one request" and the event journal records cluster state
+// transitions, the audit log answers "who did what to the namespace,
+// and where did the time go" for every request.
+//
+// The log is bounded twice over. Retained entries live in a ring
+// buffer (like the event journal) so memory never grows past the
+// configured capacity, and the producer side is a non-blocking
+// buffered channel: the RPC hot path never takes the consumer lock,
+// and when the channel backlog is full the entry is dropped and
+// counted rather than slowing the master down. "Droppable under
+// pressure" is a feature — the audit log must never become the
+// contention it exists to measure.
+package audit
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultCapacity bounds the ring when the configured capacity is
+// zero. Metadata ops are small; 4096 entries cover the recent past in
+// well under a MB.
+const DefaultCapacity = 4096
+
+// backlog is the producer channel depth: how many entries may be
+// in flight between the RPC handlers and the ring before Append
+// starts dropping. Sized above any plausible handler concurrency so
+// drops only happen when consumers (pollers, the drain on Append)
+// genuinely cannot keep up.
+const backlog = 1024
+
+// Entry is one audited namespace operation. All latency fields are
+// nanoseconds; phases that did not occur (fsync when the edit log is
+// not in sync mode, append on a read op) are zero.
+type Entry struct {
+	// Seq is the log-assigned sequence number: strictly monotonically
+	// increasing, starting at 1. It is the cursor for Since.
+	Seq uint64 `json:"seq"`
+
+	// Time is the operation completion time in Unix nanoseconds.
+	Time int64 `json:"time_ns"`
+
+	// Op names the RPC ("create", "mkdir", "rename", "list", …).
+	Op string `json:"op"`
+
+	// Path is the primary path operated on.
+	Path string `json:"path,omitempty"`
+
+	// Dst is the destination path for two-path ops (rename).
+	Dst string `json:"dst,omitempty"`
+
+	// TraceID is the client's request ID, joining the entry to the
+	// span timeline served by /debug/traces and `octopus-cli trace`.
+	TraceID string `json:"trace_id,omitempty"`
+
+	// Result is "ok" on success, the error text otherwise.
+	Result string `json:"result"`
+
+	// Bytes is the op's data size where one applies (committed block
+	// bytes, located file bytes).
+	Bytes int64 `json:"bytes,omitempty"`
+
+	// Phase breakdown. QueueNs is the wait between the RPC server
+	// decoding the request and the handler starting; LockWaitNs the
+	// wait for the namespace mutex; ApplyNs the in-memory tree
+	// mutation (or read body); AppendNs the edit-log gob append;
+	// FsyncNs the edit-log file sync. TotalNs is handler start to
+	// completion and can exceed the sum (placement, block-map work).
+	QueueNs    int64 `json:"queue_ns"`
+	LockWaitNs int64 `json:"lock_wait_ns"`
+	ApplyNs    int64 `json:"apply_ns"`
+	AppendNs   int64 `json:"append_ns,omitempty"`
+	FsyncNs    int64 `json:"fsync_ns,omitempty"`
+	TotalNs    int64 `json:"total_ns"`
+}
+
+// Log is the bounded audit stream. A nil *Log is valid and discards
+// everything, so callers never nil-check the append path.
+type Log struct {
+	ch      chan Entry
+	dropped atomic.Uint64
+
+	mu      sync.Mutex
+	buf     []Entry // ring storage, len == capacity
+	start   int     // index of the oldest retained entry
+	n       int     // retained entries
+	nextSeq uint64  // next sequence number to assign (first entry gets 1)
+	evicted uint64  // entries overwritten in the ring (oldest-first)
+	counts  map[string]uint64
+}
+
+// New builds a log retaining up to capacity entries (<= 0 selects
+// DefaultCapacity).
+func New(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Log{
+		ch:      make(chan Entry, backlog),
+		buf:     make([]Entry, capacity),
+		nextSeq: 1,
+		counts:  make(map[string]uint64),
+	}
+}
+
+// Append records one entry. It never blocks: the entry goes onto the
+// backlog channel if there is room and is otherwise dropped and
+// counted. Time is stamped here (completion time); Seq is assigned
+// when the backlog is drained into the ring, preserving channel FIFO
+// order. Nil logs discard.
+func (l *Log) Append(e Entry) {
+	if l == nil {
+		return
+	}
+	if e.Time == 0 {
+		e.Time = time.Now().UnixNano()
+	}
+	select {
+	case l.ch <- e:
+	default:
+		l.dropped.Add(1)
+	}
+}
+
+// drainLocked moves backlogged entries into the ring. Callers hold
+// l.mu.
+func (l *Log) drainLocked() {
+	for {
+		select {
+		case e := <-l.ch:
+			e.Seq = l.nextSeq
+			l.nextSeq++
+			l.counts[e.Op]++
+			if l.n == len(l.buf) {
+				l.buf[l.start] = e
+				l.start = (l.start + 1) % len(l.buf)
+				l.evicted++
+			} else {
+				l.buf[(l.start+l.n)%len(l.buf)] = e
+				l.n++
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Page is one Since result, with the same exactly-once cursor
+// semantics as the event journal's page: Next advances over
+// op-filtered entries too, and Missed surfaces eviction gaps.
+type Page struct {
+	// Entries are the matching entries, oldest first.
+	Entries []Entry `json:"entries"`
+
+	// Next is the cursor for the following Since call: the highest
+	// sequence number examined, or the request's since value when
+	// nothing new exists.
+	Next uint64 `json:"next"`
+
+	// Missed counts entries with Seq > since evicted from the ring
+	// before this call.
+	Missed uint64 `json:"missed"`
+
+	// Evicted is the lifetime ring-eviction total.
+	Evicted uint64 `json:"evicted"`
+
+	// Dropped is the lifetime count of entries discarded because the
+	// producer backlog was full — load shedding, distinct from ring
+	// eviction.
+	Dropped uint64 `json:"dropped"`
+}
+
+// Since returns retained entries with Seq > since, oldest first,
+// optionally filtered by op, capped at limit (<= 0 means no cap).
+func (l *Log) Since(since uint64, op string, limit int) Page {
+	if l == nil {
+		return Page{Next: since}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.drainLocked()
+	page := Page{Next: since, Evicted: l.evicted, Dropped: l.dropped.Load()}
+	if l.evicted > since {
+		page.Missed = l.evicted - since
+		page.Next = l.evicted
+	}
+	for i := 0; i < l.n; i++ {
+		e := l.buf[(l.start+i)%len(l.buf)]
+		if e.Seq <= since {
+			continue
+		}
+		if limit > 0 && len(page.Entries) >= limit {
+			break
+		}
+		page.Next = e.Seq
+		if op != "" && e.Op != op {
+			continue
+		}
+		page.Entries = append(page.Entries, e)
+	}
+	return page
+}
+
+// Counts returns a copy of the per-op lifetime totals for entries
+// that reached the ring.
+func (l *Log) Counts() map[string]uint64 {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.drainLocked()
+	out := make(map[string]uint64, len(l.counts))
+	for k, v := range l.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Dropped returns how many entries were shed because the producer
+// backlog was full.
+func (l *Log) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped.Load()
+}
+
+// Len returns the number of retained entries (after draining the
+// backlog).
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.drainLocked()
+	return l.n
+}
+
+// Cap returns the configured ring capacity.
+func (l *Log) Cap() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.buf)
+}

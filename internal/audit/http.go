@@ -1,0 +1,38 @@
+package audit
+
+import (
+	"net/http"
+
+	"repro/internal/httpjson"
+)
+
+// debugResponse is the /debug/audit JSON document: one cursor page
+// plus the per-op lifetime counters.
+type debugResponse struct {
+	Page
+	Counts map[string]uint64 `json:"counts"`
+}
+
+// RegisterDebugHandler mounts the log on mux at /debug/audit. Query
+// parameters mirror /debug/events: ?since=<seq> resumes a cursor
+// (default 0 = from the oldest retained entry), ?op=<op> filters by
+// operation, and ?limit=<n> caps the page size (default 1000). The
+// response carries the next cursor plus eviction/drop counters so
+// pollers can distinguish "no news" from "news lost".
+func RegisterDebugHandler(mux *http.ServeMux, l *Log) {
+	mux.HandleFunc("/debug/audit", func(w http.ResponseWriter, r *http.Request) {
+		since, ok := httpjson.Uint64Param(w, r, "since", 0)
+		if !ok {
+			return
+		}
+		limit, ok := httpjson.IntParam(w, r, "limit", 1000)
+		if !ok {
+			return
+		}
+		page := l.Since(since, r.URL.Query().Get("op"), limit)
+		if page.Entries == nil {
+			page.Entries = []Entry{}
+		}
+		httpjson.Write(w, debugResponse{Page: page, Counts: l.Counts()})
+	})
+}

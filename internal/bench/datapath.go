@@ -2,11 +2,9 @@ package bench
 
 import (
 	"bytes"
-	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
-	"os"
 	"time"
 
 	"repro/internal/client"
@@ -173,9 +171,5 @@ func WriteDataPathJSON(path string, fileMB, blockMB int64, results []DataPathRes
 				BytesPerSec: r.ReadMBps * (1 << 20), P50Seconds: r.ReadP50, P99Seconds: r.ReadP99,
 			})
 	}
-	buf, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(buf, '\n'), 0o644)
+	return WriteJSON(path, report)
 }

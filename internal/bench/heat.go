@@ -1,11 +1,9 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
-	"os"
 	"sort"
 	"time"
 
@@ -149,9 +147,5 @@ func PrintHeat(w io.Writer, r HeatResult) {
 
 // WriteHeatJSON writes the heat measurement to path as JSON.
 func WriteHeatJSON(path string, r HeatResult) error {
-	buf, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(buf, '\n'), 0o644)
+	return WriteJSON(path, r)
 }

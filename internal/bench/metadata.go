@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/master"
+)
+
+// MetadataOpResult is the throughput and latency of one metadata
+// operation phase, aggregated over every client.
+type MetadataOpResult struct {
+	Op        string  `json:"op"`
+	Ops       int     `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50Micros float64 `json:"p50_us"`
+	P99Micros float64 `json:"p99_us"`
+}
+
+// MetadataResult is one run of the metadata benchmark: create, stat,
+// ls, rename, and delete phases driven by N concurrent clients against
+// a persistent master, in that order, each phase timed separately.
+type MetadataResult struct {
+	Files   int                `json:"files"`
+	Clients int                `json:"clients"`
+	Dirs    int                `json:"dirs"`
+	Ops     []MetadataOpResult `json:"ops"`
+}
+
+// RunMetadata measures master metadata throughput: files empty files
+// spread over up to 256 directories, created, stat'ed, listed,
+// renamed, and deleted by clients concurrent clients over real RPC.
+// The master persists its namespace (checkpoint + edit log), so every
+// mutation pays the edit-log append the audit log's phase breakdown
+// reports — this is the baseline the contention instrumentation is
+// meant to explain. Workers are not involved: files stay empty, so no
+// block is ever placed and the master is the only bottleneck.
+func RunMetadata(dir string, files, clients int) (MetadataResult, error) {
+	if files <= 0 {
+		files = 100000
+	}
+	if clients <= 0 {
+		clients = 8
+	}
+	nDirs := 256
+	if files < nDirs {
+		nDirs = files
+	}
+	res := MetadataResult{Files: files, Clients: clients, Dirs: nDirs}
+
+	m, err := master.New(master.Config{
+		ListenAddr:      "127.0.0.1:0",
+		MetaDir:         filepath.Join(dir, "meta"),
+		HistoryInterval: -1,
+		MoverInterval:   -1,
+		Seed:            1,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer m.Close()
+
+	fss := make([]*client.FileSystem, clients)
+	for c := range fss {
+		fs, err := client.Dial(m.Addr(), client.WithOwner("bench"))
+		if err != nil {
+			return res, err
+		}
+		defer fs.Close()
+		fss[c] = fs
+	}
+
+	dirPath := func(i int) string { return fmt.Sprintf("/bench/d%03d", i%nDirs) }
+	filePath := func(i int) string { return fmt.Sprintf("%s/f%06d", dirPath(i), i) }
+	if err := fss[0].Mkdir("/bench", true); err != nil {
+		return res, err
+	}
+	for d := 0; d < nDirs; d++ {
+		if err := fss[0].Mkdir(dirPath(d), false); err != nil {
+			return res, err
+		}
+	}
+
+	// phase fans items out to the clients round-robin, times every
+	// call, and folds the merged latencies into one result row. Exact
+	// quantiles: the full latency set is kept and sorted, not bucketed.
+	phase := func(op string, items int, fn func(fs *client.FileSystem, i int) error) error {
+		lats := make([][]time.Duration, clients)
+		errs := make([]error, clients)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				lat := make([]time.Duration, 0, items/clients+1)
+				for i := c; i < items; i += clients {
+					t0 := time.Now()
+					if err := fn(fss[c], i); err != nil {
+						errs[c] = fmt.Errorf("%s #%d: %w", op, i, err)
+						return
+					}
+					lat = append(lat, time.Since(t0))
+				}
+				lats[c] = lat
+			}(c)
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		var all []time.Duration
+		for _, l := range lats {
+			all = append(all, l...)
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+		r := MetadataOpResult{Op: op, Ops: len(all), Seconds: elapsed}
+		if elapsed > 0 {
+			r.OpsPerSec = float64(len(all)) / elapsed
+		}
+		if n := len(all); n > 0 {
+			r.P50Micros = float64(all[n/2]) / 1e3
+			r.P99Micros = float64(all[min(n*99/100, n-1)]) / 1e3
+		}
+		res.Ops = append(res.Ops, r)
+		return nil
+	}
+
+	rv := core.ReplicationVectorFromFactor(1)
+	steps := []struct {
+		op    string
+		items int
+		fn    func(fs *client.FileSystem, i int) error
+	}{
+		{"create", files, func(fs *client.FileSystem, i int) error {
+			w, err := fs.Create(filePath(i), client.CreateOptions{RepVector: rv})
+			if err != nil {
+				return err
+			}
+			return w.Close()
+		}},
+		{"stat", files, func(fs *client.FileSystem, i int) error {
+			_, err := fs.Stat(filePath(i))
+			return err
+		}},
+		// Every client lists every directory, so ls throughput reflects
+		// concurrent read-lock sharing over ~files/dirs-entry listings.
+		{"ls", nDirs * clients, func(fs *client.FileSystem, i int) error {
+			_, err := fs.List(dirPath(i % nDirs))
+			return err
+		}},
+		{"rename", files, func(fs *client.FileSystem, i int) error {
+			return fs.Rename(filePath(i), filePath(i)+".r")
+		}},
+		{"delete", files, func(fs *client.FileSystem, i int) error {
+			return fs.Delete(filePath(i)+".r", false)
+		}},
+	}
+	for _, s := range steps {
+		if err := phase(s.op, s.items, s.fn); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// PrintMetadata renders the metadata benchmark as a table.
+func PrintMetadata(w io.Writer, r MetadataResult) {
+	fmt.Fprintf(w, "\nMetadata benchmark: %d files, %d dirs, %d concurrent clients (persistent master)\n",
+		r.Files, r.Dirs, r.Clients)
+	fmt.Fprintf(w, "%-10s%10s%12s%14s%12s%12s\n",
+		"op", "ops", "seconds", "ops/sec", "p50 us", "p99 us")
+	for _, op := range r.Ops {
+		fmt.Fprintf(w, "%-10s%10d%12.2f%14.1f%12.1f%12.1f\n",
+			op.Op, op.Ops, op.Seconds, op.OpsPerSec, op.P50Micros, op.P99Micros)
+	}
+}

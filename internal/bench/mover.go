@@ -1,11 +1,9 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
-	"os"
 	"time"
 
 	"repro/internal/core"
@@ -150,9 +148,5 @@ func PrintMover(w io.Writer, r MoverResult) {
 
 // WriteMoverJSON writes the mover measurement to path as JSON.
 func WriteMoverJSON(path string, r MoverResult) error {
-	buf, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(buf, '\n'), 0o644)
+	return WriteJSON(path, r)
 }

@@ -1,0 +1,18 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// WriteJSON writes a benchmark result document to path as indented
+// JSON with a trailing newline. It is the single implementation behind
+// every octopus-bench -json output, so all checked-in BENCH_*.json
+// artifacts share one format.
+func WriteJSON(path string, v any) error {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

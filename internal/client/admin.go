@@ -1,6 +1,7 @@
 package client
 
 import (
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/events"
 	"repro/internal/rpc"
@@ -20,6 +21,20 @@ func (fs *FileSystem) Events(since uint64, typ string, limit int) (events.Page, 
 	var reply rpc.GetEventsReply
 	err := fs.call("Master.GetEvents", &rpc.GetEventsArgs{
 		Since: since, Type: typ, Limit: limit,
+	}, &reply)
+	return reply.Page, reply.Counts, err
+}
+
+// Audit fetches one page of the master's namespace audit log: one
+// entry per namespace RPC with its result and per-phase latency
+// breakdown. Cursor semantics match Events (since is exclusive,
+// poll with since = page.Next); op filters by operation name ("" =
+// all); limit caps the page (<= 0 = no cap). The second result
+// carries the per-op lifetime counters.
+func (fs *FileSystem) Audit(since uint64, op string, limit int) (audit.Page, map[string]uint64, error) {
+	var reply rpc.GetAuditReply
+	err := fs.call("Master.GetAudit", &rpc.GetAuditArgs{
+		Since: since, Op: op, Limit: limit,
 	}, &reply)
 	return reply.Page, reply.Counts, err
 }

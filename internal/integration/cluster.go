@@ -56,6 +56,10 @@ type ClusterConfig struct {
 	// MetaDir persists the master namespace (""= volatile).
 	MetaDir string
 
+	// EditLogSync fsyncs the master edit log after every append, so
+	// audit/observability tests see a non-zero fsync phase.
+	EditLogSync bool
+
 	// Dir is the root directory for worker block storage.
 	Dir string
 
@@ -162,6 +166,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	m, err := master.New(master.Config{
 		ListenAddr:       "127.0.0.1:0",
 		MetaDir:          cfg.MetaDir,
+		EditLogSync:      cfg.EditLogSync,
 		Placement:        cfg.Placement,
 		Retrieval:        cfg.Retrieval,
 		BlockSize:        cfg.BlockSize,

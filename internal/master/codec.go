@@ -1,0 +1,102 @@
+package master
+
+import (
+	"bufio"
+	"encoding/gob"
+	"io"
+	netrpc "net/rpc"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// serverCodec is the standard gob RPC codec plus the instrumentation
+// the audit log and the contention metrics need from the transport
+// layer: it stamps the server-side decode time onto every request
+// header (handlers subtract it from their own start time to get the
+// RPC queue wait — how long a decoded request sat behind the
+// connection's other work before its handler ran) and maintains the
+// master's in-flight request gauge (decoded but not yet responded).
+type serverCodec struct {
+	rwc    io.ReadWriteCloser
+	dec    *gob.Decoder
+	enc    *gob.Encoder
+	encBuf *bufio.Writer
+
+	inflight *metrics.Gauge
+	// outstanding counts this connection's decoded-but-unanswered
+	// requests, so Close can drain the gauge exactly even when the
+	// connection dies with requests in flight.
+	outstanding atomic.Int64
+	closed      atomic.Bool
+}
+
+// newServerCodec wraps one accepted connection. inflight may be nil
+// (tests that build a codec without a metrics registry).
+func newServerCodec(conn io.ReadWriteCloser, inflight *metrics.Gauge) *serverCodec {
+	buf := bufio.NewWriter(conn)
+	return &serverCodec{
+		rwc:      conn,
+		dec:      gob.NewDecoder(conn),
+		enc:      gob.NewEncoder(buf),
+		encBuf:   buf,
+		inflight: inflight,
+	}
+}
+
+func (c *serverCodec) ReadRequestHeader(r *netrpc.Request) error {
+	return c.dec.Decode(r)
+}
+
+// ReadRequestBody decodes the argument struct and stamps the arrival
+// time onto its embedded ReqHeader. net/rpc passes body == nil for
+// requests it will reject (unknown method); gob discards the value,
+// and the in-flight count still rises because a response is still
+// owed and WriteResponse will pay it back.
+func (c *serverCodec) ReadRequestBody(body any) error {
+	if err := c.dec.Decode(body); err != nil {
+		return err
+	}
+	if h, ok := body.(interface{ SetArrival(int64) }); ok {
+		h.SetArrival(time.Now().UnixNano())
+	}
+	c.outstanding.Add(1)
+	if c.inflight != nil {
+		c.inflight.Add(1)
+	}
+	return nil
+}
+
+// WriteResponse is serialized by net/rpc's sending mutex.
+func (c *serverCodec) WriteResponse(r *netrpc.Response, body any) error {
+	if err := c.enc.Encode(r); err != nil {
+		return err
+	}
+	if err := c.enc.Encode(body); err != nil {
+		return err
+	}
+	err := c.encBuf.Flush()
+	// Every response pays down one decoded request. Responses to
+	// requests whose body decode failed never incremented; clamp so a
+	// storm of them cannot drive the gauge negative.
+	if n := c.outstanding.Add(-1); n < 0 {
+		c.outstanding.Add(1)
+	} else if c.inflight != nil {
+		c.inflight.Add(-1)
+	}
+	return err
+}
+
+// Close releases whatever the connection still owed the gauge:
+// net/rpc waits for all handlers before closing the codec, so any
+// remainder here is requests that died with the connection.
+func (c *serverCodec) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if n := c.outstanding.Swap(0); n > 0 && c.inflight != nil {
+		c.inflight.Add(float64(-n))
+	}
+	return c.rwc.Close()
+}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/events"
 	"repro/internal/httpjson"
@@ -81,6 +82,9 @@ func (m *Master) ServeHTTP(addr string) (string, error) {
 	// /debug/events serves the cluster event journal with ?since
 	// cursoring; /debug/history the sampled telemetry ring.
 	events.RegisterDebugHandler(mux, m.journal)
+	// /debug/audit serves the namespace audit log with the same
+	// cursoring plus an ?op filter.
+	audit.RegisterDebugHandler(mux, m.audit)
 	mux.HandleFunc("/debug/history", func(w http.ResponseWriter, r *http.Request) {
 		last, ok := httpjson.IntParam(w, r, "last", 0)
 		if !ok {

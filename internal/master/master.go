@@ -13,9 +13,11 @@ import (
 	"net"
 	netrpc "net/rpc"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/blockmgmt"
 	"repro/internal/core"
 	"repro/internal/events"
@@ -34,6 +36,16 @@ type Config struct {
 	// MetaDir persists the namespace (fsimage + edit log). Empty runs
 	// the namespace in memory only.
 	MetaDir string
+
+	// EditLogSync fsyncs the edit log after every append, trading
+	// mutation latency for durability of each acknowledged operation.
+	// Off by default (matching HDFS's default hflush semantics); the
+	// audit log and metrics record the fsync cost when enabled.
+	EditLogSync bool
+
+	// AuditCapacity bounds the namespace audit log ring; zero selects
+	// audit.DefaultCapacity.
+	AuditCapacity int
 
 	// Placement chooses replica locations; nil selects the default
 	// MOOP policy (paper §3.3).
@@ -200,6 +212,7 @@ type Master struct {
 	traces  *trace.Store
 	tracer  *trace.Tracer
 	journal *events.Journal
+	audit   *audit.Log
 
 	// decommissioned workers may not re-register; guarded by mu.
 	decommissioned map[core.WorkerID]struct{}
@@ -237,10 +250,14 @@ type Master struct {
 // New starts a Master listening on cfg.ListenAddr.
 func New(cfg Config) (*Master, error) {
 	cfg.fillDefaults()
-	ns, err := namespace.Open(cfg.MetaDir)
+	loadStart := time.Now()
+	ns, err := namespace.OpenWithOptions(cfg.MetaDir, namespace.Options{
+		SyncEdits: cfg.EditLogSync,
+	})
 	if err != nil {
 		return nil, err
 	}
+	loadDur := time.Since(loadStart)
 	m := &Master{
 		cfg:            cfg,
 		ns:             ns,
@@ -260,6 +277,20 @@ func New(cfg Config) (*Master, error) {
 		started:        time.Now(),
 	}
 	m.journal = events.NewJournal(cfg.EventCapacity)
+	m.audit = audit.New(cfg.AuditCapacity)
+	// A persistent namespace journals its recovery cost: how big the
+	// checkpoint was, how long it took to load, and how many edits
+	// replayed on top — the numbers that decide when to re-checkpoint.
+	if cfg.MetaDir != "" {
+		rec := ns.Recovery()
+		m.journal.Publish(events.Info, evImageLoaded,
+			"namespace image loaded and edit log replayed",
+			"image_bytes", strconv.FormatInt(rec.ImageBytes, 10),
+			"image_load_ms", formatMillis(rec.ImageLoadNs),
+			"edits_replayed", strconv.Itoa(rec.EditsReplayed),
+			"replay_ms", formatMillis(rec.ReplayNs),
+			"open_ms", formatMillis(loadDur.Nanoseconds()))
+	}
 	m.heat = newHeatPlane(cfg.HeatHalfLife, cfg.HeatCapacity)
 	m.mover = newMover(cfg)
 	m.traces = trace.NewStore(cfg.TraceCapacity, cfg.SlowOpThreshold, cfg.TraceSample)
@@ -296,7 +327,21 @@ func New(cfg Config) (*Master, error) {
 	go m.serve()
 	go m.monitor()
 	m.cfg.Logger.Info("master started", "addr", ln.Addr().String())
+	dirs, files, blocks := ns.Stats()
+	m.journal.Publish(events.Info, evMasterStarted,
+		"master started and serving RPC",
+		"addr", ln.Addr().String(),
+		"directories", strconv.Itoa(dirs),
+		"files", strconv.Itoa(files),
+		"blocks", strconv.Itoa(blocks),
+		"edits_replayed", strconv.Itoa(ns.Recovery().EditsReplayed))
 	return m, nil
+}
+
+// formatMillis renders a nanosecond duration as fractional
+// milliseconds for journal attributes.
+func formatMillis(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e6, 'f', 3, 64)
 }
 
 // Addr returns the master's RPC address.
@@ -345,7 +390,9 @@ func (m *Master) serve() {
 		m.conns[conn] = struct{}{}
 		m.connMu.Unlock()
 		go func() {
-			m.srv.ServeConn(conn)
+			// The instrumented codec stamps request arrival times (for
+			// queue-wait attribution) and feeds the in-flight gauge.
+			m.srv.ServeCodec(newServerCodec(conn, m.metrics.rpcInflight))
 			m.connMu.Lock()
 			delete(m.conns, conn)
 			m.connMu.Unlock()

@@ -15,6 +15,18 @@ import (
 // distances from the ideal vector and land in [0, ~2] in practice.
 var moopScoreBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2, 4}
 
+// contentionBuckets resolve the short waits that matter for lock and
+// queue contention: an uncontended mutex acquires in well under a
+// microsecond, so the low end must distinguish "free" from "queued"
+// while the top still captures pathological multi-second stalls.
+var contentionBuckets = []float64{
+	1e-6, 5e-6, 25e-6, 1e-4, 5e-4, 1e-3, 5e-3, 2.5e-2, 1e-1, 5e-1, 1,
+}
+
+// editBatchBuckets size edit-log append batches (always 1 today; the
+// range leaves room for group commit).
+var editBatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
 // masterMetrics bundles the master's instruments under one registry,
 // exposed at /metrics as octopus_master_* families.
 type masterMetrics struct {
@@ -27,6 +39,15 @@ type masterMetrics struct {
 	placements *metrics.CounterVec   // octopus_master_placements_total{tier}
 	retrievals *metrics.CounterVec   // octopus_master_retrievals_total{tier}
 	moopScore  *metrics.HistogramVec // octopus_master_policy_moop_score{tier}
+
+	// Contention plane: where metadata operations spend their time
+	// when the master is loaded.
+	nsLockWait   *metrics.HistogramVec // octopus_master_ns_lock_wait_seconds{mode}
+	editAppend   *metrics.Histogram    // octopus_master_editlog_append_seconds
+	editFsync    *metrics.Histogram    // octopus_master_editlog_fsync_seconds
+	editBatch    *metrics.Histogram    // octopus_master_editlog_batch_records
+	rpcQueueWait *metrics.Histogram    // octopus_master_rpc_queue_wait_seconds
+	rpcInflight  *metrics.Gauge        // octopus_master_rpc_inflight
 
 	slow *metrics.SlowLogger
 }
@@ -48,6 +69,20 @@ func newMasterMetrics(m *Master) *masterMetrics {
 		moopScore: reg.HistogramVec("octopus_master_policy_moop_score",
 			"Scalarised MOOP objective score of each placement decision, by chosen tier.",
 			moopScoreBuckets, "tier"),
+		nsLockWait: reg.HistogramVec("octopus_master_ns_lock_wait_seconds",
+			"Namespace mutex acquisition wait in seconds, by lock mode (read/write).",
+			contentionBuckets, "mode"),
+		editAppend: reg.Histogram("octopus_master_editlog_append_seconds",
+			"Edit-log gob append latency in seconds.", contentionBuckets, nil),
+		editFsync: reg.Histogram("octopus_master_editlog_fsync_seconds",
+			"Edit-log fsync latency in seconds (sync mode only).", contentionBuckets, nil),
+		editBatch: reg.Histogram("octopus_master_editlog_batch_records",
+			"Records per edit-log append batch.", editBatchBuckets, nil),
+		rpcQueueWait: reg.Histogram("octopus_master_rpc_queue_wait_seconds",
+			"Wait between RPC request decode and handler start, in seconds.",
+			contentionBuckets, nil),
+		rpcInflight: reg.Gauge("octopus_master_rpc_inflight",
+			"RPC requests decoded but not yet responded to.", nil),
 		slow: metrics.NewSlowLogger(m.cfg.Logger, m.cfg.SlowOpThreshold,
 			reg.Counter("octopus_master_slow_ops_total", "Operations slower than the slow-op threshold.", nil)),
 	}
@@ -69,12 +104,41 @@ func newMasterMetrics(m *Master) *masterMetrics {
 			"Aggregate remaining space reported by workers, by storage tier.", labels,
 			func() float64 { return float64(m.tierBytes(tier, true)) })
 	}
+	reg.GaugeFunc("octopus_master_recovery_image_bytes",
+		"Size of the fsimage loaded at the last namespace open.", nil,
+		func() float64 { return float64(m.ns.Recovery().ImageBytes) })
+	reg.GaugeFunc("octopus_master_recovery_image_load_seconds",
+		"Time spent loading the fsimage at the last namespace open.", nil,
+		func() float64 { return float64(m.ns.Recovery().ImageLoadNs) / 1e9 })
+	reg.GaugeFunc("octopus_master_recovery_edits_replayed",
+		"Edit records replayed at the last namespace open.", nil,
+		func() float64 { return float64(m.ns.Recovery().EditsReplayed) })
+	reg.GaugeFunc("octopus_master_recovery_replay_seconds",
+		"Time spent replaying edits at the last namespace open.", nil,
+		func() float64 { return float64(m.ns.Recovery().ReplayNs) / 1e9 })
 	metrics.RegisterRuntimeGauges(reg, "octopus_master", m.started)
 	if sr, ok := m.cfg.Placement.(policy.ScoreReporter); ok {
 		sr.SetScoreFunc(func(tier core.StorageTier, score float64) {
 			mm.moopScore.With(tier.String()).Observe(score)
 		})
 	}
+	// The namespace reports every mutex wait and edit-log append here;
+	// these observers are the sole feed for the contention histograms,
+	// so per-op audit stats never double count.
+	m.ns.SetLockObserver(func(wait time.Duration, read bool) {
+		mode := "write"
+		if read {
+			mode = "read"
+		}
+		mm.nsLockWait.With(mode).Observe(wait.Seconds())
+	})
+	m.ns.SetEditObserver(func(appendD, fsyncD time.Duration, records int) {
+		mm.editAppend.Observe(appendD.Seconds())
+		if fsyncD > 0 {
+			mm.editFsync.Observe(fsyncD.Seconds())
+		}
+		mm.editBatch.Observe(float64(records))
+	})
 	return mm
 }
 

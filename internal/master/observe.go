@@ -38,6 +38,8 @@ const (
 	evHeatMisplaced        = "heat_misplaced"
 	evBlockMoved           = "block_moved"
 	evBlockMoveExpired     = "block_move_expired"
+	evMasterStarted        = "master_started"
+	evImageLoaded          = "image_loaded"
 )
 
 const (

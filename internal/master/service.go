@@ -44,17 +44,19 @@ func (s *Service) clientLocation(node string) topology.Location {
 
 // Mkdir creates a directory.
 func (s *Service) Mkdir(args *rpc.MkdirArgs, _ *rpc.MkdirReply) (err error) {
-	defer s.m.trackOp("mkdir", args.ReqHeader)(&err)
-	return wire(s.m.ns.Mkdir(args.Path, args.Parents, args.Owner))
+	op := s.m.beginOp("mkdir", args.ReqHeader, args.Path, "")
+	defer op.Finish(&err)
+	return wire(s.m.ns.Mkdir(args.Path, args.Parents, args.Owner, op.Stats()))
 }
 
 // Create registers a new file for writing (paper Table 1).
 func (s *Service) Create(args *rpc.CreateArgs, _ *rpc.CreateReply) (err error) {
-	defer s.m.trackOp("create", args.ReqHeader)(&err)
+	op := s.m.beginOp("create", args.ReqHeader, args.Path, "")
+	defer op.Finish(&err)
 	if args.BlockSize <= 0 {
 		args.BlockSize = s.m.cfg.BlockSize
 	}
-	removed, err := s.m.ns.Create(args.Path, args.RepVector, args.BlockSize, args.Overwrite, args.Owner)
+	removed, err := s.m.ns.Create(args.Path, args.RepVector, args.BlockSize, args.Overwrite, args.Owner, op.Stats())
 	if err != nil {
 		return wire(err)
 	}
@@ -66,14 +68,15 @@ func (s *Service) Create(args *rpc.CreateArgs, _ *rpc.CreateReply) (err error) {
 // AddBlock commits the previous block (if any) and allocates the next
 // block with replica locations chosen by the placement policy.
 func (s *Service) AddBlock(args *rpc.AddBlockArgs, reply *rpc.AddBlockReply) (err error) {
-	opSpan, done := s.m.trackOpSpan("addBlock", args.ReqHeader)
-	defer done(&err)
+	op := s.m.beginOp("addBlock", args.ReqHeader, args.Path, "")
+	defer op.Finish(&err)
+	opSpan := op.Span()
 	if args.Previous != nil {
-		if err := s.m.commitBlock(args.Path, *args.Previous, args.ReqID); err != nil {
+		if err := s.m.commitBlock(args.Path, *args.Previous, args.ReqID, op.Stats()); err != nil {
 			return wire(err)
 		}
 	}
-	blocks, rv, blockSize, err := s.m.ns.FileBlocks(args.Path)
+	blocks, rv, blockSize, err := s.m.ns.FileBlocks(args.Path, op.Stats())
 	if err != nil {
 		return wire(err)
 	}
@@ -114,7 +117,7 @@ func (s *Service) AddBlock(args *rpc.AddBlockArgs, reply *rpc.AddBlockReply) (er
 		return wire(perr)
 	}
 
-	blk, err := s.m.ns.AddBlock(args.Path)
+	blk, err := s.m.ns.AddBlock(args.Path, op.Stats())
 	if err != nil {
 		return wire(err)
 	}
@@ -178,8 +181,8 @@ func (m *Master) drainScheduled(id core.BlockID) {
 }
 
 // commitBlock records a finished block in both metadata collections.
-func (m *Master) commitBlock(path string, b core.Block, reqID string) error {
-	if err := m.ns.CommitBlock(path, b); err != nil {
+func (m *Master) commitBlock(path string, b core.Block, reqID string, st *namespace.OpStats) error {
+	if err := m.ns.CommitBlock(path, b, st); err != nil {
 		return err
 	}
 	m.blocks.CommitBlock(b)
@@ -196,13 +199,16 @@ func (m *Master) commitBlock(path string, b core.Block, reqID string) error {
 // allocating a successor; the overlapped client write path commits
 // each block as its pipeline ack arrives.
 func (s *Service) CommitBlock(args *rpc.CommitBlockArgs, _ *rpc.CommitBlockReply) (err error) {
-	defer s.m.trackOp("commitBlock", args.ReqHeader)(&err)
-	return wire(s.m.commitBlock(args.Path, args.Block, args.ReqID))
+	op := s.m.beginOp("commitBlock", args.ReqHeader, args.Path, "")
+	defer op.Finish(&err)
+	op.Bytes(args.Block.NumBytes)
+	return wire(s.m.commitBlock(args.Path, args.Block, args.ReqID, op.Stats()))
 }
 
 // Complete seals a file after its final block.
 func (s *Service) Complete(args *rpc.CompleteArgs, _ *rpc.CompleteReply) (err error) {
-	defer s.m.trackOp("complete", args.ReqHeader)(&err)
+	op := s.m.beginOp("complete", args.ReqHeader, args.Path, "")
+	defer op.Finish(&err)
 	if args.Last != nil {
 		s.m.blocks.CommitBlock(*args.Last)
 		s.m.drainScheduled(args.Last.ID)
@@ -212,13 +218,14 @@ func (s *Service) Complete(args *rpc.CompleteArgs, _ *rpc.CompleteReply) (err er
 			"block", formatBlockID(args.Last.ID),
 			"bytes", strconv.FormatInt(args.Last.NumBytes, 10))
 	}
-	return wire(s.m.ns.Complete(args.Path, args.Last))
+	return wire(s.m.ns.Complete(args.Path, args.Last, op.Stats()))
 }
 
 // Abandon drops an under-construction file after a failed write.
 func (s *Service) Abandon(args *rpc.AbandonArgs, _ *rpc.AbandonReply) (err error) {
-	defer s.m.trackOp("abandon", args.ReqHeader)(&err)
-	blocks, err := s.m.ns.Abandon(args.Path)
+	op := s.m.beginOp("abandon", args.ReqHeader, args.Path, "")
+	defer op.Finish(&err)
+	blocks, err := s.m.ns.Abandon(args.Path, op.Stats())
 	if err != nil {
 		return wire(err)
 	}
@@ -230,8 +237,9 @@ func (s *Service) Abandon(args *rpc.AbandonArgs, _ *rpc.AbandonReply) (err error
 // and invalidates any replicas that were stored before the pipeline
 // broke.
 func (s *Service) AbandonBlock(args *rpc.AbandonBlockArgs, _ *rpc.AbandonBlockReply) (err error) {
-	defer s.m.trackOp("abandonBlock", args.ReqHeader)(&err)
-	if err := s.m.ns.AbandonBlock(args.Path, args.Block.ID); err != nil {
+	op := s.m.beginOp("abandonBlock", args.ReqHeader, args.Path, "")
+	defer op.Finish(&err)
+	if err := s.m.ns.AbandonBlock(args.Path, args.Block.ID, op.Stats()); err != nil {
 		return wire(err)
 	}
 	s.m.invalidateBlocks([]core.Block{args.Block})
@@ -258,8 +266,9 @@ func (m *Master) invalidateBlocks(blocks []core.Block) {
 // GetBlockLocations returns the blocks overlapping a byte range with
 // replica locations ordered by the retrieval policy (paper §4).
 func (s *Service) GetBlockLocations(args *rpc.GetBlockLocationsArgs, reply *rpc.GetBlockLocationsReply) (err error) {
-	defer s.m.trackOp("getBlockLocations", args.ReqHeader)(&err)
-	blocks, _, _, err := s.m.ns.FileBlocks(args.Path)
+	op := s.m.beginOp("getBlockLocations", args.ReqHeader, args.Path, "")
+	defer op.Finish(&err)
+	blocks, _, _, err := s.m.ns.FileBlocks(args.Path, op.Stats())
 	if err != nil {
 		return wire(err)
 	}
@@ -284,6 +293,7 @@ func (s *Service) GetBlockLocations(args *rpc.GetBlockLocationsArgs, reply *rpc.
 	if touched < 0 {
 		touched = 0
 	}
+	op.Bytes(touched)
 	s.m.touchFileRead(args.Path, touched)
 
 	snap := s.m.snapshot()
@@ -322,8 +332,9 @@ func (s *Service) GetBlockLocations(args *rpc.GetBlockLocationsArgs, reply *rpc.
 
 // GetFileInfo returns one path's status.
 func (s *Service) GetFileInfo(args *rpc.GetFileInfoArgs, reply *rpc.GetFileInfoReply) (err error) {
-	defer s.m.trackOp("getFileInfo", args.ReqHeader)(&err)
-	info, err := s.m.ns.Status(args.Path)
+	op := s.m.beginOp("getFileInfo", args.ReqHeader, args.Path, "")
+	defer op.Finish(&err)
+	info, err := s.m.ns.Status(args.Path, op.Stats())
 	if err != nil {
 		return wire(err)
 	}
@@ -333,8 +344,9 @@ func (s *Service) GetFileInfo(args *rpc.GetFileInfoArgs, reply *rpc.GetFileInfoR
 
 // List returns a directory's entries.
 func (s *Service) List(args *rpc.ListArgs, reply *rpc.ListReply) (err error) {
-	defer s.m.trackOp("list", args.ReqHeader)(&err)
-	infos, err := s.m.ns.List(args.Path)
+	op := s.m.beginOp("list", args.ReqHeader, args.Path, "")
+	defer op.Finish(&err)
+	infos, err := s.m.ns.List(args.Path, op.Stats())
 	if err != nil {
 		return wire(err)
 	}
@@ -359,8 +371,9 @@ func toFileStatus(info namespace.FileInfo) rpc.FileStatus {
 
 // Delete removes a path and invalidates its blocks.
 func (s *Service) Delete(args *rpc.DeleteArgs, _ *rpc.DeleteReply) (err error) {
-	defer s.m.trackOp("delete", args.ReqHeader)(&err)
-	blocks, err := s.m.ns.Delete(args.Path, args.Recursive)
+	op := s.m.beginOp("delete", args.ReqHeader, args.Path, "")
+	defer op.Finish(&err)
+	blocks, err := s.m.ns.Delete(args.Path, args.Recursive, op.Stats())
 	if err != nil {
 		return wire(err)
 	}
@@ -371,8 +384,9 @@ func (s *Service) Delete(args *rpc.DeleteArgs, _ *rpc.DeleteReply) (err error) {
 
 // Rename moves a path.
 func (s *Service) Rename(args *rpc.RenameArgs, _ *rpc.RenameReply) (err error) {
-	defer s.m.trackOp("rename", args.ReqHeader)(&err)
-	if err := s.m.ns.Rename(args.Src, args.Dst); err != nil {
+	op := s.m.beginOp("rename", args.ReqHeader, args.Src, args.Dst)
+	defer op.Finish(&err)
+	if err := s.m.ns.Rename(args.Src, args.Dst, op.Stats()); err != nil {
 		return wire(err)
 	}
 	s.m.heat.rename(args.Src, args.Dst)
@@ -383,11 +397,12 @@ func (s *Service) Rename(args *rpc.RenameArgs, _ *rpc.RenameReply) (err error) {
 // monitor then moves, copies, or deletes replicas asynchronously
 // (paper §2.3, §5).
 func (s *Service) SetReplication(args *rpc.SetReplicationArgs, _ *rpc.SetReplicationReply) (err error) {
-	defer s.m.trackOp("setReplication", args.ReqHeader)(&err)
-	if _, err := s.m.ns.SetRepVector(args.Path, args.RepVector); err != nil {
+	op := s.m.beginOp("setReplication", args.ReqHeader, args.Path, "")
+	defer op.Finish(&err)
+	if _, err := s.m.ns.SetRepVector(args.Path, args.RepVector, op.Stats()); err != nil {
 		return wire(err)
 	}
-	blocks, _, _, err := s.m.ns.FileBlocks(args.Path)
+	blocks, _, _, err := s.m.ns.FileBlocks(args.Path, op.Stats())
 	if err != nil {
 		return wire(err)
 	}
@@ -407,8 +422,9 @@ func (s *Service) GetStorageTierReports(args *rpc.TierReportsArgs, reply *rpc.Ti
 
 // SetQuota sets a per-tier byte quota on a directory.
 func (s *Service) SetQuota(args *rpc.SetQuotaArgs, _ *rpc.SetQuotaReply) (err error) {
-	defer s.m.trackOp("setQuota", args.ReqHeader)(&err)
-	return wire(s.m.ns.SetQuota(args.Path, args.Tier, args.Bytes))
+	op := s.m.beginOp("setQuota", args.ReqHeader, args.Path, "")
+	defer op.Finish(&err)
+	return wire(s.m.ns.SetQuota(args.Path, args.Tier, args.Bytes, op.Stats()))
 }
 
 // ReportBadBlockArgs / -Reply implement client corruption reports.
@@ -637,8 +653,9 @@ func (s *Service) GetImage(args *ImageArgs, reply *ImageReply) (err error) {
 
 // GetContentSummary aggregates usage over a subtree (`du`).
 func (s *Service) GetContentSummary(args *rpc.ContentSummaryArgs, reply *rpc.ContentSummaryReply) (err error) {
-	defer s.m.trackOp("getContentSummary", args.ReqHeader)(&err)
-	sum, err := s.m.ns.ContentSummary(args.Path)
+	op := s.m.beginOp("getContentSummary", args.ReqHeader, args.Path, "")
+	defer op.Finish(&err)
+	sum, err := s.m.ns.ContentSummary(args.Path, op.Stats())
 	if err != nil {
 		return wire(err)
 	}
@@ -655,7 +672,8 @@ func (s *Service) GetContentSummary(args *rpc.ContentSummaryArgs, reply *rpc.Con
 // Fsck reports per-file replication health over a subtree, computed
 // from the block map's per-tier replication states (paper §5).
 func (s *Service) Fsck(args *rpc.FsckArgs, reply *rpc.FsckReply) (err error) {
-	defer s.m.trackOp("fsck", args.ReqHeader)(&err)
+	op := s.m.beginOp("fsck", args.ReqHeader, args.Path, "")
+	defer op.Finish(&err)
 	walkErr := s.m.ns.WalkFiles(args.Path, func(path string, blocks []core.Block, rv core.ReplicationVector, uc bool) {
 		f := rpc.FsckFile{
 			Path:              path,

@@ -1,6 +1,7 @@
 package namespace
 
 import (
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -82,27 +83,69 @@ func (l *EditLog) Close() error { return l.f.Close() }
 // ReadEdits decodes every record in an edit log file, tolerating a
 // truncated trailing record (the torn-write case after a crash).
 func ReadEdits(path string) ([]EditRecord, error) {
-	f, err := os.Open(path)
+	recs, _, err := ReadEditsTruncating(path)
+	return recs, err
+}
+
+// ReadEditsTruncating is ReadEdits plus the byte offset at which the
+// last complete record ends. A crash can leave a torn partial record
+// at the tail; recovery must truncate the file back to this offset
+// before appending again, or the new records would land after the
+// garbage bytes and be unreadable on the next replay.
+//
+// Gob streams are self-framing — every message is a byte count
+// followed by that many payload bytes — so the offset of the last
+// complete frame can be found without decoding.
+func ReadEditsTruncating(path string) ([]EditRecord, int64, error) {
+	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return nil, nil
+		return nil, 0, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("namespace: opening edit log: %w", err)
+		return nil, 0, fmt.Errorf("namespace: opening edit log: %w", err)
 	}
-	defer f.Close()
-	dec := gob.NewDecoder(f)
+	good := 0
+	for good < len(data) {
+		n, w := gobUint(data[good:])
+		if w <= 0 || uint64(good)+uint64(w)+n > uint64(len(data)) {
+			break // torn tail frame
+		}
+		good += w + int(n)
+	}
+	dec := gob.NewDecoder(bytes.NewReader(data[:good]))
 	var out []EditRecord
 	for {
 		var rec EditRecord
 		if err := dec.Decode(&rec); err != nil {
-			if err == io.EOF {
-				return out, nil
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				return out, int64(good), nil
 			}
-			if errors.Is(err, io.ErrUnexpectedEOF) {
-				return out, nil // torn tail record: ignore
-			}
-			return out, fmt.Errorf("namespace: decoding edit log: %w", err)
+			return out, int64(good), fmt.Errorf("namespace: decoding edit log: %w", err)
 		}
 		out = append(out, rec)
 	}
+}
+
+// gobUint decodes one gob-encoded unsigned integer (the message
+// length prefix): a value below 128 is a single byte; otherwise the
+// first byte is the negated count of the big-endian bytes that
+// follow. Returns width 0 when the prefix itself is incomplete or
+// malformed.
+func gobUint(data []byte) (uint64, int) {
+	if len(data) == 0 {
+		return 0, 0
+	}
+	b := data[0]
+	if b <= 0x7f {
+		return uint64(b), 1
+	}
+	n := int(-int8(b))
+	if n <= 0 || n > 8 || len(data) < 1+n {
+		return 0, 0
+	}
+	var v uint64
+	for _, c := range data[1 : 1+n] {
+		v = v<<8 | uint64(c)
+	}
+	return v, 1 + n
 }

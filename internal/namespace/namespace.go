@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -30,10 +31,16 @@ type Namespace struct {
 	root *INode
 	log  *EditLog // nil when running without persistence
 	dir  string   // persistence directory ("" = volatile)
+	sync bool     // fsync the edit log after every append
 
 	nextBlockID uint64
 	nextGen     uint64
 	txid        uint64
+
+	recovery RecoveryStats
+
+	lockObs atomic.Pointer[LockObserver]
+	editObs atomic.Pointer[EditObserver]
 }
 
 const (
@@ -41,14 +48,31 @@ const (
 	editsFile = "edits"
 )
 
+// Options configures how a namespace is opened.
+type Options struct {
+	// SyncEdits fsyncs the edit log after every append, trading
+	// mutation latency for zero-edit-loss durability. Off by default
+	// (the OS flushes on its own schedule, matching the seed
+	// behaviour).
+	SyncEdits bool
+}
+
 // Open loads (or initialises) a namespace persisted under dir: the
 // latest fsimage checkpoint is loaded and the edit log replayed on
 // top. An empty dir yields a volatile, in-memory namespace (useful
 // for tests and simulations).
 func Open(dir string) (*Namespace, error) {
+	return OpenWithOptions(dir, Options{})
+}
+
+// OpenWithOptions is Open with explicit durability options, recording
+// RecoveryStats (image size/load time, edits replayed/replay time)
+// along the way.
+func OpenWithOptions(dir string, opts Options) (*Namespace, error) {
 	ns := &Namespace{
 		root:        newDirectory("", "root", time.Now().UnixNano()),
 		dir:         dir,
+		sync:        opts.SyncEdits,
 		nextBlockID: 1,
 		nextGen:     1,
 	}
@@ -58,13 +82,17 @@ func Open(dir string) (*Namespace, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("namespace: creating metadata dir: %w", err)
 	}
+	imgStart := time.Now()
 	if data, err := os.ReadFile(filepath.Join(dir, imageFile)); err == nil {
 		if err := ns.loadImage(data); err != nil {
 			return nil, err
 		}
+		ns.recovery.ImageBytes = int64(len(data))
+		ns.recovery.ImageLoadNs = time.Since(imgStart).Nanoseconds()
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("namespace: reading fsimage: %w", err)
 	}
+	replayStart := time.Now()
 	edits, err := ReadEdits(filepath.Join(dir, editsFile))
 	if err != nil {
 		return nil, err
@@ -77,12 +105,17 @@ func Open(dir string) (*Namespace, error) {
 			return nil, fmt.Errorf("namespace: replaying edit tx %d: %w", rec.TxID, err)
 		}
 		ns.txid = rec.TxID
+		ns.recovery.EditsReplayed++
 	}
-	log, err := OpenEditLog(filepath.Join(dir, editsFile))
-	if err != nil {
+	ns.recovery.ReplayNs = time.Since(replayStart).Nanoseconds()
+	// Absorb the replayed edits into a fresh checkpoint before
+	// accepting new mutations. This starts a new edit stream — a gob
+	// decoder cannot resume a log written across two encoder sessions
+	// — discards any torn tail bytes left by a crash, and bounds the
+	// next restart's replay.
+	if err := ns.checkpointLocked(); err != nil {
 		return nil, err
 	}
-	ns.log = log
 	return ns, nil
 }
 
@@ -96,21 +129,39 @@ func (ns *Namespace) Close() error {
 	return nil
 }
 
-// logAndApply appends rec to the edit log (write-ahead) and applies it
-// to the in-memory tree. Callers hold ns.mu and have already validated
-// the mutation, so apply cannot fail except on programming error.
-func (ns *Namespace) logAndApply(rec EditRecord) error {
+// logAndApply appends rec to the edit log (write-ahead), fsyncs when
+// configured, and applies it to the in-memory tree, timing each phase
+// into st and the edit observer. Callers hold ns.mu and have already
+// validated the mutation, so apply cannot fail except on programming
+// error.
+func (ns *Namespace) logAndApply(rec EditRecord, st *OpStats) error {
 	ns.txid++
 	rec.TxID = ns.txid
 	if rec.Time == 0 {
 		rec.Time = time.Now().UnixNano()
 	}
 	if ns.log != nil {
+		t0 := time.Now()
 		if err := ns.log.Append(rec); err != nil {
 			return err
 		}
+		appendD := time.Since(t0)
+		var fsyncD time.Duration
+		if ns.sync {
+			t1 := time.Now()
+			if err := ns.log.Sync(); err != nil {
+				return fmt.Errorf("namespace: syncing edit log: %w", err)
+			}
+			fsyncD = time.Since(t1)
+		}
+		ns.observeEdit(appendD, fsyncD, 1, st)
 	}
-	return ns.apply(rec)
+	t2 := time.Now()
+	err := ns.apply(rec)
+	if st != nil {
+		st.ApplyNs += time.Since(t2).Nanoseconds()
+	}
+	return err
 }
 
 // resolve walks the tree to the inode at path. Callers hold ns.mu.
@@ -173,12 +224,13 @@ func chargeChain(chain []*INode, delta [numQuotaSlots]int64) {
 
 // Mkdir creates a directory; with parents=true it creates missing
 // ancestors like mkdir -p and is idempotent on existing directories.
-func (ns *Namespace) Mkdir(path string, parents bool, owner string) error {
+func (ns *Namespace) Mkdir(path string, parents bool, owner string, stats ...*OpStats) error {
 	path, err := CleanPath(path)
 	if err != nil {
 		return err
 	}
-	ns.mu.Lock()
+	st := statsOf(stats)
+	ns.lock(st)
 	defer ns.mu.Unlock()
 	if path == Separator {
 		if parents {
@@ -201,7 +253,7 @@ func (ns *Namespace) Mkdir(path string, parents bool, owner string) error {
 			return fmt.Errorf("namespace: %s: %w", ParentPath(path), core.ErrNotDirectory)
 		}
 	}
-	return ns.logAndApply(EditRecord{Op: EditMkdir, Path: path, Parents: parents, Owner: owner})
+	return ns.logAndApply(EditRecord{Op: EditMkdir, Path: path, Parents: parents, Owner: owner}, st)
 }
 
 func (ns *Namespace) applyMkdir(rec EditRecord) error {
@@ -229,7 +281,7 @@ func (ns *Namespace) applyMkdir(rec EditRecord) error {
 // an existing file at the path is replaced; its blocks are returned so
 // the caller can invalidate the replicas.
 func (ns *Namespace) Create(path string, rv core.ReplicationVector, blockSize int64,
-	overwrite bool, owner string) ([]core.Block, error) {
+	overwrite bool, owner string, stats ...*OpStats) ([]core.Block, error) {
 
 	path, err := CleanPath(path)
 	if err != nil {
@@ -241,7 +293,8 @@ func (ns *Namespace) Create(path string, rv core.ReplicationVector, blockSize in
 	if blockSize <= 0 {
 		blockSize = core.DefaultBlockSize
 	}
-	ns.mu.Lock()
+	st := statsOf(stats)
+	ns.lock(st)
 	defer ns.mu.Unlock()
 	parentChain, err := ns.ancestors(path)
 	if err != nil {
@@ -267,7 +320,7 @@ func (ns *Namespace) Create(path string, rv core.ReplicationVector, blockSize in
 	if err := ns.logAndApply(EditRecord{
 		Op: EditCreate, Path: path, RepVector: rv, BlockSize: blockSize,
 		Overwrite: overwrite, Owner: owner,
-	}); err != nil {
+	}, st); err != nil {
 		return nil, err
 	}
 	return removed, nil
@@ -294,12 +347,13 @@ func (ns *Namespace) applyCreate(rec EditRecord) error {
 // AddBlock allocates the next block of an under-construction file,
 // after checking that a full block would fit within every ancestor's
 // tier quotas (the conservative HDFS-style check).
-func (ns *Namespace) AddBlock(path string) (core.Block, error) {
+func (ns *Namespace) AddBlock(path string, stats ...*OpStats) (core.Block, error) {
 	path, err := CleanPath(path)
 	if err != nil {
 		return core.Block{}, err
 	}
-	ns.mu.Lock()
+	st := statsOf(stats)
+	ns.lock(st)
 	defer ns.mu.Unlock()
 	node, err := ns.resolve(path)
 	if err != nil {
@@ -322,7 +376,7 @@ func (ns *Namespace) AddBlock(path string) (core.Block, error) {
 		ID:       core.BlockID(ns.nextBlockID),
 		GenStamp: core.GenerationStamp(ns.nextGen),
 	}
-	if err := ns.logAndApply(EditRecord{Op: EditAddBlock, Path: path, Block: blk}); err != nil {
+	if err := ns.logAndApply(EditRecord{Op: EditAddBlock, Path: path, Block: blk}, st); err != nil {
 		return core.Block{}, err
 	}
 	return blk, nil
@@ -346,12 +400,13 @@ func (ns *Namespace) applyAddBlock(rec EditRecord) error {
 
 // CommitBlock records the final length of a block that the client has
 // finished writing, charging the actual bytes against the quotas.
-func (ns *Namespace) CommitBlock(path string, b core.Block) error {
+func (ns *Namespace) CommitBlock(path string, b core.Block, stats ...*OpStats) error {
 	path, err := CleanPath(path)
 	if err != nil {
 		return err
 	}
-	ns.mu.Lock()
+	st := statsOf(stats)
+	ns.lock(st)
 	defer ns.mu.Unlock()
 	node, err := ns.resolve(path)
 	if err != nil {
@@ -370,7 +425,7 @@ func (ns *Namespace) CommitBlock(path string, b core.Block) error {
 	if !found {
 		return fmt.Errorf("namespace: %s has no block %s: %w", path, b.ID, core.ErrNotFound)
 	}
-	return ns.logAndApply(EditRecord{Op: EditCommitBlock, Path: path, Block: b})
+	return ns.logAndApply(EditRecord{Op: EditCommitBlock, Path: path, Block: b}, st)
 }
 
 func (ns *Namespace) applyCommitBlock(rec EditRecord) error {
@@ -397,12 +452,13 @@ func (ns *Namespace) applyCommitBlock(rec EditRecord) error {
 // AbandonBlock removes the last, still-uncommitted block of an
 // under-construction file after a failed pipeline write, so the client
 // can allocate a replacement (HDFS-style block recovery, simplified).
-func (ns *Namespace) AbandonBlock(path string, id core.BlockID) error {
+func (ns *Namespace) AbandonBlock(path string, id core.BlockID, stats ...*OpStats) error {
 	path, err := CleanPath(path)
 	if err != nil {
 		return err
 	}
-	ns.mu.Lock()
+	st := statsOf(stats)
+	ns.lock(st)
 	defer ns.mu.Unlock()
 	node, err := ns.resolve(path)
 	if err != nil {
@@ -417,7 +473,7 @@ func (ns *Namespace) AbandonBlock(path string, id core.BlockID) error {
 	if len(node.Blocks) == 0 || node.Blocks[len(node.Blocks)-1].ID != id {
 		return fmt.Errorf("namespace: %s: block %s is not the last block: %w", path, id, core.ErrNotFound)
 	}
-	return ns.logAndApply(EditRecord{Op: EditAbandonBlock, Path: path, Block: core.Block{ID: id}})
+	return ns.logAndApply(EditRecord{Op: EditAbandonBlock, Path: path, Block: core.Block{ID: id}}, st)
 }
 
 func (ns *Namespace) applyAbandonBlock(rec EditRecord) error {
@@ -441,12 +497,13 @@ func (ns *Namespace) applyAbandonBlock(rec EditRecord) error {
 }
 
 // Complete commits the final block (if any) and seals the file.
-func (ns *Namespace) Complete(path string, last *core.Block) error {
+func (ns *Namespace) Complete(path string, last *core.Block, stats ...*OpStats) error {
 	path, err := CleanPath(path)
 	if err != nil {
 		return err
 	}
-	ns.mu.Lock()
+	st := statsOf(stats)
+	ns.lock(st)
 	defer ns.mu.Unlock()
 	node, err := ns.resolve(path)
 	if err != nil {
@@ -463,7 +520,7 @@ func (ns *Namespace) Complete(path string, last *core.Block) error {
 		rec.Block = *last
 		rec.Bytes = 1 // marks the presence of a final block
 	}
-	return ns.logAndApply(rec)
+	return ns.logAndApply(rec, st)
 }
 
 func (ns *Namespace) applyComplete(rec EditRecord) error {
@@ -485,12 +542,13 @@ func (ns *Namespace) applyComplete(rec EditRecord) error {
 
 // Abandon removes an under-construction file after a failed write,
 // returning its blocks for invalidation.
-func (ns *Namespace) Abandon(path string) ([]core.Block, error) {
+func (ns *Namespace) Abandon(path string, stats ...*OpStats) ([]core.Block, error) {
 	path, err := CleanPath(path)
 	if err != nil {
 		return nil, err
 	}
-	ns.mu.Lock()
+	st := statsOf(stats)
+	ns.lock(st)
 	defer ns.mu.Unlock()
 	node, err := ns.resolve(path)
 	if err != nil {
@@ -500,7 +558,7 @@ func (ns *Namespace) Abandon(path string) ([]core.Block, error) {
 		return nil, fmt.Errorf("namespace: %s is not under construction: %w", path, core.ErrFileClosed)
 	}
 	blocks := append([]core.Block(nil), node.Blocks...)
-	if err := ns.logAndApply(EditRecord{Op: EditAbandon, Path: path}); err != nil {
+	if err := ns.logAndApply(EditRecord{Op: EditAbandon, Path: path}, st); err != nil {
 		return nil, err
 	}
 	return blocks, nil
@@ -513,12 +571,13 @@ func (ns *Namespace) applyAbandon(rec EditRecord) error {
 // Delete removes a file or directory, returning every block of the
 // removed subtree so the caller can invalidate the replicas. Deleting
 // a non-empty directory requires recursive=true.
-func (ns *Namespace) Delete(path string, recursive bool) ([]core.Block, error) {
+func (ns *Namespace) Delete(path string, recursive bool, stats ...*OpStats) ([]core.Block, error) {
 	path, err := CleanPath(path)
 	if err != nil {
 		return nil, err
 	}
-	ns.mu.Lock()
+	st := statsOf(stats)
+	ns.lock(st)
 	defer ns.mu.Unlock()
 	if path == Separator {
 		return nil, fmt.Errorf("namespace: cannot delete the root: %w", core.ErrPermission)
@@ -531,7 +590,7 @@ func (ns *Namespace) Delete(path string, recursive bool) ([]core.Block, error) {
 		return nil, fmt.Errorf("namespace: %s: %w", path, core.ErrNotEmpty)
 	}
 	blocks := collectBlocks(node, nil)
-	if err := ns.logAndApply(EditRecord{Op: EditDelete, Path: path, Recursive: recursive}); err != nil {
+	if err := ns.logAndApply(EditRecord{Op: EditDelete, Path: path, Recursive: recursive}, st); err != nil {
 		return nil, err
 	}
 	return blocks, nil
@@ -561,7 +620,7 @@ func (ns *Namespace) removeNode(path string, now int64) error {
 
 // Rename moves a file or directory. The destination must not exist;
 // moving a directory into its own subtree is rejected.
-func (ns *Namespace) Rename(src, dst string) error {
+func (ns *Namespace) Rename(src, dst string, stats ...*OpStats) error {
 	src, err := CleanPath(src)
 	if err != nil {
 		return err
@@ -570,7 +629,8 @@ func (ns *Namespace) Rename(src, dst string) error {
 	if err != nil {
 		return err
 	}
-	ns.mu.Lock()
+	st := statsOf(stats)
+	ns.lock(st)
 	defer ns.mu.Unlock()
 	if src == Separator {
 		return fmt.Errorf("namespace: cannot rename the root: %w", core.ErrPermission)
@@ -595,7 +655,7 @@ func (ns *Namespace) Rename(src, dst string) error {
 	if err := checkQuota(dstChain, subtreeCharges(node)); err != nil {
 		return err
 	}
-	return ns.logAndApply(EditRecord{Op: EditRename, Path: src, Dst: dst})
+	return ns.logAndApply(EditRecord{Op: EditRename, Path: src, Dst: dst}, st)
 }
 
 func (ns *Namespace) applyRename(rec EditRecord) error {
@@ -632,7 +692,7 @@ func (ns *Namespace) applyRename(rec EditRecord) error {
 // SetRepVector changes a file's replication vector (paper Table 1),
 // returning the previous vector so the caller can compute the per-tier
 // replica deltas to enact.
-func (ns *Namespace) SetRepVector(path string, rv core.ReplicationVector) (core.ReplicationVector, error) {
+func (ns *Namespace) SetRepVector(path string, rv core.ReplicationVector, stats ...*OpStats) (core.ReplicationVector, error) {
 	path, err := CleanPath(path)
 	if err != nil {
 		return 0, err
@@ -640,7 +700,8 @@ func (ns *Namespace) SetRepVector(path string, rv core.ReplicationVector) (core.
 	if err := rv.Validate(); err != nil {
 		return 0, err
 	}
-	ns.mu.Lock()
+	st := statsOf(stats)
+	ns.lock(st)
 	defer ns.mu.Unlock()
 	node, err := ns.resolve(path)
 	if err != nil {
@@ -658,7 +719,7 @@ func (ns *Namespace) SetRepVector(path string, rv core.ReplicationVector) (core.
 	if err := checkQuota(chain, delta); err != nil {
 		return 0, err
 	}
-	if err := ns.logAndApply(EditRecord{Op: EditSetRepVector, Path: path, RepVector: rv}); err != nil {
+	if err := ns.logAndApply(EditRecord{Op: EditSetRepVector, Path: path, RepVector: rv}, st); err != nil {
 		return 0, err
 	}
 	return old, nil
@@ -683,7 +744,7 @@ func (ns *Namespace) applySetRepVector(rec EditRecord) error {
 
 // SetQuota sets a per-tier byte quota on a directory; tier
 // TierUnspecified sets the total-space quota and bytes<=0 clears it.
-func (ns *Namespace) SetQuota(path string, tier core.StorageTier, bytes int64) error {
+func (ns *Namespace) SetQuota(path string, tier core.StorageTier, bytes int64, stats ...*OpStats) error {
 	path, err := CleanPath(path)
 	if err != nil {
 		return err
@@ -691,7 +752,8 @@ func (ns *Namespace) SetQuota(path string, tier core.StorageTier, bytes int64) e
 	if tier > core.TierUnspecified {
 		return fmt.Errorf("namespace: invalid quota tier %v: %w", tier, core.ErrNotFound)
 	}
-	ns.mu.Lock()
+	st := statsOf(stats)
+	ns.lock(st)
 	defer ns.mu.Unlock()
 	node, err := ns.resolve(path)
 	if err != nil {
@@ -700,7 +762,7 @@ func (ns *Namespace) SetQuota(path string, tier core.StorageTier, bytes int64) e
 	if !node.IsDir {
 		return fmt.Errorf("namespace: %s: %w", path, core.ErrNotDirectory)
 	}
-	return ns.logAndApply(EditRecord{Op: EditSetQuota, Path: path, Tier: tier, Bytes: bytes})
+	return ns.logAndApply(EditRecord{Op: EditSetQuota, Path: path, Tier: tier, Bytes: bytes}, st)
 }
 
 func (ns *Namespace) applySetQuota(rec EditRecord) error {
@@ -751,13 +813,15 @@ func (ns *Namespace) apply(rec EditRecord) error {
 }
 
 // Status returns the FileInfo of one path.
-func (ns *Namespace) Status(path string) (FileInfo, error) {
+func (ns *Namespace) Status(path string, stats ...*OpStats) (FileInfo, error) {
 	path, err := CleanPath(path)
 	if err != nil {
 		return FileInfo{}, err
 	}
-	ns.mu.RLock()
+	st := statsOf(stats)
+	ns.rlock(st)
 	defer ns.mu.RUnlock()
+	defer timeApply(st)()
 	node, err := ns.resolve(path)
 	if err != nil {
 		return FileInfo{}, err
@@ -782,13 +846,15 @@ func infoFor(path string, node *INode) FileInfo {
 
 // List returns the entries of a directory sorted by name, or the
 // single entry for a file path.
-func (ns *Namespace) List(path string) ([]FileInfo, error) {
+func (ns *Namespace) List(path string, stats ...*OpStats) ([]FileInfo, error) {
 	path, err := CleanPath(path)
 	if err != nil {
 		return nil, err
 	}
-	ns.mu.RLock()
+	st := statsOf(stats)
+	ns.rlock(st)
 	defer ns.mu.RUnlock()
+	defer timeApply(st)()
 	node, err := ns.resolve(path)
 	if err != nil {
 		return nil, err
@@ -817,13 +883,15 @@ func (ns *Namespace) Exists(path string) bool {
 
 // FileBlocks returns a file's blocks in order plus its replication
 // vector and block size.
-func (ns *Namespace) FileBlocks(path string) ([]core.Block, core.ReplicationVector, int64, error) {
+func (ns *Namespace) FileBlocks(path string, stats ...*OpStats) ([]core.Block, core.ReplicationVector, int64, error) {
 	path, err := CleanPath(path)
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	ns.mu.RLock()
+	st := statsOf(stats)
+	ns.rlock(st)
 	defer ns.mu.RUnlock()
+	defer timeApply(st)()
 	node, err := ns.resolve(path)
 	if err != nil {
 		return nil, 0, 0, err
@@ -935,6 +1003,10 @@ func (ns *Namespace) LoadImageBytes(data []byte) error {
 func (ns *Namespace) Checkpoint() error {
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
+	return ns.checkpointLocked()
+}
+
+func (ns *Namespace) checkpointLocked() error {
 	if ns.dir == "" {
 		return nil
 	}
@@ -1005,13 +1077,15 @@ type Summary struct {
 
 // ContentSummary walks the subtree at path and aggregates usage — the
 // recursive accounting behind `du` and quota inspection.
-func (ns *Namespace) ContentSummary(path string) (Summary, error) {
+func (ns *Namespace) ContentSummary(path string, stats ...*OpStats) (Summary, error) {
 	path, err := CleanPath(path)
 	if err != nil {
 		return Summary{}, err
 	}
-	ns.mu.RLock()
+	st := statsOf(stats)
+	ns.rlock(st)
 	defer ns.mu.RUnlock()
+	defer timeApply(st)()
 	node, err := ns.resolve(path)
 	if err != nil {
 		return Summary{}, err

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/events"
 	"repro/internal/heat"
@@ -382,6 +383,22 @@ type GetEventsArgs struct {
 }
 type GetEventsReply struct {
 	Page   events.Page
+	Counts map[string]uint64
+}
+
+// GetAuditArgs / GetAuditReply implement Master.GetAudit, the RPC
+// face of the namespace audit log (the /debug/audit endpoint serves
+// the same page over HTTP). Since is an exclusive sequence cursor;
+// polling with Since = Page.Next is exactly-once over retained
+// entries.
+type GetAuditArgs struct {
+	ReqHeader
+	Since uint64
+	Op    string // "" = all operations
+	Limit int    // <= 0 = no cap
+}
+type GetAuditReply struct {
+	Page   audit.Page
 	Counts map[string]uint64
 }
 

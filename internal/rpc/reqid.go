@@ -20,6 +20,13 @@ import (
 type ReqHeader struct {
 	ReqID  string
 	SpanID string
+
+	// arrivalNs is the server-side decode timestamp, stamped by the
+	// RPC server codec so handlers can measure queue wait (decode to
+	// handler start). Unexported: it never crosses the wire (gob
+	// ignores unexported fields) and is meaningful only within the
+	// receiving process.
+	arrivalNs int64
 }
 
 // RequestID returns the carried request ID.
@@ -30,6 +37,14 @@ func (h *ReqHeader) SetRequestID(id string) { h.ReqID = id }
 
 // ParentSpan returns the caller's span ID, if any.
 func (h ReqHeader) ParentSpan() string { return h.SpanID }
+
+// SetArrival stamps the server-side request decode time (Unix
+// nanoseconds). Called by the RPC server codec.
+func (h *ReqHeader) SetArrival(ns int64) { h.arrivalNs = ns }
+
+// Arrival returns the server-side decode time stamped by SetArrival,
+// or 0 when the request did not pass through an instrumented codec.
+func (h ReqHeader) Arrival() int64 { return h.arrivalNs }
 
 // SetParentSpan stamps the caller's span ID.
 func (h *ReqHeader) SetParentSpan(id string) { h.SpanID = id }
