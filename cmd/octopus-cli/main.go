@@ -27,6 +27,10 @@
 //	audit [-json] [-follow] [-since n] [-op name] [-limit n]
 //	                                 tail the namespace audit log: per-op
 //	                                 phase breakdown (queue/lock/apply/append/fsync)
+//	transfers [-json] [-since n] [-op kind] [-limit n]
+//	                                 data-path flight recorder: per-transfer
+//	                                 phase breakdown (dial/disk/net/ack) from
+//	                                 the master and every live worker
 //	top [-last n]                    cluster telemetry: live sample + history
 //	heat [-json] [-top n] [-file p] [-misplaced]
 //	                                 hottest files/blocks + tier-fitness report
@@ -52,6 +56,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/rpc"
 	"repro/internal/trace"
+	"repro/internal/xfer"
 )
 
 // knownCommands lists every subcommand run() dispatches on, so main
@@ -63,6 +68,7 @@ var knownCommands = map[string]bool{
 	"tiers": true, "report": true, "quota": true, "du": true, "fsck": true,
 	"trace": true, "events": true, "audit": true, "top": true, "heat": true,
 	"health": true, "explain": true, "decommission": true, "mover": true,
+	"transfers": true,
 }
 
 func main() {
@@ -438,6 +444,27 @@ func run(fs *client.FileSystem, args []string) error {
 			time.Sleep(500 * time.Millisecond)
 		}
 
+	case "transfers":
+		fl := flag.NewFlagSet("transfers", flag.ContinueOnError)
+		jsonOut := fl.Bool("json", false, "emit the pages as JSON")
+		since := fl.Uint64("since", 0, "exclusive sequence cursor, applied per source (0 = oldest retained)")
+		opFilter := fl.String("op", "", "filter by transfer kind (read, write, replicate)")
+		limit := fl.Int("limit", 0, "page size cap per source (0 = no cap)")
+		if err := fl.Parse(rest); err != nil {
+			return err
+		}
+		sources, err := fs.Transfers(*since, *opFilter, *limit)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(sources)
+		}
+		printTransferSources(sources)
+		return nil
+
 	case "top":
 		fl := flag.NewFlagSet("top", flag.ContinueOnError)
 		last := fl.Int("last", 0, "trailing history samples to fetch (0 = all retained)")
@@ -635,6 +662,67 @@ func fmtNs(ns int64) string {
 	return time.Duration(ns).Round(time.Microsecond).String()
 }
 
+// printTransferSources renders the per-daemon transfer pages: for each
+// source one line per record with its serial phase breakdown, so a
+// slow transfer shows where it stalled (dial vs disk vs net vs ack).
+// Cursors are per source; resume each from its own "next" value.
+func printTransferSources(sources []rpc.TransferSource) {
+	for i, src := range sources {
+		if i > 0 {
+			fmt.Println()
+		}
+		if src.Err != "" {
+			fmt.Printf("%s: fan-out failed: %s\n", src.Source, src.Err)
+			continue
+		}
+		fmt.Printf("%s: %d records (next cursor %d", src.Source, len(src.Page.Entries), src.Page.Next)
+		if src.Page.Missed > 0 {
+			fmt.Printf(", %d missed to eviction", src.Page.Missed)
+		}
+		if src.Page.Dropped > 0 {
+			fmt.Printf(", %d dropped at append", src.Page.Dropped)
+		}
+		fmt.Println(")")
+		for _, e := range src.Page.Entries {
+			fmt.Println("  " + formatTransferRecord(e))
+		}
+	}
+}
+
+// formatTransferRecord renders one flight-recorder record on a single
+// line: identity, size, wall time, then only the phases that occurred.
+func formatTransferRecord(e xfer.Record) string {
+	line := fmt.Sprintf("%6d  %s  %-9s blk=%-8d %9dB  %8s",
+		e.Seq, time.Unix(0, e.Time).Format("15:04:05.000"), e.Op, e.Block,
+		e.Bytes, fmtNs(e.TotalNs))
+	phases := []struct {
+		name string
+		ns   int64
+	}{
+		{"dial", e.DialNs}, {"enc", e.HeaderEncodeNs}, {"dec", e.HeaderDecodeNs},
+		{"throttle", e.ThrottleWaitNs}, {"disk", e.DiskNs}, {"net", e.NetNs},
+		{"fwd", e.ForwardNs}, {"ack", e.AckWaitNs}, {"stall", e.StallNs},
+	}
+	for _, p := range phases {
+		if p.ns > 0 {
+			line += fmt.Sprintf(" %s=%s", p.name, fmtNs(p.ns))
+		}
+	}
+	if e.Tier != "" {
+		line += " tier=" + e.Tier
+	}
+	if e.Peer != "" {
+		line += " peer=" + e.Peer
+	}
+	if e.Result != "ok" && e.Result != "" {
+		line += " err=" + e.Result
+	}
+	if e.TraceID != "" {
+		line += " trace=" + e.TraceID
+	}
+	return line
+}
+
 func printHeatReport(r rpc.HeatReport, misplacedOnly bool) {
 	agg := r.Aggregate
 	fmt.Printf("access heat @ %s (half-life %s): %d blocks / %d files tracked, total %.1f ops, max %.1f\n",
@@ -794,7 +882,7 @@ func need(args []string, n int) {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: octopus-cli [-master addr] [-node name] [-readahead k] [-write-window k] <command> [args]
 commands: mkdir ls put get cat rm mv stat setrep locations tiers report quota du fsck
-          metrics trace events audit top heat mover health explain decommission`)
+          metrics trace events audit transfers top heat mover health explain decommission`)
 }
 
 func fatal(err error) {

@@ -4,13 +4,16 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/integration"
 	"repro/internal/metrics"
+	"repro/internal/xfer"
 )
 
 // DataPathResult is one measurement of the concurrent data path: the
@@ -27,7 +30,30 @@ type DataPathResult struct {
 	WriteP99    float64 `json:"write_p99_seconds"`
 	ReadP50     float64 `json:"read_p50_seconds"`
 	ReadP99     float64 `json:"read_p99_seconds"`
+
+	// WritePhases and ReadPhases break the op latency down by
+	// critical-path phase (dial, header, throttle, disk, net, ack),
+	// computed exactly from the flight-recorder records of the client
+	// and every worker rather than interpolated from histogram buckets.
+	WritePhases map[string]PhaseQuantiles `json:"write_phases"`
+	ReadPhases  map[string]PhaseQuantiles `json:"read_phases"`
 }
+
+// PhaseQuantiles is the exact p50/p99 over the per-transfer samples of
+// one critical-path phase. Count is the number of transfers that
+// exercised the phase at all — a phase a transfer skipped (no dial on
+// a prefetched read, no throttle when no rate limit is set) does not
+// contribute a zero sample.
+type PhaseQuantiles struct {
+	P50Seconds float64 `json:"p50_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+	Count      int     `json:"count"`
+}
+
+// phaseNames fixes the JSON key set (and print order) of a phase
+// breakdown; absent phases appear with Count == 0 rather than
+// vanishing from the report.
+var phaseNames = []string{"dial", "header", "throttle", "disk", "net", "ack"}
 
 // RunDataPath measures single-client streaming throughput against a
 // live cluster. With readahead == 0 and writeWindow == 0 the data
@@ -96,7 +122,72 @@ func RunDataPath(dir string, fileMB, blockMB int64, readahead, writeWindow int) 
 	}
 	res.WriteP50, res.WriteP99 = opQuantiles(c, "write")
 	res.ReadP50, res.ReadP99 = opQuantiles(c, "read")
+	recs := collectTransfers(c, fs)
+	res.WritePhases = phaseQuantiles(recs, "write")
+	res.ReadPhases = phaseQuantiles(recs, "read")
 	return res, nil
+}
+
+// collectTransfers drains every flight recorder in the cluster — the
+// client's (dial/ack side) and each worker's (disk/net side) — into
+// one record set for phase analysis.
+func collectTransfers(c *integration.Cluster, fs *client.FileSystem) []xfer.Record {
+	recs := append([]xfer.Record(nil), fs.TransferLog().Since(0, "", 0).Entries...)
+	for _, w := range c.Workers {
+		recs = append(recs, w.TransferLog().Since(0, "", 0).Entries...)
+	}
+	return recs
+}
+
+// phaseQuantiles computes the exact per-phase p50/p99 over the records
+// of one transfer kind. Client and worker records both contribute:
+// each reports the phases measured on its own side of the wire.
+func phaseQuantiles(recs []xfer.Record, op string) map[string]PhaseQuantiles {
+	samples := make(map[string][]float64, len(phaseNames))
+	add := func(name string, ns int64) {
+		if ns > 0 {
+			samples[name] = append(samples[name], float64(ns)/1e9)
+		}
+	}
+	for _, r := range recs {
+		if r.Op != op {
+			continue
+		}
+		add("dial", r.DialNs)
+		add("header", r.HeaderEncodeNs+r.HeaderDecodeNs)
+		add("throttle", r.ThrottleWaitNs)
+		add("disk", r.DiskNs)
+		add("net", r.NetNs)
+		add("ack", r.AckWaitNs)
+	}
+	out := make(map[string]PhaseQuantiles, len(phaseNames))
+	for _, name := range phaseNames {
+		s := samples[name]
+		sort.Float64s(s)
+		out[name] = PhaseQuantiles{
+			P50Seconds: exactQuantile(s, 0.5),
+			P99Seconds: exactQuantile(s, 0.99),
+			Count:      len(s),
+		}
+	}
+	return out
+}
+
+// exactQuantile returns the q-quantile of an ascending sample set by
+// the nearest-rank method (no interpolation: every returned value was
+// observed).
+func exactQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 // opQuantiles merges every worker's op-duration histogram for one
@@ -136,6 +227,30 @@ func PrintDataPath(w io.Writer, results []DataPathResult) {
 			r.Readahead, r.WriteWindow, r.WriteMBps, r.ReadMBps,
 			r.WriteP50*1e3, r.WriteP99*1e3, r.ReadP50*1e3, r.ReadP99*1e3)
 	}
+
+	fmt.Fprintf(w, "\nPer-phase critical-path latency, p50/p99 ms (exact, from the flight recorder)\n")
+	fmt.Fprintf(w, "%-7s%-12s%-14s", "op", "readahead", "write-window")
+	for _, name := range phaseNames {
+		fmt.Fprintf(w, "%16s", name)
+	}
+	fmt.Fprintln(w)
+	for _, r := range results {
+		printPhaseRow(w, "write", r.Readahead, r.WriteWindow, r.WritePhases)
+		printPhaseRow(w, "read", r.Readahead, r.WriteWindow, r.ReadPhases)
+	}
+}
+
+func printPhaseRow(w io.Writer, op string, ra, ww int, phases map[string]PhaseQuantiles) {
+	fmt.Fprintf(w, "%-7s%-12d%-14d", op, ra, ww)
+	for _, name := range phaseNames {
+		pq := phases[name]
+		if pq.Count == 0 {
+			fmt.Fprintf(w, "%16s", "-")
+			continue
+		}
+		fmt.Fprintf(w, "%16s", fmt.Sprintf("%.2f/%.2f", pq.P50Seconds*1e3, pq.P99Seconds*1e3))
+	}
+	fmt.Fprintln(w)
 }
 
 // dataPathReport is the JSON document WriteDataPathJSON emits: one row
@@ -148,12 +263,13 @@ type dataPathReport struct {
 }
 
 type dataPathOpJSON struct {
-	Op          string  `json:"op"`
-	Readahead   int     `json:"readahead"`
-	WriteWindow int     `json:"write_window"`
-	BytesPerSec float64 `json:"bytes_per_sec"`
-	P50Seconds  float64 `json:"p50_seconds"`
-	P99Seconds  float64 `json:"p99_seconds"`
+	Op          string                    `json:"op"`
+	Readahead   int                       `json:"readahead"`
+	WriteWindow int                       `json:"write_window"`
+	BytesPerSec float64                   `json:"bytes_per_sec"`
+	P50Seconds  float64                   `json:"p50_seconds"`
+	P99Seconds  float64                   `json:"p99_seconds"`
+	Phases      map[string]PhaseQuantiles `json:"phases"`
 }
 
 // WriteDataPathJSON writes the data-path measurements to path as JSON,
@@ -165,10 +281,12 @@ func WriteDataPathJSON(path string, fileMB, blockMB int64, results []DataPathRes
 			dataPathOpJSON{
 				Op: "write", Readahead: r.Readahead, WriteWindow: r.WriteWindow,
 				BytesPerSec: r.WriteMBps * (1 << 20), P50Seconds: r.WriteP50, P99Seconds: r.WriteP99,
+				Phases: r.WritePhases,
 			},
 			dataPathOpJSON{
 				Op: "read", Readahead: r.Readahead, WriteWindow: r.WriteWindow,
 				BytesPerSec: r.ReadMBps * (1 << 20), P50Seconds: r.ReadP50, P99Seconds: r.ReadP99,
+				Phases: r.ReadPhases,
 			})
 	}
 	return WriteJSON(path, report)

@@ -39,6 +39,21 @@ func (fs *FileSystem) Audit(since uint64, op string, limit int) (audit.Page, map
 	return reply.Page, reply.Counts, err
 }
 
+// Transfers fetches one page of the cluster's transfer flight
+// recorders: the master's own log (which holds client-reported
+// records) plus every live worker's, one TransferSource per daemon.
+// Cursor semantics match Audit per source — each daemon assigns its
+// own sequence numbers, so poll each source with since = its Page.Next.
+// op filters by transfer kind ("" = all); limit caps each source's
+// page (<= 0 = server default).
+func (fs *FileSystem) Transfers(since uint64, op string, limit int) ([]rpc.TransferSource, error) {
+	var reply rpc.GetTransfersReply
+	err := fs.call("Master.GetTransfers", &rpc.GetTransfersArgs{
+		Since: since, Op: op, Limit: limit,
+	}, &reply)
+	return reply.Sources, err
+}
+
 // ClusterHistory fetches the master's sampled telemetry history,
 // oldest first, always ending with a fresh live sample. last trims to
 // the trailing n samples (<= 0 = all retained).

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/rpc"
 	"repro/internal/trace"
+	"repro/internal/xfer"
 )
 
 // Option customises a FileSystem handle.
@@ -82,6 +83,10 @@ type FileSystem struct {
 	metrics *clientMetrics
 	traces  *trace.Store
 	tracer  *trace.Tracer
+	xfers   *xfer.Log
+
+	shipMu     sync.Mutex
+	shipCursor uint64 // flight-recorder seq already shipped to the master
 
 	mu   sync.Mutex
 	conn *netrpc.Client
@@ -102,6 +107,9 @@ func Dial(addr string, opts ...Option) (*FileSystem, error) {
 	// when the operation finishes, so the small store is the only cost.
 	fs.traces = trace.NewStore(256, fs.slowOp, 1)
 	fs.tracer = trace.NewTracer("client", fs.traces)
+	// Client-side transfer records are shipped to the master as
+	// operations finish, so the ring only needs to cover in-flight work.
+	fs.xfers = xfer.New(1024)
 	if err := fs.reconnect(); err != nil {
 		return nil, err
 	}

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/master"
 	"repro/internal/rpc"
 	"repro/internal/trace"
+	"repro/internal/xfer"
 )
 
 // Reader streams a file out of OctopusFS (paper §4.1): for each block
@@ -51,11 +53,26 @@ type Reader struct {
 	span     *trace.ActiveSpan // root "client.open" span for the whole read
 	curSpan  *trace.ActiveSpan // "client.read_block" span of the current stream
 	curStart int64             // r.pos when the current block span began
+
+	curRec      *xfer.Record // flight-recorder entry of the current stream
+	curRecStart time.Time
 }
 
 // endBlockSpan closes the current block's read span, annotated with
-// the bytes the consumer actually drained from it.
+// the bytes the consumer actually drained from it, and completes the
+// stream's flight-recorder entry.
 func (r *Reader) endBlockSpan(err error) {
+	if r.curRec != nil {
+		rec := *r.curRec
+		r.curRec = nil
+		rec.Bytes = r.pos - r.curStart
+		rec.TotalNs = time.Since(r.curRecStart).Nanoseconds()
+		rec.Result = "ok"
+		if err != nil {
+			rec.Result = err.Error()
+		}
+		r.fs.xfers.Append(rec)
+	}
 	if r.curSpan == nil {
 		return
 	}
@@ -157,17 +174,40 @@ func (r *Reader) openAt(offset int64) error {
 	if r.readahead > 0 {
 		r.pruneWindow(idx)
 		if entry := r.takeWindow(idx); entry != nil {
+			awaitStart := time.Now()
 			rc, loc, err := entry.await()
+			stallNs := time.Since(awaitStart).Nanoseconds()
 			// A prefetched stream always starts at the block head; it
 			// is only adoptable when the consumed position is there
 			// too and the replica has not failed since.
 			if err == nil && offset == blk.Offset && !r.exclude[loc.Storage] {
-				r.adopt(blk, rc, loc)
 				// The open already happened under a "client.prefetch"
 				// span; this span times draining the adopted stream.
 				r.curSpan = r.fs.tracer.Start(r.reqID, r.span.ID(), "client.read_block")
 				r.curSpan.AnnotateInt("block", int64(blk.Block.ID)).Annotate("prefetched", "true")
 				r.curStart = r.pos
+				// The record covers the consumer's critical path only:
+				// the stall waiting for the background open, then the
+				// drain. The hidden dial + handshake cost is on the
+				// prefetch span and the worker-side record.
+				r.curRec = &xfer.Record{
+					Op:      "read",
+					Source:  "client",
+					Block:   uint64(blk.Block.ID),
+					Tier:    loc.Tier.String(),
+					Peer:    loc.Address,
+					TraceID: r.reqID,
+					SpanID:  r.curSpan.ID(),
+					StallNs: stallNs,
+				}
+				r.curRecStart = awaitStart
+				if ab, ok := rc.(interface{ AllocBytes() int64 }); ok {
+					r.curRec.AllocBytes = ab.AllocBytes()
+				}
+				if stallNs > 0 {
+					r.curSpan.AnnotateInt("stall_ns", stallNs)
+				}
+				r.adopt(blk, rc, loc)
 				r.fillWindow(idx)
 				return nil
 			}
@@ -183,13 +223,17 @@ func (r *Reader) openAt(offset int64) error {
 	// under it, failovers included.
 	bsp := r.fs.tracer.Start(r.reqID, r.span.ID(), "client.read_block")
 	bsp.AnnotateInt("block", int64(blk.Block.ID)).Annotate("prefetched", "false")
+	openStart := time.Now()
 	var lastErr error
 	failedOver := len(r.exclude) > 0
 	for _, loc := range blk.Locations {
 		if r.exclude[loc.Storage] {
 			continue
 		}
-		rc, _, err := rpc.OpenBlockReaderSpan(loc.Address, blk.Block, loc.Storage, within, blk.Block.NumBytes-within, r.reqID, bsp.ID())
+		// tm holds the winning attempt's open-phase split; failed
+		// failover attempts still land in TotalNs via openStart.
+		var tm rpc.TransferTiming
+		rc, _, err := rpc.OpenBlockReaderTimed(loc.Address, blk.Block, loc.Storage, within, blk.Block.NumBytes-within, r.reqID, bsp.ID(), &tm)
 		if err != nil {
 			lastErr = err
 			failedOver = true
@@ -202,8 +246,24 @@ func (r *Reader) openAt(offset int64) error {
 			r.fs.metrics.failovers.Inc()
 			bsp.Annotate("failover", "true")
 		}
-		r.adopt(blk, rc, loc)
 		r.curSpan, r.curStart = bsp, r.pos
+		r.curRec = &xfer.Record{
+			Op:             "read",
+			Source:         "client",
+			Block:          uint64(blk.Block.ID),
+			Tier:           loc.Tier.String(),
+			Peer:           loc.Address,
+			TraceID:        r.reqID,
+			SpanID:         bsp.ID(),
+			DialNs:         tm.DialNs,
+			HeaderEncodeNs: tm.HeaderEncodeNs,
+			HeaderDecodeNs: tm.HeaderDecodeNs,
+		}
+		r.curRecStart = openStart
+		if ab, ok := rc.(interface{ AllocBytes() int64 }); ok {
+			r.curRec.AllocBytes = ab.AllocBytes()
+		}
+		r.adopt(blk, rc, loc)
 		return nil
 	}
 	if lastErr == nil {
@@ -214,9 +274,11 @@ func (r *Reader) openAt(offset int64) error {
 	return lastErr
 }
 
-// adopt installs a replica stream as the current one.
+// adopt installs a replica stream as the current one. The stream's
+// flight-recorder entry (r.curRec, when set) receives the socket time
+// of every subsequent read.
 func (r *Reader) adopt(blk *core.LocatedBlock, rc io.ReadCloser, loc core.BlockLocation) {
-	r.cur = &corruptionReportingReader{rc: rc, r: r, block: blk.Block, loc: loc}
+	r.cur = &corruptionReportingReader{rc: rc, r: r, block: blk.Block, loc: loc, rec: r.curRec}
 	r.curEnd = blk.Offset + blk.Block.NumBytes
 	r.curLoc = loc
 }
@@ -284,6 +346,7 @@ func (r *Reader) Close() error {
 	r.endBlockSpan(nil)
 	r.span.End()
 	r.fs.reportSpans(r.reqID)
+	r.fs.reportTransfers()
 	return err
 }
 
@@ -418,17 +481,23 @@ func (r *Reader) cancelWindow() {
 	r.window = nil
 }
 
-// corruptionReportingReader wraps a block stream and reports checksum
-// failures to the master as they surface mid-stream.
+// corruptionReportingReader wraps a block stream, reports checksum
+// failures to the master as they surface mid-stream, and attributes
+// socket wait to the stream's flight-recorder entry.
 type corruptionReportingReader struct {
 	rc    io.ReadCloser
 	r     *Reader
 	block core.Block
 	loc   core.BlockLocation
+	rec   *xfer.Record
 }
 
 func (c *corruptionReportingReader) Read(p []byte) (int, error) {
+	start := time.Now()
 	n, err := c.rc.Read(p)
+	if c.rec != nil {
+		c.rec.NetNs += time.Since(start).Nanoseconds()
+	}
 	if n > 0 {
 		source := "remote"
 		if string(c.loc.Worker) == c.r.fs.node {

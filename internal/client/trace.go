@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/rpc"
 	"repro/internal/trace"
+	"repro/internal/xfer"
 )
 
 // callTraced invokes a master RPC as a child span of parent. The span
@@ -45,4 +46,33 @@ func (fs *FileSystem) reportSpans(traceID string) {
 		return
 	}
 	fs.call("Master.ReportSpans", &rpc.ReportSpansArgs{Spans: spans}, &rpc.ReportSpansReply{})
+}
+
+// TransferLog exposes the client's transfer flight recorder (for
+// octopus-bench and tests).
+func (fs *FileSystem) TransferLog() *xfer.Log { return fs.xfers }
+
+// reportTransfers ships not-yet-reported flight-recorder entries to
+// the master, which folds them into its own transfer log so
+// Master.GetTransfers serves the client-side phase breakdowns after
+// the client has exited. Best-effort, like reportSpans: on failure
+// the cursor stays put and the next shipment retries.
+func (fs *FileSystem) reportTransfers() {
+	if fs == nil || fs.xfers == nil {
+		return
+	}
+	fs.shipMu.Lock()
+	defer fs.shipMu.Unlock()
+	for {
+		page := fs.xfers.Since(fs.shipCursor, "", 256)
+		if len(page.Entries) == 0 {
+			return
+		}
+		err := fs.call("Master.ReportTransfers",
+			&rpc.ReportTransfersArgs{Records: page.Entries}, &rpc.ReportTransfersReply{})
+		if err != nil {
+			return
+		}
+		fs.shipCursor = page.Next
+	}
 }

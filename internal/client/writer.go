@@ -3,10 +3,12 @@ package client
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/rpc"
 	"repro/internal/trace"
+	"repro/internal/xfer"
 )
 
 // Writer streams file content into OctopusFS (paper §3.1): for every
@@ -43,6 +45,7 @@ type Writer struct {
 // pipeline stream. buf retains the block's bytes until the pipeline
 // acknowledgement arrives, so any failure can be replayed.
 type inflightBlock struct {
+	w       *Writer
 	block   core.Block
 	targets []core.WorkerID
 	bw      *rpc.BlockWriter
@@ -51,14 +54,50 @@ type inflightBlock struct {
 	retries int               // retry budget consumed by this block's bytes
 	ack     chan error        // buffered; receives the WaitAck result
 	span    *trace.ActiveSpan // "client.block": pipeline open through commit or abandonment
+
+	start    time.Time // pipeline open start, the flight record's epoch
+	recorded bool      // flight-recorder entry already appended
 }
 
-// endSpan closes the block's span with its final byte count. End is
-// idempotent, so recovery paths may race Close harmlessly.
+// endSpan closes the block's span with its final byte count and
+// appends the block's flight-recorder entry. End is idempotent, so
+// recovery paths may race Close harmlessly.
 func (ib *inflightBlock) endSpan(err error) {
 	ib.span.AnnotateInt("bytes", ib.n)
 	ib.span.SetError(err)
 	ib.span.End()
+	ib.record(err)
+}
+
+// record appends the block's transfer record, once: dial and header
+// encode from the pipeline open, socket time from the packet stream,
+// and the ack wait (zero when the block was aborted before its ack).
+func (ib *inflightBlock) record(err error) {
+	if ib.w == nil || ib.recorded {
+		return
+	}
+	ib.recorded = true
+	dial, enc, net, ack := ib.bw.Phases()
+	rec := xfer.Record{
+		Op:             "write",
+		Source:         "client",
+		Block:          uint64(ib.block.ID),
+		Peer:           ib.bw.Peer(),
+		TraceID:        ib.w.reqID,
+		SpanID:         ib.span.ID(),
+		Bytes:          ib.n,
+		DialNs:         dial,
+		HeaderEncodeNs: enc,
+		NetNs:          net,
+		AckWaitNs:      ack,
+		AllocBytes:     ib.bw.AllocBytes(),
+		TotalNs:        time.Since(ib.start).Nanoseconds(),
+		Result:         "ok",
+	}
+	if err != nil {
+		rec.Result = err.Error()
+	}
+	ib.w.fs.xfers.Append(rec)
 }
 
 // maxBlockRetries bounds how many times one block's bytes are retried
@@ -153,6 +192,7 @@ func (w *Writer) allocBlock() (*inflightBlock, error) {
 	// worker's "worker.write" span becomes its child.
 	bsp := w.fs.tracer.Start(w.reqID, w.span.ID(), "client.block")
 	bsp.AnnotateInt("block", int64(located.Block.ID)).AnnotateInt("pipeline", int64(len(pipeline)))
+	start := time.Now()
 	bw, err := rpc.OpenBlockWriterSpan(hdrBlock, pipeline, w.fs.owner, w.reqID, bsp.ID())
 	if err != nil {
 		bsp.SetError(err)
@@ -160,7 +200,7 @@ func (w *Writer) allocBlock() (*inflightBlock, error) {
 		w.abandonBlock(located.Block)
 		return nil, err
 	}
-	return &inflightBlock{block: located.Block, targets: targets, bw: bw, ack: make(chan error, 1), span: bsp}, nil
+	return &inflightBlock{w: w, block: located.Block, targets: targets, bw: bw, ack: make(chan error, 1), span: bsp, start: start}, nil
 }
 
 // abandonBlock drops a failed block server-side; errors are ignored
@@ -398,6 +438,7 @@ func (w *Writer) finishTrace(err error) {
 	w.span.SetError(err)
 	w.span.End()
 	w.fs.reportSpans(w.reqID)
+	w.fs.reportTransfers()
 }
 
 // Written returns the number of bytes accepted so far.

@@ -14,6 +14,7 @@ import (
 	"repro/internal/httpjson"
 	"repro/internal/rpc"
 	"repro/internal/trace"
+	"repro/internal/xfer"
 )
 
 // StatusReport is the JSON document served at /status — the moral
@@ -109,10 +110,23 @@ func (m *Master) ServeHTTP(addr string) (string, error) {
 		httpjson.Write(w, m.heatReport(top, r.URL.Query().Get("file"), misplaced))
 	})
 	// /debug/mover serves the tier mover's status: governors,
-	// in-flight moves, the recent-move ring, and counters.
+	// in-flight moves, the recent-move ring, and counters. ?limit=
+	// trims the recent-move ring (newest first).
 	mux.HandleFunc("/debug/mover", func(w http.ResponseWriter, r *http.Request) {
-		httpjson.Write(w, m.moverStatus())
+		limit, ok := httpjson.IntParam(w, r, "limit", 0)
+		if !ok {
+			return
+		}
+		st := m.moverStatus()
+		if limit > 0 && len(st.Recent) > limit {
+			st.Recent = st.Recent[:limit]
+		}
+		httpjson.Write(w, st)
 	})
+	// /debug/transfers serves the master's transfer flight recorder
+	// (client-reported records) with ?since/?op/?limit cursoring, plus
+	// the process-wide data-connection lifecycle counters.
+	xfer.RegisterDebugHandler(mux, m.xfers, func() any { return rpc.DataConnStats() })
 	if m.cfg.Pprof {
 		registerPprof(mux)
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/events"
 	"repro/internal/rpc"
+	"repro/internal/xfer"
 )
 
 // eventsPage mirrors the /debug/events JSON document.
@@ -229,6 +230,103 @@ func TestDecommissionRefusesReRegistration(t *testing.T) {
 
 	if err := svc.Decommission(&rpc.DecommissionArgs{ID: "ghost"}, &rpc.DecommissionReply{}); err == nil {
 		t.Fatal("decommission of unknown worker succeeded")
+	}
+}
+
+// TestHTTPDebugMoverEndpoint exercises the /debug/mover route: the
+// status document is served, ?limit trims the recent-move ring, and a
+// malformed ?limit is a 400 rather than a panic or a silently full
+// page (matching the /debug/audit parameter contract).
+func TestHTTPDebugMoverEndpoint(t *testing.T) {
+	m := testMaster(t)
+	m.mover.mu.Lock()
+	m.mover.pushRecentLocked(rpc.MoveRecord{Block: 1, Kind: "promote"})
+	m.mover.pushRecentLocked(rpc.MoveRecord{Block: 2, Kind: "demote"})
+	m.mover.mu.Unlock()
+	addr, err := m.ServeHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr + "/debug/mover"
+
+	var st rpc.MoverStatus
+	if code := getJSON(t, base, &st); code != http.StatusOK {
+		t.Fatalf("GET /debug/mover = %d", code)
+	}
+	if len(st.Recent) != 2 {
+		t.Fatalf("recent moves = %d, want 2", len(st.Recent))
+	}
+
+	var trimmed rpc.MoverStatus
+	getJSON(t, base+"?limit=1", &trimmed)
+	if len(trimmed.Recent) != 1 {
+		t.Fatalf("recent moves with ?limit=1 = %d, want 1", len(trimmed.Recent))
+	}
+	if trimmed.Recent[0].Block != 2 {
+		t.Errorf("?limit=1 kept block %d, want the newest (2)", trimmed.Recent[0].Block)
+	}
+
+	var ignore rpc.MoverStatus
+	if code := getJSON(t, base+"?limit=bogus", &ignore); code != http.StatusBadRequest {
+		t.Errorf("GET ?limit=bogus = %d, want 400", code)
+	}
+}
+
+// transfersPage mirrors the /debug/transfers JSON document.
+type transfersPage struct {
+	Entries []xfer.Record     `json:"entries"`
+	Next    uint64            `json:"next"`
+	Counts  map[string]uint64 `json:"counts"`
+	Conns   *rpc.ConnStats    `json:"conns"`
+}
+
+// TestHTTPDebugTransfersEndpoint exercises the master's
+// /debug/transfers route: appended records are served with the
+// connection-lifecycle snapshot attached, ?op filters, ?since resumes
+// the cursor, and malformed parameters are 400s.
+func TestHTTPDebugTransfersEndpoint(t *testing.T) {
+	m := testMaster(t)
+	m.TransferLog().Append(xfer.Record{Op: "read", Source: "client", Block: 7, Result: "ok"})
+	m.TransferLog().Append(xfer.Record{Op: "write", Source: "client", Block: 8, Result: "ok"})
+	addr, err := m.ServeHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr + "/debug/transfers"
+
+	var page transfersPage
+	if code := getJSON(t, base, &page); code != http.StatusOK {
+		t.Fatalf("GET /debug/transfers = %d", code)
+	}
+	if len(page.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(page.Entries))
+	}
+	if page.Counts["read"] != 1 || page.Counts["write"] != 1 {
+		t.Errorf("counts = %v, want one read and one write", page.Counts)
+	}
+	if page.Conns == nil {
+		t.Error("conns snapshot missing from /debug/transfers")
+	}
+
+	var filtered transfersPage
+	getJSON(t, base+"?op=read", &filtered)
+	if len(filtered.Entries) != 1 || filtered.Entries[0].Op != "read" {
+		t.Fatalf("?op=read entries = %+v, want exactly the read record", filtered.Entries)
+	}
+
+	m.TransferLog().Append(xfer.Record{Op: "read", Source: "client", Block: 9, Result: "ok"})
+	var next transfersPage
+	getJSON(t, base+"?since="+utoa(page.Next), &next)
+	if len(next.Entries) != 1 || next.Entries[0].Block != 9 {
+		t.Fatalf("cursor page = %+v, want exactly the one new record", next.Entries)
+	}
+
+	var ignore transfersPage
+	if code := getJSON(t, base+"?since=bogus", &ignore); code != http.StatusBadRequest {
+		t.Errorf("GET ?since=bogus = %d, want 400", code)
+	}
+	if code := getJSON(t, base+"?limit=bogus", &ignore); code != http.StatusBadRequest {
+		t.Errorf("GET ?limit=bogus = %d, want 400", code)
 	}
 }
 

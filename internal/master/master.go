@@ -26,6 +26,7 @@ import (
 	"repro/internal/rpc"
 	"repro/internal/topology"
 	"repro/internal/trace"
+	"repro/internal/xfer"
 )
 
 // Config configures a Master.
@@ -46,6 +47,11 @@ type Config struct {
 	// AuditCapacity bounds the namespace audit log ring; zero selects
 	// audit.DefaultCapacity.
 	AuditCapacity int
+
+	// TransferCapacity bounds the master's transfer flight recorder
+	// (which holds client-reported records); zero selects
+	// xfer.DefaultCapacity.
+	TransferCapacity int
 
 	// Placement chooses replica locations; nil selects the default
 	// MOOP policy (paper §3.3).
@@ -213,6 +219,9 @@ type Master struct {
 	tracer  *trace.Tracer
 	journal *events.Journal
 	audit   *audit.Log
+	xfers   *xfer.Log
+
+	unhookDial func() // deregisters the repeated-dial-failure journal hook
 
 	// decommissioned workers may not re-register; guarded by mu.
 	decommissioned map[core.WorkerID]struct{}
@@ -278,6 +287,15 @@ func New(cfg Config) (*Master, error) {
 	}
 	m.journal = events.NewJournal(cfg.EventCapacity)
 	m.audit = audit.New(cfg.AuditCapacity)
+	m.xfers = xfer.New(cfg.TransferCapacity)
+	// The master dials worker data ports for trace and transfer-dump
+	// fan-outs; repeated dial failures to one worker surface as a
+	// cluster event rather than only fan-out warnings.
+	m.unhookDial = rpc.OnRepeatedDialFailure(func(addr string, consecutive int) {
+		m.journal.Publish(events.Warn, evWorkerUnreachable,
+			"repeated data-connection dial failures to worker",
+			"addr", addr, "consecutive", strconv.Itoa(consecutive))
+	})
 	// A persistent namespace journals its recovery cost: how big the
 	// checkpoint was, how long it took to load, and how many edits
 	// replayed on top — the numbers that decide when to re-checkpoint.
@@ -360,6 +378,9 @@ func (m *Master) Close() error {
 	m.closed = true
 	m.mu.Unlock()
 	close(m.done)
+	if m.unhookDial != nil {
+		m.unhookDial()
+	}
 	m.ln.Close()
 	// Close accepted RPC connections too, so clients and workers
 	// notice the shutdown immediately instead of talking to a dead

@@ -6,6 +6,7 @@ import (
 	"repro/internal/events"
 	"repro/internal/heat"
 	"repro/internal/trace"
+	"repro/internal/xfer"
 )
 
 // This file defines the net/rpc message types of the two master
@@ -400,6 +401,44 @@ type GetAuditArgs struct {
 type GetAuditReply struct {
 	Page   audit.Page
 	Counts map[string]uint64
+}
+
+// ReportTransfersArgs / -Reply implement Master.ReportTransfers:
+// clients push their locally recorded transfer records to the master
+// at the end of an operation (like ReportSpans), so client-side
+// dial/ack phases survive the client process and join the cluster
+// view served by Master.GetTransfers.
+type ReportTransfersArgs struct {
+	ReqHeader
+	Records []xfer.Record
+}
+type ReportTransfersReply struct{}
+
+// GetTransfersArgs / GetTransfersReply implement Master.GetTransfers,
+// the fan-out face of the transfer flight recorder: one cursor page
+// from the master's log of client-reported records plus one from each
+// live worker's recorder. Since/Op/Limit have /debug/transfers
+// semantics and apply per source; cursors are per source daemon, so a
+// poller resumes each source from that source's Page.Next.
+type GetTransfersArgs struct {
+	ReqHeader
+	Since uint64
+	Op    string // "" = all transfer kinds
+	Limit int    // <= 0 = no cap
+}
+
+// TransferSource is one daemon's page of transfer records inside a
+// GetTransfersReply: the master's client-reported log ("master") or a
+// worker's recorder ("worker:<id>"). Err reports a fan-out failure
+// for that source ("" = page is valid).
+type TransferSource struct {
+	Source string
+	Page   xfer.Page
+	Counts map[string]uint64
+	Err    string
+}
+type GetTransfersReply struct {
+	Sources []TransferSource
 }
 
 // WorkerSample is one worker's point-in-time telemetry inside a

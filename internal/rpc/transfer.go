@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/trace"
+	"repro/internal/xfer"
 )
 
 // DialTimeout bounds data-connection establishment.
@@ -21,33 +23,115 @@ const DialTimeout = 5 * time.Second
 // forever. Tests shorten it; zero disables deadlines.
 var TransferTimeout = 30 * time.Second
 
-// deadlineConn applies a rolling deadline around every conn operation.
+// HandshakeTimeout is an absolute deadline over a connection's
+// opening exchange: dial through the gob header handshake. Unlike the
+// rolling TransferTimeout (which a peer trickling one byte per
+// interval can stretch forever, and which zero disables entirely),
+// the handshake bound is absolute and stays in force even when
+// TransferTimeout is disabled — a dialled peer that accepts and then
+// hangs before completing the header exchange always surfaces a
+// timeout. Zero disables it (tests that single-step the handshake).
+var HandshakeTimeout = 10 * time.Second
+
+// deadlineConn applies a rolling deadline around every conn operation
+// and, until established() is called, caps every deadline at the
+// absolute handshake bound. It also feeds the process-wide connection
+// byte counters.
 type deadlineConn struct {
 	net.Conn
 	timeout time.Duration
+	hsUntil time.Time // absolute handshake deadline; zero once established
+	closed  bool
+}
+
+// deadline computes the next I/O deadline: the rolling timeout,
+// clipped to the handshake bound while it is in force.
+func (c *deadlineConn) deadline() time.Time {
+	var d time.Time
+	if c.timeout > 0 {
+		d = time.Now().Add(c.timeout)
+	}
+	if !c.hsUntil.IsZero() && (d.IsZero() || c.hsUntil.Before(d)) {
+		d = c.hsUntil
+	}
+	return d
 }
 
 func (c *deadlineConn) Read(p []byte) (int, error) {
-	if c.timeout > 0 {
-		c.Conn.SetReadDeadline(time.Now().Add(c.timeout))
+	if d := c.deadline(); !d.IsZero() {
+		c.Conn.SetReadDeadline(d)
 	}
-	return c.Conn.Read(p)
+	n, err := c.Conn.Read(p)
+	connStats.bytesRead.Add(uint64(n))
+	return n, err
 }
 
 func (c *deadlineConn) Write(p []byte) (int, error) {
-	if c.timeout > 0 {
-		c.Conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	if d := c.deadline(); !d.IsZero() {
+		c.Conn.SetWriteDeadline(d)
 	}
-	return c.Conn.Write(p)
+	n, err := c.Conn.Write(p)
+	connStats.bytesWritten.Add(uint64(n))
+	return n, err
 }
 
-// dialData establishes a data connection with rolling I/O deadlines.
-func dialData(addr string) (net.Conn, error) {
+// established marks the header handshake complete: the absolute bound
+// lifts, leaving only the rolling per-operation deadline, and the
+// handshake counter ticks.
+func (c *deadlineConn) established() {
+	c.hsUntil = time.Time{}
+	if c.timeout <= 0 {
+		// Clear any deadline the handshake bound left armed.
+		c.Conn.SetReadDeadline(time.Time{})
+		c.Conn.SetWriteDeadline(time.Time{})
+	}
+	connStats.handshakes.Add(1)
+}
+
+func (c *deadlineConn) Close() error {
+	if !c.closed {
+		c.closed = true
+		connStats.open.Add(-1)
+	}
+	return c.Conn.Close()
+}
+
+// dialData establishes a data connection with the handshake bound
+// armed and rolling I/O deadlines after it.
+func dialData(addr string) (*deadlineConn, error) {
+	connStats.dials.Add(1)
 	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
 	if err != nil {
+		noteDialFailure(addr)
 		return nil, fmt.Errorf("rpc: dialling %s: %w", addr, err)
 	}
-	return &deadlineConn{Conn: conn, timeout: TransferTimeout}, nil
+	noteDialSuccess(addr)
+	connStats.open.Add(1)
+	dc := &deadlineConn{Conn: conn, timeout: TransferTimeout}
+	if HandshakeTimeout > 0 {
+		dc.hsUntil = time.Now().Add(HandshakeTimeout)
+	}
+	return dc, nil
+}
+
+// tagReq stamps the request ID onto a dial or handshake failure so
+// worker-side and client-side logs of the same transfer correlate.
+func tagReq(err error, reqID string) error {
+	if err == nil || reqID == "" {
+		return err
+	}
+	return fmt.Errorf("%w [req=%s]", err, reqID)
+}
+
+// TransferTiming receives the connection-establishment phases of one
+// transfer: TCP dial, gob header encode+send, and the peer's response
+// frame decode (which includes the peer's pre-response work, e.g. the
+// checksum scrub before a read). Pass it to the Timed open variants;
+// the flight recorder folds it into the transfer's record.
+type TransferTiming struct {
+	DialNs         int64
+	HeaderEncodeNs int64
+	HeaderDecodeNs int64
 }
 
 // OpenBlockReader connects to a worker's data port and starts an
@@ -68,28 +152,44 @@ func OpenBlockReaderReq(addr string, block core.Block, storageID core.StorageID,
 // OpenBlockReaderSpan is OpenBlockReaderReq with the caller's span ID
 // stamped on the header, parenting the worker's read span.
 func OpenBlockReaderSpan(addr string, block core.Block, storageID core.StorageID, offset, length int64, reqID, spanID string) (io.ReadCloser, int64, error) {
-	conn, err := dialData(addr)
-	if err != nil {
-		return nil, 0, err
+	return OpenBlockReaderTimed(addr, block, storageID, offset, length, reqID, spanID, nil)
+}
+
+// OpenBlockReaderTimed is OpenBlockReaderSpan recording the dial and
+// header phases into tm (which may be nil).
+func OpenBlockReaderTimed(addr string, block core.Block, storageID core.StorageID, offset, length int64, reqID, spanID string, tm *TransferTiming) (io.ReadCloser, int64, error) {
+	if tm == nil {
+		tm = &TransferTiming{}
 	}
+	start := time.Now()
+	conn, err := dialData(addr)
+	tm.DialNs = time.Since(start).Nanoseconds()
+	if err != nil {
+		return nil, 0, tagReq(err, reqID)
+	}
+	encStart := time.Now()
 	if _, err := conn.Write([]byte{OpReadBlock}); err != nil {
 		conn.Close()
-		return nil, 0, fmt.Errorf("rpc: sending read opcode: %w", err)
+		return nil, 0, tagReq(fmt.Errorf("rpc: sending read opcode: %w", err), reqID)
 	}
 	hdr := ReadBlockHeader{Block: block, Storage: storageID, Offset: offset, Length: length, ReqID: reqID, SpanID: spanID}
 	if err := WriteFrame(conn, hdr); err != nil {
 		conn.Close()
-		return nil, 0, err
+		return nil, 0, tagReq(err, reqID)
 	}
+	tm.HeaderEncodeNs = time.Since(encStart).Nanoseconds()
+	decStart := time.Now()
 	var resp ReadBlockResponse
 	if err := ReadFrame(conn, &resp); err != nil {
 		conn.Close()
-		return nil, 0, err
+		return nil, 0, tagReq(err, reqID)
 	}
+	tm.HeaderDecodeNs = time.Since(decStart).Nanoseconds()
 	if resp.Err != "" {
 		conn.Close()
 		return nil, 0, DecodeError(resp.Err)
 	}
+	conn.established()
 	return &blockReadCloser{r: NewPacketReader(conn), conn: conn}, resp.Length, nil
 }
 
@@ -101,6 +201,10 @@ type blockReadCloser struct {
 func (b *blockReadCloser) Read(p []byte) (int, error) { return b.r.Read(p) }
 func (b *blockReadCloser) Close() error               { return b.conn.Close() }
 
+// AllocBytes reports the stream's transfer-local buffer allocations,
+// for the flight recorder's churn accounting.
+func (b *blockReadCloser) AllocBytes() int64 { return b.r.AllocBytes() }
+
 // BlockWriter streams one block into a worker write pipeline. Create
 // it with OpenBlockWriter, Write the content, then either Commit to
 // finish synchronously or CloseStream followed by WaitAck to overlap
@@ -109,6 +213,15 @@ type BlockWriter struct {
 	conn net.Conn
 	pw   *PacketWriter
 	n    int64
+	peer string
+
+	// Accumulated phase timings, served by Phases. Atomic because a
+	// writer being aborted may snapshot Phases while a background
+	// WaitAck (split-commit mode) is still recording its wait.
+	dialNs atomic.Int64
+	hdrNs  atomic.Int64
+	netNs  atomic.Int64
+	ackNs  atomic.Int64
 }
 
 // OpenBlockWriter connects to the first pipeline stage and sends the
@@ -130,25 +243,38 @@ func OpenBlockWriterSpan(block core.Block, pipeline []PipelineTarget, client, re
 	if len(pipeline) == 0 {
 		return nil, fmt.Errorf("rpc: empty write pipeline: %w", core.ErrNoWorkers)
 	}
+	start := time.Now()
 	conn, err := dialData(pipeline[0].Address)
+	dialNs := time.Since(start).Nanoseconds()
 	if err != nil {
-		return nil, err
+		return nil, tagReq(err, reqID)
 	}
+	encStart := time.Now()
 	if _, err := conn.Write([]byte{OpWriteBlock}); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("rpc: sending write opcode: %w", err)
+		return nil, tagReq(fmt.Errorf("rpc: sending write opcode: %w", err), reqID)
 	}
 	hdr := WriteBlockHeader{Block: block, Pipeline: pipeline, Client: client, ReqID: reqID, SpanID: spanID}
 	if err := WriteFrame(conn, hdr); err != nil {
 		conn.Close()
-		return nil, err
+		return nil, tagReq(err, reqID)
 	}
-	return &BlockWriter{conn: conn, pw: NewPacketWriter(conn)}, nil
+	conn.established()
+	bw := &BlockWriter{
+		conn: conn,
+		pw:   NewPacketWriter(conn),
+		peer: pipeline[0].Address,
+	}
+	bw.dialNs.Store(dialNs)
+	bw.hdrNs.Store(time.Since(encStart).Nanoseconds())
+	return bw, nil
 }
 
 // Write implements io.Writer.
 func (w *BlockWriter) Write(p []byte) (int, error) {
+	start := time.Now()
 	n, err := w.pw.Write(p)
+	w.netNs.Add(time.Since(start).Nanoseconds())
 	w.n += int64(n)
 	return n, err
 }
@@ -156,19 +282,39 @@ func (w *BlockWriter) Write(p []byte) (int, error) {
 // Written returns the bytes written so far.
 func (w *BlockWriter) Written() int64 { return w.n }
 
+// Peer returns the address of the dialled pipeline stage.
+func (w *BlockWriter) Peer() string { return w.peer }
+
+// Phases returns the writer's accumulated phase timings: TCP dial,
+// header encode+send, time blocked writing the packet stream, and
+// time waiting for the pipeline ack (zero until WaitAck returns).
+func (w *BlockWriter) Phases() (dialNs, headerEncodeNs, netNs, ackWaitNs int64) {
+	return w.dialNs.Load(), w.hdrNs.Load(), w.netNs.Load(), w.ackNs.Load()
+}
+
+// AllocBytes reports the writer's transfer-local buffer allocations,
+// for the flight recorder's churn accounting.
+func (w *BlockWriter) AllocBytes() int64 { return w.pw.AllocBytes() }
+
 // CloseStream terminates the packet stream (end packet + flush)
 // without waiting for the pipeline acknowledgement, so the caller can
 // start the next block while this one drains through the pipeline.
 func (w *BlockWriter) CloseStream() error {
-	return w.pw.Close()
+	start := time.Now()
+	err := w.pw.Close()
+	w.netNs.Add(time.Since(start).Nanoseconds())
+	return err
 }
 
 // WaitAck collects the pipeline acknowledgement after CloseStream and
 // closes the connection.
 func (w *BlockWriter) WaitAck() error {
 	defer w.conn.Close()
+	start := time.Now()
 	var ack WriteBlockAck
-	if err := ReadFrame(w.conn, &ack); err != nil {
+	err := ReadFrame(w.conn, &ack)
+	w.ackNs.Store(time.Since(start).Nanoseconds())
+	if err != nil {
 		return fmt.Errorf("rpc: reading pipeline ack: %w", err)
 	}
 	return DecodeError(ack.Err)
@@ -206,5 +352,29 @@ func FetchSpans(addr, traceID string) ([]trace.Span, error) {
 	if err := ReadFrame(conn, &resp); err != nil {
 		return nil, fmt.Errorf("rpc: reading trace dump: %w", err)
 	}
+	conn.established()
 	return resp.Spans, nil
+}
+
+// FetchTransfers asks the worker at addr for one page of its transfer
+// flight-recorder log via an OpTransferDump exchange. The master uses
+// it to fan Master.GetTransfers out across the cluster.
+func FetchTransfers(addr string, since uint64, op string, limit int) (xfer.Page, map[string]uint64, error) {
+	conn, err := dialData(addr)
+	if err != nil {
+		return xfer.Page{Next: since}, nil, err
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{OpTransferDump}); err != nil {
+		return xfer.Page{Next: since}, nil, fmt.Errorf("rpc: sending transfer-dump opcode: %w", err)
+	}
+	if err := WriteFrame(conn, TransferDumpHeader{Since: since, Op: op, Limit: limit}); err != nil {
+		return xfer.Page{Next: since}, nil, err
+	}
+	var resp TransferDumpResponse
+	if err := ReadFrame(conn, &resp); err != nil {
+		return xfer.Page{Next: since}, nil, fmt.Errorf("rpc: reading transfer dump: %w", err)
+	}
+	conn.established()
+	return resp.Page, resp.Counts, nil
 }

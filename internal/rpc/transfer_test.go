@@ -4,6 +4,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -99,6 +100,150 @@ func TestWriteAckDeadlineHungWorker(t *testing.T) {
 	}
 	if elapsed > 5*time.Second {
 		t.Errorf("mute commit took %v, want ~TransferTimeout", elapsed)
+	}
+}
+
+// shortHandshakeTimeout shrinks the absolute handshake deadline for
+// the duration of a test.
+func shortHandshakeTimeout(t *testing.T, d time.Duration) {
+	t.Helper()
+	old := HandshakeTimeout
+	HandshakeTimeout = d
+	t.Cleanup(func() { HandshakeTimeout = old })
+}
+
+// TestHandshakeDeadlineHungPeer: the absolute handshake bound must
+// cover the initial header exchange even when the rolling transfer
+// deadline is disabled — a peer that accepts the dial and then hangs
+// during the gob handshake previously stalled such a client forever.
+func TestHandshakeDeadlineHungPeer(t *testing.T) {
+	shortTransferTimeout(t, 0) // rolling deadlines off: handshake bound alone must save us
+	shortHandshakeTimeout(t, 200*time.Millisecond)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	hung := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		hung <- conn // hold the connection open, never answer the handshake
+	}()
+	defer func() {
+		select {
+		case conn := <-hung:
+			conn.Close()
+		default:
+		}
+	}()
+
+	start := time.Now()
+	_, _, err = OpenBlockReader(ln.Addr().String(), core.Block{ID: 7, NumBytes: 64}, "s0", 0, -1)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("open against a handshake-hung peer succeeded")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("err = %v, want a timeout", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("hung handshake took %v, want ~HandshakeTimeout", elapsed)
+	}
+}
+
+// TestHandshakeDeadlineTricklingPeer: the handshake bound is absolute,
+// so a peer that keeps the rolling deadline alive by trickling bytes
+// without ever completing the header exchange still times out.
+func TestHandshakeDeadlineTricklingPeer(t *testing.T) {
+	shortTransferTimeout(t, 150*time.Millisecond)
+	shortHandshakeTimeout(t, 400*time.Millisecond)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		// Advertise an enormous response frame, then trickle one byte
+		// per 100ms: each byte resets a rolling deadline, but the
+		// frame never completes.
+		conn.Write([]byte{0x00, 0x10, 0x00, 0x00})
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(100 * time.Millisecond):
+				if _, err := conn.Write([]byte{0x00}); err != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	_, _, err = OpenBlockReader(ln.Addr().String(), core.Block{ID: 8, NumBytes: 64}, "s0", 0, -1)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("open against a trickling peer succeeded")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("err = %v, want a timeout", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("trickled handshake took %v, want ~HandshakeTimeout", elapsed)
+	}
+}
+
+// TestDialFailureTaggedAndHooked: dial errors carry the request ID
+// and repeated failures to one address fire the registered hook at
+// the threshold.
+func TestDialFailureTaggedAndHooked(t *testing.T) {
+	// A listener that is immediately closed yields a connection-refused
+	// address nothing else will reuse mid-test.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	type firing struct {
+		addr string
+		n    int
+	}
+	fired := make(chan firing, 4)
+	remove := OnRepeatedDialFailure(func(a string, consecutive int) {
+		fired <- firing{a, consecutive}
+	})
+	defer remove()
+
+	for i := 0; i < DialFailureThreshold; i++ {
+		_, _, err := OpenBlockReaderReq(addr, core.Block{ID: 9}, "s0", 0, -1, "deadbeefcafef00d")
+		if err == nil {
+			t.Fatal("dial to a closed address succeeded")
+		}
+		if !strings.Contains(err.Error(), "[req=deadbeefcafef00d]") {
+			t.Fatalf("dial error %q lacks request tag", err)
+		}
+	}
+	select {
+	case f := <-fired:
+		if f.addr != addr || f.n != DialFailureThreshold {
+			t.Fatalf("hook fired with (%s, %d), want (%s, %d)", f.addr, f.n, addr, DialFailureThreshold)
+		}
+	default:
+		t.Fatalf("hook did not fire after %d consecutive dial failures", DialFailureThreshold)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/trace"
+	"repro/internal/xfer"
 )
 
 // The data-transfer protocol spoken on a worker's data port. Every
@@ -31,6 +32,11 @@ const (
 	// the master can assemble a cross-daemon timeline without the
 	// worker exposing an RPC server.
 	OpTraceDump
+
+	// OpTransferDump asks a worker for one page of its transfer
+	// flight-recorder log, so Master.GetTransfers can fan out across
+	// the cluster over the existing data port.
+	OpTransferDump
 )
 
 // MaxPacketSize bounds one data packet. 64 KiB balances syscall
@@ -121,6 +127,23 @@ type TraceDumpResponse struct {
 	Spans []trace.Span
 }
 
+// TransferDumpHeader opens an OpTransferDump exchange: one cursor
+// page request against the worker's transfer flight recorder, with
+// the same since/op/limit semantics as /debug/transfers.
+type TransferDumpHeader struct {
+	Since uint64
+	Op    string // "" = all transfer kinds
+	Limit int    // <= 0 = no cap
+}
+
+// TransferDumpResponse carries one page of the worker's transfer log
+// plus its per-op lifetime counters. Limit keeps it under the
+// control-frame size limit; callers page with Since = Page.Next.
+type TransferDumpResponse struct {
+	Page   xfer.Page
+	Counts map[string]uint64
+}
+
 // WriteFrame gob-encodes v as one length-prefixed frame.
 func WriteFrame(w io.Writer, v any) error {
 	var buf []byte
@@ -131,6 +154,8 @@ func WriteFrame(w io.Writer, v any) error {
 		}
 		buf = bw.buf
 	}
+	connStats.frames.Add(1)
+	connStats.frameBytes.Add(uint64(len(buf)))
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(buf)))
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -156,6 +181,8 @@ func ReadFrame(r io.Reader, v any) error {
 	if n > maxFrameSize {
 		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
 	}
+	connStats.frames.Add(1)
+	connStats.frameBytes.Add(uint64(n))
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return fmt.Errorf("rpc: reading frame body: %w", err)
@@ -192,14 +219,19 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // [uint32 length][uint32 crc32c][payload]; a zero-length packet
 // terminates the stream.
 type PacketWriter struct {
-	w   *bufio.Writer
-	buf [8]byte
+	w     *bufio.Writer
+	buf   [8]byte
+	alloc int64
 }
 
 // NewPacketWriter wraps w for packet output.
 func NewPacketWriter(w io.Writer) *PacketWriter {
-	return &PacketWriter{w: bufio.NewWriterSize(w, MaxPacketSize+64)}
+	return &PacketWriter{w: bufio.NewWriterSize(w, MaxPacketSize+64), alloc: MaxPacketSize + 64}
 }
+
+// AllocBytes reports the buffer bytes this writer allocated — the
+// per-transfer churn cost the flight recorder tracks.
+func (pw *PacketWriter) AllocBytes() int64 { return pw.alloc }
 
 // Write implements io.Writer, splitting p into packets of at most
 // MaxPacketSize bytes.
@@ -242,12 +274,18 @@ type PacketReader struct {
 	pending []byte
 	done    bool
 	scratch []byte
+	alloc   int64
 }
 
 // NewPacketReader wraps r for packet input.
 func NewPacketReader(r io.Reader) *PacketReader {
-	return &PacketReader{r: bufio.NewReaderSize(r, MaxPacketSize+64)}
+	return &PacketReader{r: bufio.NewReaderSize(r, MaxPacketSize+64), alloc: MaxPacketSize + 64}
 }
+
+// AllocBytes reports the buffer bytes this reader allocated (bufio
+// buffer plus scratch growth) — the per-transfer churn cost the
+// flight recorder tracks.
+func (pr *PacketReader) AllocBytes() int64 { return pr.alloc }
 
 // Read implements io.Reader.
 func (pr *PacketReader) Read(p []byte) (int, error) {
@@ -283,6 +321,7 @@ func (pr *PacketReader) fill() error {
 	}
 	if cap(pr.scratch) < int(length) {
 		pr.scratch = make([]byte, length)
+		pr.alloc += int64(length)
 	}
 	buf := pr.scratch[:length]
 	if _, err := io.ReadFull(pr.r, buf); err != nil {

@@ -139,16 +139,58 @@ func (m *Media) setThroughput(w, r float64) {
 	m.readMBps.Store(float64Bits(r))
 }
 
+// IOStats receives one stream's media I/O attribution, for the
+// transfer flight recorder. All fields are nanoseconds on the
+// stream's own critical path — unlike the limiter's cross-stream
+// Stats total, these are exact per stream. ThrottleWaitNs is time
+// the emulated pacing slept this stream. DeviceNs is store device
+// time: read time under a throttled Open, or the Put residual after
+// source-wait and throttle are subtracted. SourceNs (Put only) is
+// time the store spent waiting on the supplied reader — the network
+// or pipe feeding the write.
+type IOStats struct {
+	ThrottleWaitNs int64
+	DeviceNs       int64
+	SourceNs       int64
+}
+
+// timedReader accumulates time spent inside Read into *ns.
+type timedReader struct {
+	r  io.Reader
+	ns *int64
+}
+
+func (t *timedReader) Read(p []byte) (int, error) {
+	start := time.Now()
+	n, err := t.r.Read(p)
+	*t.ns += time.Since(start).Nanoseconds()
+	return n, err
+}
+
 // Put stores a block replica, throttled at the media's write rate, and
 // counted as an active connection for its duration. ErrNoSpace is
 // returned when the content would exceed the media's capacity.
 func (m *Media) Put(b core.Block, r io.Reader) (int64, error) {
+	return m.PutStats(b, r, nil)
+}
+
+// PutStats is Put recording the stream's throttle, device, and
+// source-wait attribution into st (which may be nil).
+func (m *Media) PutStats(b core.Block, r io.Reader, st *IOStats) (int64, error) {
+	if st == nil {
+		st = &IOStats{}
+	}
 	if b.NumBytes > 0 && b.NumBytes > m.Remaining() && !m.store.Has(b) {
 		return 0, fmt.Errorf("storage: media %s: %w", m.id, core.ErrNoSpace)
 	}
 	m.conns.Add(1)
 	defer m.conns.Add(-1)
-	n, err := m.store.Put(b, LimitReader(r, m.writeLimit))
+	src := LimitReaderStats(&timedReader{r: r, ns: &st.SourceNs}, m.writeLimit, &st.ThrottleWaitNs)
+	start := time.Now()
+	n, err := m.store.Put(b, src)
+	if d := time.Since(start).Nanoseconds() - st.SourceNs - st.ThrottleWaitNs; d > 0 {
+		st.DeviceNs = d
+	}
 	if err != nil {
 		return n, err
 	}
@@ -163,15 +205,33 @@ func (m *Media) Put(b core.Block, r io.Reader) (int64, error) {
 // Open returns a throttled reader over a stored replica. The media's
 // connection count stays elevated until the reader is closed.
 func (m *Media) Open(b core.Block) (io.ReadCloser, error) {
+	return m.OpenStats(b, nil)
+}
+
+// OpenStats is Open recording the stream's device read time and
+// throttle sleep into st (which may be nil) as the replica is
+// consumed.
+func (m *Media) OpenStats(b core.Block, st *IOStats) (io.ReadCloser, error) {
+	if st == nil {
+		st = &IOStats{}
+	}
 	rc, err := m.store.Open(b)
 	if err != nil {
 		return nil, err
 	}
 	m.conns.Add(1)
+	r := LimitReaderStats(&timedReader{r: rc, ns: &st.DeviceNs}, m.readLimit, &st.ThrottleWaitNs)
 	return &connTrackingReadCloser{
-		ReadCloser: LimitReadCloser(rc, m.readLimit),
+		ReadCloser: readerWithCloser{r, rc},
 		conns:      &m.conns,
 	}, nil
+}
+
+// readerWithCloser pairs a wrapped read path with the store reader's
+// Close.
+type readerWithCloser struct {
+	io.Reader
+	io.Closer
 }
 
 // WriteLimit returns the media's write-side throttle (nil when

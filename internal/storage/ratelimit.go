@@ -44,13 +44,15 @@ func NewRateLimiter(bytesPerSec float64) *RateLimiter {
 	return &RateLimiter{bytesPerSec: bytesPerSec, next: now, lastCall: now}
 }
 
-// Wait accounts for n bytes and blocks until they are due. It is safe
-// for concurrent use; concurrent callers share the rate, which is
+// Wait accounts for n bytes and blocks until they are due, returning
+// the time this caller was actually made to sleep so per-stream
+// telemetry can attribute throttle wait exactly. It is safe for
+// concurrent use; concurrent callers share the rate, which is
 // exactly the bandwidth-splitting behaviour of a real device under
 // concurrent I/O.
-func (l *RateLimiter) Wait(n int) {
+func (l *RateLimiter) Wait(n int) time.Duration {
 	if l == nil || n <= 0 {
-		return
+		return 0
 	}
 	l.mu.Lock()
 	now := time.Now()
@@ -70,7 +72,9 @@ func (l *RateLimiter) Wait(n int) {
 	l.mu.Unlock()
 	if sleep >= minSleep {
 		time.Sleep(sleep)
+		return sleep
 	}
+	return 0
 }
 
 // Stats returns the cumulative bytes accounted by the limiter and the
@@ -93,19 +97,28 @@ func (l *RateLimiter) Rate() float64 {
 	return l.bytesPerSec
 }
 
-// limitedReader throttles an io.Reader through a RateLimiter.
+// limitedReader throttles an io.Reader through a RateLimiter,
+// optionally accumulating this stream's own sleep time into waitNs.
 type limitedReader struct {
-	r io.Reader
-	l *RateLimiter
+	r      io.Reader
+	l      *RateLimiter
+	waitNs *int64
 }
 
 // LimitReader wraps r so reads are throttled by l. A nil limiter
 // returns r unchanged.
 func LimitReader(r io.Reader, l *RateLimiter) io.Reader {
+	return LimitReaderStats(r, l, nil)
+}
+
+// LimitReaderStats is LimitReader accumulating the stream's own
+// throttle sleep (exact, unlike the limiter's cross-stream Stats
+// total) into *waitNs. waitNs may be nil.
+func LimitReaderStats(r io.Reader, l *RateLimiter, waitNs *int64) io.Reader {
 	if l == nil {
 		return r
 	}
-	return &limitedReader{r: r, l: l}
+	return &limitedReader{r: r, l: l, waitNs: waitNs}
 }
 
 func (lr *limitedReader) Read(p []byte) (int, error) {
@@ -114,7 +127,10 @@ func (lr *limitedReader) Read(p []byte) (int, error) {
 		p = p[:256<<10]
 	}
 	n, err := lr.r.Read(p)
-	lr.l.Wait(n)
+	slept := lr.l.Wait(n)
+	if lr.waitNs != nil && slept > 0 {
+		*lr.waitNs += slept.Nanoseconds()
+	}
 	return n, err
 }
 

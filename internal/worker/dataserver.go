@@ -13,6 +13,7 @@ import (
 	"repro/internal/rpc"
 	"repro/internal/storage"
 	"repro/internal/trace"
+	"repro/internal/xfer"
 )
 
 // serveData accepts and dispatches data-transfer connections.
@@ -56,6 +57,14 @@ func (w *Worker) handleConn(conn net.Conn) {
 		w.connMu.Unlock()
 	}()
 
+	// The accepted side of the handshake bound: a dialler that never
+	// sends its opcode and header must not pin a handler goroutine
+	// (and a conns-map slot) forever. Handlers lift the deadline once
+	// the header frame is in (endHandshake), after which the packet
+	// stream governs its own pacing.
+	if rpc.HandshakeTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(rpc.HandshakeTimeout))
+	}
 	var op [1]byte
 	if _, err := io.ReadFull(conn, op[:]); err != nil {
 		return
@@ -69,44 +78,76 @@ func (w *Worker) handleConn(conn net.Conn) {
 		w.handleReplicateBlock(conn)
 	case rpc.OpTraceDump:
 		w.handleTraceDump(conn)
+	case rpc.OpTransferDump:
+		w.handleTransferDump(conn)
 	default:
 		w.cfg.Logger.Warn("unknown data opcode", "op", op[0])
 	}
 }
+
+// endHandshake lifts the accept-side handshake deadline armed in
+// handleConn, once the header frame has been decoded.
+func endHandshake(conn net.Conn) {
+	conn.SetReadDeadline(time.Time{})
+}
+
+// timedWriter accumulates time spent inside Write into *ns.
+type timedWriter struct {
+	w  io.Writer
+	ns *int64
+}
+
+func (t *timedWriter) Write(p []byte) (int, error) {
+	start := time.Now()
+	n, err := t.w.Write(p)
+	*t.ns += time.Since(start).Nanoseconds()
+	return n, err
+}
+
+// copyBufBytes is the io.CopyN internal buffer size, accounted into
+// per-transfer allocation counters.
+const copyBufBytes = 32 << 10
 
 // handleWriteBlock implements one stage of the Worker-to-Worker write
 // pipeline (paper §3.1): store the incoming packet stream on the local
 // media named by the pipeline head while forwarding it verbatim to the
 // next stage, then combine the downstream ack with the local result.
 func (w *Worker) handleWriteBlock(conn net.Conn) {
+	start := time.Now()
 	var hdr rpc.WriteBlockHeader
 	if err := rpc.ReadFrame(conn, &hdr); err != nil {
 		w.cfg.Logger.Warn("bad write header", "err", err)
 		return
 	}
-	start := time.Now()
+	endHandshake(conn)
 	sp := w.tracer.Start(hdr.ReqID, hdr.SpanID, "worker.write")
 	sp.Annotate("worker", string(w.id)).AnnotateInt("block", int64(hdr.Block.ID))
+	rec := xfer.Record{
+		Op:             "write",
+		Source:         "worker:" + string(w.id),
+		Block:          uint64(hdr.Block.ID),
+		TraceID:        hdr.ReqID,
+		SpanID:         sp.ID(),
+		Peer:           conn.RemoteAddr().String(),
+		HeaderDecodeNs: time.Since(start).Nanoseconds(),
+	}
 	tier := "UNKNOWN"
-	var limiter *storage.RateLimiter
 	if len(hdr.Pipeline) > 0 {
 		if m, ok := w.media[hdr.Pipeline[0].Storage]; ok {
 			tier = m.Tier().String()
-			limiter = m.WriteLimit()
 		}
 	}
-	waitBefore := limiterWait(limiter)
-	ack := w.writeBlockPipeline(conn, hdr, sp)
+	ack := w.writeBlockPipeline(conn, hdr, sp, &rec)
 	ack.Err = rpc.WithReqID(ack.Err, hdr.ReqID)
 	sp.Annotate("tier", tier).AnnotateInt("bytes", ack.Stored)
-	if d := limiterWait(limiter) - waitBefore; d > 0 {
-		// Approximate under concurrent transfers on the same media:
-		// the counter delta includes other streams' waits.
-		sp.Annotate("throttle_wait", d.String())
-	}
+	rec.Tier = tier
+	rec.Bytes = ack.Stored
+	rec.Result = "ok"
 	if ack.Err != "" {
+		rec.Result = ack.Err
 		sp.SetError(errors.New(ack.Err))
 	}
+	annotatePhases(sp, &rec)
 	// End (and thus store) the span before acking: once the client
 	// sees the ack, this stage's span is queryable.
 	sp.End()
@@ -114,22 +155,35 @@ func (w *Worker) handleWriteBlock(conn net.Conn) {
 		w.heat.Touch(hdr.Block.ID, heat.Write, ack.Stored)
 	}
 	w.metrics.observeOp("write", hdr.ReqID, start, ack.Stored, tier, ack.Err != "")
+	w.metrics.observeDisk(tier, "write", rec.DiskNs)
 	if err := rpc.WriteFrame(conn, ack); err != nil {
 		w.cfg.Logger.Warn("write ack failed", "err", err)
 	}
+	rec.TotalNs = time.Since(start).Nanoseconds()
+	w.xfers.Append(rec)
 }
 
-// limiterWait samples a throttle's cumulative wait time (0 for
-// unthrottled media).
-func limiterWait(l *storage.RateLimiter) time.Duration {
-	if l == nil {
-		return 0
+// annotatePhases copies a transfer record's non-zero phase timings
+// onto its span, so `octopus-cli trace` shows where the leg stalled.
+func annotatePhases(sp *trace.ActiveSpan, rec *xfer.Record) {
+	phase := func(name string, v int64) {
+		if v > 0 {
+			sp.AnnotateInt(name, v)
+		}
 	}
-	_, d := l.Stats()
-	return d
+	phase("dial_ns", rec.DialNs)
+	phase("header_encode_ns", rec.HeaderEncodeNs)
+	phase("header_decode_ns", rec.HeaderDecodeNs)
+	phase("throttle_wait_ns", rec.ThrottleWaitNs)
+	phase("disk_ns", rec.DiskNs)
+	phase("net_ns", rec.NetNs)
+	phase("forward_ns", rec.ForwardNs)
+	phase("ack_wait_ns", rec.AckWaitNs)
+	phase("stall_ns", rec.StallNs)
+	phase("alloc_bytes", rec.AllocBytes)
 }
 
-func (w *Worker) writeBlockPipeline(conn net.Conn, hdr rpc.WriteBlockHeader, sp *trace.ActiveSpan) rpc.WriteBlockAck {
+func (w *Worker) writeBlockPipeline(conn net.Conn, hdr rpc.WriteBlockHeader, sp *trace.ActiveSpan, rec *xfer.Record) rpc.WriteBlockAck {
 	if len(hdr.Pipeline) == 0 {
 		return rpc.WriteBlockAck{Err: rpc.EncodeError(fmt.Errorf("worker: empty pipeline: %w", core.ErrNotFound))}
 	}
@@ -151,13 +205,19 @@ func (w *Worker) writeBlockPipeline(conn net.Conn, hdr rpc.WriteBlockHeader, sp 
 	}
 
 	// Feed the verified packet stream both into the local media and
-	// down the pipeline.
+	// down the pipeline. The phase split is measured serially on this
+	// goroutine so it can never sum past the wall time: netNs is time
+	// blocked reading the upstream socket, pipeNs is time blocked on
+	// the local store (pipe backpressure plus the final completion
+	// wait), and the downstream writer accumulates its own forward
+	// and ack phases.
 	src := rpc.NewPacketReader(conn)
 	pr, pw := io.Pipe()
 	putDone := make(chan error, 1)
 	putStored := make(chan int64, 1)
+	var iost storage.IOStats
 	go func() {
-		n, err := media.Put(hdr.Block, pr)
+		n, err := media.PutStats(hdr.Block, pr, &iost)
 		// Drain on failure so the producer never blocks forever.
 		if err != nil {
 			io.Copy(io.Discard, pr)
@@ -167,11 +227,17 @@ func (w *Worker) writeBlockPipeline(conn net.Conn, hdr rpc.WriteBlockHeader, sp 
 	}()
 
 	var streamErr error
+	var netNs, pipeNs int64
 	buf := make([]byte, rpc.MaxPacketSize)
 	for {
+		rs := time.Now()
 		n, err := src.Read(buf)
+		netNs += time.Since(rs).Nanoseconds()
 		if n > 0 {
-			if _, werr := pw.Write(buf[:n]); werr != nil && streamErr == nil {
+			ps := time.Now()
+			_, werr := pw.Write(buf[:n])
+			pipeNs += time.Since(ps).Nanoseconds()
+			if werr != nil && streamErr == nil {
 				streamErr = werr
 			}
 			if downstream != nil {
@@ -188,13 +254,34 @@ func (w *Worker) writeBlockPipeline(conn net.Conn, hdr rpc.WriteBlockHeader, sp 
 			break
 		}
 	}
+	ps := time.Now()
 	pw.Close()
 	putErr := <-putDone
 	stored := <-putStored
+	pipeNs += time.Since(ps).Nanoseconds()
 
 	var downErr error
 	if downstream != nil {
 		downErr = downstream.Commit()
+	}
+
+	// The store goroutine overlaps with the socket reads, so only the
+	// backpressure this goroutine actually felt (pipeNs) is on the
+	// critical path. The limiter sleep is exact per stream; clip it to
+	// the visible stall and attribute the rest of the stall to the
+	// device.
+	rec.NetNs = netNs
+	throttle := iost.ThrottleWaitNs
+	if throttle > pipeNs {
+		throttle = pipeNs
+	}
+	rec.ThrottleWaitNs = throttle
+	rec.DiskNs = pipeNs - throttle
+	rec.AllocBytes = src.AllocBytes() + int64(len(buf))
+	if downstream != nil {
+		dial, hdrEnc, fwd, ackWait := downstream.Phases()
+		rec.DialNs, rec.HeaderEncodeNs, rec.ForwardNs, rec.AckWaitNs = dial, hdrEnc, fwd, ackWait
+		rec.AllocBytes += downstream.AllocBytes()
 	}
 
 	block := hdr.Block
@@ -219,35 +306,50 @@ func (w *Worker) writeBlockPipeline(conn net.Conn, hdr rpc.WriteBlockHeader, sp 
 
 // handleReadBlock streams a block range to a reader (paper §4.1).
 func (w *Worker) handleReadBlock(conn net.Conn) {
+	start := time.Now()
 	var hdr rpc.ReadBlockHeader
 	if err := rpc.ReadFrame(conn, &hdr); err != nil {
 		w.cfg.Logger.Warn("bad read header", "err", err)
 		return
 	}
-	start := time.Now()
+	endHandshake(conn)
 	sp := w.tracer.Start(hdr.ReqID, hdr.SpanID, "worker.read")
 	sp.Annotate("worker", string(w.id)).AnnotateInt("block", int64(hdr.Block.ID))
-	var limiter *storage.RateLimiter
-	if m, ok := w.media[hdr.Storage]; ok {
-		limiter = m.ReadLimit()
+	rec := xfer.Record{
+		Op:             "read",
+		Source:         "worker:" + string(w.id),
+		Block:          uint64(hdr.Block.ID),
+		TraceID:        hdr.ReqID,
+		SpanID:         sp.ID(),
+		Peer:           conn.RemoteAddr().String(),
+		HeaderDecodeNs: time.Since(start).Nanoseconds(),
 	}
-	waitBefore := limiterWait(limiter)
-	served, tier, err := w.readBlock(conn, hdr)
+	served, tier, err := w.readBlock(conn, hdr, &rec)
 	sp.Annotate("tier", tier).AnnotateInt("bytes", served)
-	if d := limiterWait(limiter) - waitBefore; d > 0 {
-		sp.Annotate("throttle_wait", d.String())
+	rec.Tier = tier
+	rec.Bytes = served
+	rec.Result = "ok"
+	if err != nil {
+		rec.Result = err.Error()
 	}
+	annotatePhases(sp, &rec)
 	sp.SetError(err)
 	sp.End()
 	if err == nil {
 		w.heat.Touch(hdr.Block.ID, heat.Read, served)
 	}
 	w.metrics.observeOp("read", hdr.ReqID, start, served, tier, err != nil)
+	w.metrics.observeDisk(tier, "read", rec.DiskNs)
+	rec.TotalNs = time.Since(start).Nanoseconds()
+	w.xfers.Append(rec)
 }
 
 // readBlock serves one OpReadBlock exchange; errors that can still be
 // delivered go back in the response frame with the request ID attached.
-func (w *Worker) readBlock(conn net.Conn, hdr rpc.ReadBlockHeader) (served int64, tier string, err error) {
+// The record receives the serve's phase split: device and throttle
+// time from the media stream, socket time from a timed writer around
+// the response frame and packet stream.
+func (w *Worker) readBlock(conn net.Conn, hdr rpc.ReadBlockHeader, rec *xfer.Record) (served int64, tier string, err error) {
 	tier = "UNKNOWN"
 	refuse := func(e error) (int64, string, error) {
 		rpc.WriteFrame(conn, rpc.ReadBlockResponse{Err: rpc.WithReqID(rpc.EncodeError(e), hdr.ReqID)})
@@ -267,11 +369,16 @@ func (w *Worker) readBlock(conn net.Conn, hdr rpc.ReadBlockHeader) (served int64
 			"storage", string(hdr.Storage))
 		return refuse(err)
 	}
-	rc, err := media.Open(hdr.Block)
+	var iost storage.IOStats
+	rc, err := media.OpenStats(hdr.Block, &iost)
 	if err != nil {
 		return refuse(err)
 	}
-	defer rc.Close()
+	defer func() {
+		rc.Close()
+		rec.DiskNs = iost.DeviceNs
+		rec.ThrottleWaitNs = iost.ThrottleWaitNs
+	}()
 
 	if hdr.Offset > 0 {
 		if _, err := io.CopyN(io.Discard, rc, hdr.Offset); err != nil {
@@ -285,10 +392,12 @@ func (w *Worker) readBlock(conn net.Conn, hdr rpc.ReadBlockHeader) (served int64
 	if length < 0 {
 		length = 0
 	}
-	if err := rpc.WriteFrame(conn, rpc.ReadBlockResponse{Length: length}); err != nil {
+	tw := &timedWriter{w: conn, ns: &rec.NetNs}
+	if err := rpc.WriteFrame(tw, rpc.ReadBlockResponse{Length: length}); err != nil {
 		return 0, tier, err
 	}
-	pw := rpc.NewPacketWriter(conn)
+	pw := rpc.NewPacketWriter(tw)
+	rec.AllocBytes = pw.AllocBytes() + copyBufBytes
 	n, err := io.CopyN(pw, rc, length)
 	if err != nil {
 		w.cfg.Logger.Warn("block read stream failed", "block", hdr.Block.ID, "req", hdr.ReqID, "err", err)
@@ -305,26 +414,45 @@ func (w *Worker) readBlock(conn net.Conn, hdr rpc.ReadBlockHeader) (served int64
 // over the data port (the master normally uses heartbeat commands
 // instead).
 func (w *Worker) handleReplicateBlock(conn net.Conn) {
+	start := time.Now()
 	var hdr rpc.ReplicateBlockHeader
 	if err := rpc.ReadFrame(conn, &hdr); err != nil {
 		return
 	}
+	endHandshake(conn)
 	reqID := hdr.ReqID
 	if reqID == "" {
 		reqID = rpc.NewRequestID()
 	}
-	start := time.Now()
 	sp := w.tracer.Start(reqID, hdr.SpanID, "worker.replicate")
 	sp.Annotate("worker", string(w.id)).AnnotateInt("block", int64(hdr.Block.ID))
-	n, tier, err := w.replicate(reqID, sp, hdr.Block, hdr.Target, hdr.Sources)
+	rec := xfer.Record{
+		Op:             "replicate",
+		Source:         "worker:" + string(w.id),
+		Block:          uint64(hdr.Block.ID),
+		TraceID:        reqID,
+		SpanID:         sp.ID(),
+		HeaderDecodeNs: time.Since(start).Nanoseconds(),
+	}
+	n, tier, err := w.replicate(reqID, sp, hdr.Block, hdr.Target, hdr.Sources, &rec)
 	sp.Annotate("tier", tier).AnnotateInt("bytes", n)
+	rec.Tier = tier
+	rec.Bytes = n
+	rec.Result = "ok"
+	if err != nil {
+		rec.Result = err.Error()
+	}
+	annotatePhases(sp, &rec)
 	sp.SetError(err)
 	sp.End()
 	if err == nil {
 		w.heat.Touch(hdr.Block.ID, heat.Write, n)
 	}
 	w.metrics.observeOp("replicate", reqID, start, n, tier, err != nil)
+	w.metrics.observeDisk(tier, "replicate", rec.DiskNs)
 	rpc.WriteFrame(conn, rpc.ReplicateBlockAck{Err: rpc.WithReqID(rpc.EncodeError(err), reqID)})
+	rec.TotalNs = time.Since(start).Nanoseconds()
+	w.xfers.Append(rec)
 }
 
 // handleTraceDump serves the worker's retained spans of one trace to
@@ -334,8 +462,35 @@ func (w *Worker) handleTraceDump(conn net.Conn) {
 	if err := rpc.ReadFrame(conn, &hdr); err != nil {
 		return
 	}
+	endHandshake(conn)
 	if err := rpc.WriteFrame(conn, rpc.TraceDumpResponse{Spans: w.traces.Get(hdr.TraceID)}); err != nil {
 		w.cfg.Logger.Warn("trace dump failed", "trace", hdr.TraceID, "err", err)
+	}
+}
+
+// transferDumpMaxPage caps one OpTransferDump page so the response
+// stays well under the control-frame size limit; callers page with
+// Since = Page.Next.
+const transferDumpMaxPage = 512
+
+// handleTransferDump serves one page of the worker's transfer flight
+// recorder to Master.GetTransfers' fan-out.
+func (w *Worker) handleTransferDump(conn net.Conn) {
+	var hdr rpc.TransferDumpHeader
+	if err := rpc.ReadFrame(conn, &hdr); err != nil {
+		return
+	}
+	endHandshake(conn)
+	limit := hdr.Limit
+	if limit <= 0 || limit > transferDumpMaxPage {
+		limit = transferDumpMaxPage
+	}
+	resp := rpc.TransferDumpResponse{Page: w.xfers.Since(hdr.Since, hdr.Op, limit), Counts: w.xfers.Counts()}
+	if resp.Page.Entries == nil {
+		resp.Page.Entries = []xfer.Record{}
+	}
+	if err := rpc.WriteFrame(conn, resp); err != nil {
+		w.cfg.Logger.Warn("transfer dump failed", "err", err)
 	}
 }
 
@@ -344,8 +499,9 @@ func (w *Worker) handleTraceDump(conn net.Conn) {
 // source ordering for copying from the most efficient location). It
 // returns the bytes stored and the target media's tier label. sp is
 // the caller's replication span; source reads carry its ID so the
-// serving worker's read span parents under it.
-func (w *Worker) replicate(reqID string, sp *trace.ActiveSpan, block core.Block, target core.StorageID, sources []core.BlockLocation) (int64, string, error) {
+// serving worker's read span parents under it. rec accumulates the
+// winning attempt's phase timings.
+func (w *Worker) replicate(reqID string, sp *trace.ActiveSpan, block core.Block, target core.StorageID, sources []core.BlockLocation, rec *xfer.Record) (int64, string, error) {
 	media, ok := w.media[target]
 	if !ok {
 		return 0, "UNKNOWN", fmt.Errorf("worker: unknown media %s: %w", target, core.ErrNotFound)
@@ -358,34 +514,51 @@ func (w *Worker) replicate(reqID string, sp *trace.ActiveSpan, block core.Block,
 	var lastErr error
 	for _, src := range sources {
 		if src.Worker == w.id && src.Storage != target {
-			// Local cross-media copy: read directly.
+			// Local cross-media copy: read directly. Both the source
+			// read (Put's source wait) and the store write are device
+			// time here.
 			if local, ok := w.media[src.Storage]; ok {
 				rc, err := local.Open(block)
 				if err != nil {
 					lastErr = err
 					continue
 				}
-				n, err := media.Put(block, rc)
+				var iost storage.IOStats
+				n, err := media.PutStats(block, rc, &iost)
 				rc.Close()
 				if err != nil {
 					lastErr = err
 					continue
 				}
+				rec.DiskNs += iost.DeviceNs + iost.SourceNs
+				rec.ThrottleWaitNs += iost.ThrottleWaitNs
 				w.notifyReceived(target, block)
 				return n, tier, nil
 			}
 		}
-		rc, _, err := rpc.OpenBlockReaderSpan(src.Address, block, src.Storage, 0, -1, reqID, sp.ID())
+		var tm rpc.TransferTiming
+		rc, _, err := rpc.OpenBlockReaderTimed(src.Address, block, src.Storage, 0, -1, reqID, sp.ID(), &tm)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		n, err := media.Put(block, rc)
+		rec.DialNs += tm.DialNs
+		rec.HeaderEncodeNs += tm.HeaderEncodeNs
+		rec.HeaderDecodeNs += tm.HeaderDecodeNs
+		var iost storage.IOStats
+		n, err := media.PutStats(block, rc, &iost)
+		if ac, ok := rc.(interface{ AllocBytes() int64 }); ok {
+			rec.AllocBytes += ac.AllocBytes()
+		}
 		rc.Close()
 		if err != nil {
 			lastErr = err
 			continue
 		}
+		// Put's source wait is time reading the peer's packet stream.
+		rec.NetNs += iost.SourceNs
+		rec.DiskNs += iost.DeviceNs
+		rec.ThrottleWaitNs += iost.ThrottleWaitNs
 		w.notifyReceived(target, block)
 		return n, tier, nil
 	}

@@ -10,7 +10,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/events"
 	"repro/internal/httpjson"
+	"repro/internal/rpc"
 	"repro/internal/trace"
+	"repro/internal/xfer"
 )
 
 // WorkerStatus is the JSON document served at /status.
@@ -60,6 +62,7 @@ func (w *Worker) ServeHTTP(addr string) (string, error) {
 	})
 	trace.RegisterDebugHandlers(mux, w.traces, nil)
 	events.RegisterDebugHandler(mux, w.journal)
+	xfer.RegisterDebugHandler(mux, w.xfers, func() any { return rpc.DataConnStats() })
 	if w.cfg.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

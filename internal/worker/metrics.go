@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/rpc"
 	"repro/internal/storage"
 )
 
@@ -12,10 +13,11 @@ import (
 type workerMetrics struct {
 	reg *metrics.Registry
 
-	ops    *metrics.CounterVec   // octopus_worker_ops_total{op}
-	opErrs *metrics.CounterVec   // octopus_worker_op_errors_total{op}
-	opDur  *metrics.HistogramVec // octopus_worker_op_duration_seconds{op}
-	bytes  *metrics.CounterVec   // octopus_worker_bytes_total{op,tier}
+	ops     *metrics.CounterVec   // octopus_worker_ops_total{op}
+	opErrs  *metrics.CounterVec   // octopus_worker_op_errors_total{op}
+	opDur   *metrics.HistogramVec // octopus_worker_op_duration_seconds{op}
+	bytes   *metrics.CounterVec   // octopus_worker_bytes_total{op,tier}
+	diskDur *metrics.HistogramVec // octopus_worker_disk_seconds{tier,op}
 
 	heartbeats *metrics.Counter
 	hbErrs     *metrics.Counter
@@ -34,6 +36,9 @@ func newWorkerMetrics(w *Worker) *workerMetrics {
 			"Data-port operation latency in seconds, by operation.", metrics.DefLatencyBuckets, "op"),
 		bytes: reg.CounterVec("octopus_worker_bytes_total",
 			"Block bytes moved by data-port operations, by operation and storage tier.", "op", "tier"),
+		diskDur: reg.HistogramVec("octopus_worker_disk_seconds",
+			"Media device time on a transfer's critical path, by storage tier and operation.",
+			metrics.DefLatencyBuckets, "tier", "op"),
 		heartbeats: reg.Counter("octopus_worker_heartbeats_total", "Heartbeats sent to the master.", nil),
 		hbErrs:     reg.Counter("octopus_worker_heartbeat_failures_total", "Heartbeats that failed.", nil),
 		commands:   reg.CounterVec("octopus_worker_commands_total", "Master commands executed, by kind.", "kind"),
@@ -57,6 +62,17 @@ func newWorkerMetrics(w *Worker) *workerMetrics {
 	}
 	reg.GaugeFunc("octopus_worker_net_connections", "Active data-port connections.", nil,
 		func() float64 { return float64(w.netConns.Load()) })
+	// Outbound data-connection lifecycle. The counters live in the rpc
+	// package and are process-wide, so in-process multi-daemon tests
+	// (and octopus-bench) see one shared view.
+	reg.GaugeFunc("octopus_worker_data_dials_total", "Outbound data-connection dial attempts (process-wide).", nil,
+		func() float64 { return float64(rpc.DataConnStats().Dials) })
+	reg.GaugeFunc("octopus_worker_data_dial_failures_total", "Outbound data-connection dials that failed (process-wide).", nil,
+		func() float64 { return float64(rpc.DataConnStats().DialFailures) })
+	reg.GaugeFunc("octopus_worker_data_handshakes_total", "Outbound data-connection header handshakes completed (process-wide).", nil,
+		func() float64 { return float64(rpc.DataConnStats().Handshakes) })
+	reg.GaugeFunc("octopus_worker_data_open_conns", "Outbound data connections currently open (process-wide).", nil,
+		func() float64 { return float64(rpc.DataConnStats().OpenConns) })
 	metrics.RegisterRuntimeGauges(reg, "octopus_worker", time.Now())
 	return wm
 }
@@ -94,6 +110,17 @@ func (wm *workerMetrics) observeOp(op, reqID string, start time.Time, n int64, t
 		wm.opErrs.With(op).Inc()
 	}
 	wm.slow.Observe(op, reqID, d, "bytes", n, "tier", tier)
+}
+
+// observeDisk records the device time a transfer spent on a media, in
+// the per-tier latency histogram backing octopus_worker_disk_seconds.
+// Zero device time (e.g. a memory-tier serve too fast to measure, or a
+// failed op that never reached the media) is not observed.
+func (wm *workerMetrics) observeDisk(tier, op string, ns int64) {
+	if ns <= 0 || tier == "UNKNOWN" {
+		return
+	}
+	wm.diskDur.With(tier, op).Observe(float64(ns) / 1e9)
 }
 
 // Metrics returns the worker's metric registry for exposition.

@@ -20,6 +20,7 @@ import (
 	"repro/internal/rpc"
 	"repro/internal/storage"
 	"repro/internal/trace"
+	"repro/internal/xfer"
 )
 
 // Config configures a Worker.
@@ -79,6 +80,10 @@ type Config struct {
 	// events.DefaultCapacity.
 	EventCapacity int
 
+	// TransferCapacity bounds the worker's transfer flight recorder;
+	// zero selects xfer.DefaultCapacity.
+	TransferCapacity int
+
 	// Pprof mounts net/http/pprof under /debug/pprof/ on the HTTP
 	// endpoint. Off by default.
 	Pprof bool
@@ -118,6 +123,9 @@ type Worker struct {
 	tracer  *trace.Tracer
 	journal *events.Journal
 	heat    *heat.Collector
+	xfers   *xfer.Log
+
+	unhookDial func() // deregisters the repeated-dial-failure journal hook
 
 	httpMu   sync.Mutex
 	httpAddr string // bound debug HTTP endpoint ("" until ServeHTTP)
@@ -166,6 +174,16 @@ func New(cfg Config) (*Worker, error) {
 	}
 	w.journal = events.NewJournal(cfg.EventCapacity)
 	w.heat = heat.NewCollector()
+	w.xfers = xfer.New(cfg.TransferCapacity)
+	// Repeated data-dial failures to one peer (e.g. a dead pipeline
+	// stage this worker keeps forwarding to) become a warn-severity
+	// cluster event instead of just per-request error tags.
+	w.unhookDial = rpc.OnRepeatedDialFailure(func(addr string, consecutive int) {
+		w.journal.Publish(events.Warn, "worker_unreachable",
+			"repeated data-connection dial failures to peer",
+			"addr", addr, "consecutive", fmt.Sprintf("%d", consecutive),
+			"worker", string(id))
+	})
 	w.traces = trace.NewStore(cfg.TraceCapacity, cfg.SlowOpThreshold, cfg.TraceSample)
 	w.tracer = trace.NewTracer("worker", w.traces)
 	w.metrics = newWorkerMetrics(w)
@@ -200,6 +218,10 @@ func (w *Worker) Media() map[core.StorageID]*storage.Media { return w.media }
 // tests).
 func (w *Worker) Journal() *events.Journal { return w.journal }
 
+// TransferLog exposes the worker's transfer flight recorder (for the
+// HTTP handler, benchmarks, and tests).
+func (w *Worker) TransferLog() *xfer.Log { return w.xfers }
+
 // HTTPAddr returns the bound debug HTTP endpoint ("" until ServeHTTP
 // runs). Heartbeats advertise it to the master so admin tools can fan
 // out health checks.
@@ -215,6 +237,9 @@ func (w *Worker) Close() error {
 		return nil
 	}
 	close(w.done)
+	if w.unhookDial != nil {
+		w.unhookDial()
+	}
 	w.ln.Close()
 	// Sever in-flight data transfers so Close behaves like a node
 	// failure instead of draining them: clients detect the broken
@@ -416,11 +441,28 @@ func (w *Worker) execute(cmd rpc.Command) {
 		start := time.Now()
 		sp := w.tracer.Start(reqID, "", "worker.replicate")
 		sp.Annotate("worker", string(w.id)).AnnotateInt("block", int64(cmd.Block.ID))
-		n, tier, err := w.replicate(reqID, sp, cmd.Block, cmd.Target, cmd.Sources)
+		rec := xfer.Record{
+			Op:      "replicate",
+			Source:  "worker:" + string(w.id),
+			Block:   uint64(cmd.Block.ID),
+			TraceID: reqID,
+			SpanID:  sp.ID(),
+		}
+		n, tier, err := w.replicate(reqID, sp, cmd.Block, cmd.Target, cmd.Sources, &rec)
 		sp.Annotate("tier", tier).AnnotateInt("bytes", n)
+		rec.Tier = tier
+		rec.Bytes = n
+		rec.Result = "ok"
+		if err != nil {
+			rec.Result = err.Error()
+		}
+		annotatePhases(sp, &rec)
 		sp.SetError(err)
 		sp.End()
 		w.metrics.observeOp("replicate", reqID, start, n, tier, err != nil)
+		w.metrics.observeDisk(tier, "replicate", rec.DiskNs)
+		rec.TotalNs = time.Since(start).Nanoseconds()
+		w.xfers.Append(rec)
 		if err != nil {
 			w.cfg.Logger.Warn("replication command failed",
 				"block", cmd.Block.ID, "target", cmd.Target, "req", reqID, "err", err)

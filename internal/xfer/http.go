@@ -1,0 +1,45 @@
+package xfer
+
+import (
+	"net/http"
+
+	"repro/internal/httpjson"
+)
+
+// debugResponse is the /debug/transfers JSON document: one cursor
+// page, the per-op lifetime counters, and (when the daemon supplies
+// one) a connection-lifecycle snapshot quantifying dials, handshakes,
+// open data conns, and bytes per conn.
+type debugResponse struct {
+	Page
+	Counts map[string]uint64 `json:"counts"`
+	Conns  any               `json:"conns,omitempty"`
+}
+
+// RegisterDebugHandler mounts the log on mux at /debug/transfers.
+// Query parameters mirror /debug/audit: ?since=<seq> resumes a cursor
+// (default 0 = from the oldest retained record), ?op=<op> filters by
+// transfer kind, and ?limit=<n> caps the page size (default 1000).
+// conns, when non-nil, is called per request to attach the daemon's
+// connection-lifecycle counters to the response.
+func RegisterDebugHandler(mux *http.ServeMux, l *Log, conns func() any) {
+	mux.HandleFunc("/debug/transfers", func(w http.ResponseWriter, r *http.Request) {
+		since, ok := httpjson.Uint64Param(w, r, "since", 0)
+		if !ok {
+			return
+		}
+		limit, ok := httpjson.IntParam(w, r, "limit", 1000)
+		if !ok {
+			return
+		}
+		page := l.Since(since, r.URL.Query().Get("op"), limit)
+		if page.Entries == nil {
+			page.Entries = []Record{}
+		}
+		resp := debugResponse{Page: page, Counts: l.Counts()}
+		if conns != nil {
+			resp.Conns = conns()
+		}
+		httpjson.Write(w, resp)
+	})
+}
