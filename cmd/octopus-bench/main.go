@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/integration"
@@ -31,6 +32,8 @@ func main() {
 	jsonPath := flag.String("json", "", "also write datapath/heat/mover/metadata results as JSON to this path")
 	mdFiles := flag.Int("md-files", 100000, "metadata benchmark: number of files")
 	mdClients := flag.Int("md-clients", 8, "metadata benchmark: concurrent clients")
+	compare := flag.String("compare", "", "datapath: baseline JSON report to print a before/after comparison against")
+	warmGate := flag.Float64("max-warm-dial-p99-ms", 0, "datapath: fail if warm-path (pooled) dial p99 exceeds this many ms (0 disables)")
 	flag.Parse()
 
 	targets := flag.Args()
@@ -143,7 +146,20 @@ func main() {
 			results = append(results, res)
 		}
 		bench.PrintDataPath(out, results)
+		if *compare != "" {
+			baseline, err := bench.ReadDataPathJSON(*compare)
+			if err != nil {
+				fail("datapath", err)
+			}
+			bench.CompareDataPath(out, baseline, bench.BuildDataPathReport(fileMB, 1, results))
+		}
 		emitJSON("datapath", func(p string) error { return bench.WriteDataPathJSON(p, fileMB, 1, results) })
+		if *warmGate > 0 {
+			if err := bench.CheckWarmDial(results, time.Duration(*warmGate*float64(time.Millisecond))); err != nil {
+				fail("datapath", err)
+			}
+			fmt.Fprintf(out, "warm-path dial gate: OK (p99 <= %.1fms on every pooled configuration)\n", *warmGate)
+		}
 	}
 	if all || want["heat"] {
 		dir, cleanup, err := integration.TempDir()

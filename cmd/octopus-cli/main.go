@@ -708,6 +708,9 @@ func formatTransferRecord(e xfer.Record) string {
 			line += fmt.Sprintf(" %s=%s", p.name, fmtNs(p.ns))
 		}
 	}
+	if e.PoolHit {
+		line += " pool=hit"
+	}
 	if e.Tier != "" {
 		line += " tier=" + e.Tier
 	}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/master"
 	"repro/internal/policy"
+	"repro/internal/rpc"
 )
 
 func main() {
@@ -48,9 +49,12 @@ func main() {
 		backup    = flag.Bool("backup", false, "run as a Backup Master")
 		primary   = flag.String("primary", "", "primary master address (backup mode)")
 		interval  = flag.Duration("checkpoint-interval", 30*time.Second, "backup checkpoint interval")
+		poolSize  = flag.Int("data-pool-size", rpc.DefaultDataPoolSize, "idle data connections kept per worker (0 disables pooling)")
+		poolIdle  = flag.Duration("data-pool-idle", rpc.DefaultDataPoolIdle, "max idle age of a pooled data connection")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	rpc.SetDataPool(*poolSize, *poolIdle)
 
 	if *backup {
 		if *primary == "" {

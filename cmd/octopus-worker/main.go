@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/rpc"
 	"repro/internal/storage"
 	"repro/internal/worker"
 )
@@ -80,10 +81,13 @@ func main() {
 		traceRate  = flag.Float64("trace-sample", 0.1, "fraction of fast traces retained (slow traces always kept)")
 		eventCap   = flag.Int("events", 0, "event journal capacity (0 = default)")
 		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -http endpoint")
+		poolSize   = flag.Int("data-pool-size", rpc.DefaultDataPoolSize, "idle data connections kept per peer worker (0 disables pooling)")
+		poolIdle   = flag.Duration("data-pool-idle", rpc.DefaultDataPoolIdle, "max idle age of a pooled data connection")
 	)
 	flag.Var(&media, "media", "media spec kind:capacityMB[:dir[:writeMBps:readMBps]] (repeatable)")
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	rpc.SetDataPool(*poolSize, *poolIdle)
 
 	if len(media) == 0 {
 		fmt.Fprintln(os.Stderr, "octopus-worker: at least one -media is required")

@@ -2,10 +2,12 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
+	"os"
 	"sort"
 	"time"
 
@@ -13,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/integration"
 	"repro/internal/metrics"
+	"repro/internal/rpc"
 	"repro/internal/xfer"
 )
 
@@ -37,6 +40,19 @@ type DataPathResult struct {
 	// and every worker rather than interpolated from histogram buckets.
 	WritePhases map[string]PhaseQuantiles `json:"write_phases"`
 	ReadPhases  map[string]PhaseQuantiles `json:"read_phases"`
+
+	// PoolHits / PoolMisses are the data-connection pool checkouts
+	// this run served from idle conns vs. fresh dials; PoolHitRate is
+	// hits over all checkouts.
+	PoolHits    uint64  `json:"pool_hits"`
+	PoolMisses  uint64  `json:"pool_misses"`
+	PoolHitRate float64 `json:"pool_hit_rate"`
+
+	// WarmDialWrite / WarmDialRead are the "dial" (pool checkout)
+	// latency quantiles over only the transfers that reused a pooled
+	// connection — the warm path, which pooling must keep near zero.
+	WarmDialWrite PhaseQuantiles `json:"warm_dial_write"`
+	WarmDialRead  PhaseQuantiles `json:"warm_dial_read"`
 }
 
 // PhaseQuantiles is the exact p50/p99 over the per-transfer samples of
@@ -70,6 +86,7 @@ func RunDataPath(dir string, fileMB, blockMB int64, readahead, writeWindow int) 
 	if blockMB <= 0 {
 		blockMB = 1
 	}
+	poolBefore := rpc.DataPoolStats()
 	cfg := integration.DefaultClusterConfig(dir)
 	cfg.NumWorkers = 3
 	cfg.BlockSize = blockMB << 20
@@ -125,7 +142,34 @@ func RunDataPath(dir string, fileMB, blockMB int64, readahead, writeWindow int) 
 	recs := collectTransfers(c, fs)
 	res.WritePhases = phaseQuantiles(recs, "write")
 	res.ReadPhases = phaseQuantiles(recs, "read")
+	res.WarmDialWrite = warmDialQuantiles(recs, "write")
+	res.WarmDialRead = warmDialQuantiles(recs, "read")
+	poolAfter := rpc.DataPoolStats()
+	res.PoolHits = poolAfter.Hits - poolBefore.Hits
+	res.PoolMisses = poolAfter.Misses - poolBefore.Misses
+	if total := res.PoolHits + res.PoolMisses; total > 0 {
+		res.PoolHitRate = float64(res.PoolHits) / float64(total)
+	}
 	return res, nil
+}
+
+// warmDialQuantiles computes dial (pool checkout) latency quantiles
+// over only the transfers of one kind that reused a pooled
+// connection. Unlike phaseQuantiles it keeps near-zero samples: the
+// warm path's whole point is that the dial phase collapses.
+func warmDialQuantiles(recs []xfer.Record, op string) PhaseQuantiles {
+	var s []float64
+	for _, r := range recs {
+		if r.Op == op && r.PoolHit {
+			s = append(s, float64(r.DialNs)/1e9)
+		}
+	}
+	sort.Float64s(s)
+	return PhaseQuantiles{
+		P50Seconds: exactQuantile(s, 0.5),
+		P99Seconds: exactQuantile(s, 0.99),
+		Count:      len(s),
+	}
 }
 
 // collectTransfers drains every flight recorder in the cluster — the
@@ -238,6 +282,25 @@ func PrintDataPath(w io.Writer, results []DataPathResult) {
 		printPhaseRow(w, "write", r.Readahead, r.WriteWindow, r.WritePhases)
 		printPhaseRow(w, "read", r.Readahead, r.WriteWindow, r.ReadPhases)
 	}
+
+	fmt.Fprintf(w, "\nConnection pool: checkout reuse and warm-path dial latency\n")
+	fmt.Fprintf(w, "%-12s%-14s%8s%8s%8s%22s%22s\n",
+		"readahead", "write-window", "hits", "misses", "hit%",
+		"warm dial w p50/p99", "warm dial r p50/p99")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-12d%-14d%8d%8d%8.1f%22s%22s\n",
+			r.Readahead, r.WriteWindow, r.PoolHits, r.PoolMisses, r.PoolHitRate*100,
+			fmtWarmDial(r.WarmDialWrite), fmtWarmDial(r.WarmDialRead))
+	}
+}
+
+// fmtWarmDial renders warm-path checkout quantiles in microseconds —
+// the scale a healthy pooled checkout lives at.
+func fmtWarmDial(pq PhaseQuantiles) string {
+	if pq.Count == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f/%.0fµs", pq.P50Seconds*1e6, pq.P99Seconds*1e6)
 }
 
 func printPhaseRow(w io.Writer, op string, ra, ww int, phases map[string]PhaseQuantiles) {
@@ -253,16 +316,20 @@ func printPhaseRow(w io.Writer, op string, ra, ww int, phases map[string]PhaseQu
 	fmt.Fprintln(w)
 }
 
-// dataPathReport is the JSON document WriteDataPathJSON emits: one row
-// per (readahead, write window) configuration with throughput in
-// bytes/sec and worker-side block-op latency quantiles.
-type dataPathReport struct {
-	FileMB  int64            `json:"file_mb"`
-	BlockMB int64            `json:"block_mb"`
-	Ops     []dataPathOpJSON `json:"ops"`
+// DataPathReport is the JSON document WriteDataPathJSON emits: one row
+// per operation per (readahead, write window) configuration with
+// throughput in bytes/sec and worker-side block-op latency quantiles.
+type DataPathReport struct {
+	FileMB  int64        `json:"file_mb"`
+	BlockMB int64        `json:"block_mb"`
+	Ops     []DataPathOp `json:"ops"`
 }
 
-type dataPathOpJSON struct {
+// DataPathOp is one operation row of a DataPathReport. The pool
+// fields are per-run (shared by the run's write and read rows);
+// WarmDial is per operation. Reports from before connection pooling
+// decode with those fields zero.
+type DataPathOp struct {
 	Op          string                    `json:"op"`
 	Readahead   int                       `json:"readahead"`
 	WriteWindow int                       `json:"write_window"`
@@ -270,24 +337,119 @@ type dataPathOpJSON struct {
 	P50Seconds  float64                   `json:"p50_seconds"`
 	P99Seconds  float64                   `json:"p99_seconds"`
 	Phases      map[string]PhaseQuantiles `json:"phases"`
+
+	PoolHits    uint64         `json:"pool_hits,omitempty"`
+	PoolMisses  uint64         `json:"pool_misses,omitempty"`
+	PoolHitRate float64        `json:"pool_hit_rate,omitempty"`
+	WarmDial    PhaseQuantiles `json:"warm_dial,omitempty"`
+}
+
+// BuildDataPathReport assembles the JSON report document from a set
+// of measurements.
+func BuildDataPathReport(fileMB, blockMB int64, results []DataPathResult) DataPathReport {
+	report := DataPathReport{FileMB: fileMB, BlockMB: blockMB}
+	for _, r := range results {
+		report.Ops = append(report.Ops,
+			DataPathOp{
+				Op: "write", Readahead: r.Readahead, WriteWindow: r.WriteWindow,
+				BytesPerSec: r.WriteMBps * (1 << 20), P50Seconds: r.WriteP50, P99Seconds: r.WriteP99,
+				Phases:   r.WritePhases,
+				PoolHits: r.PoolHits, PoolMisses: r.PoolMisses, PoolHitRate: r.PoolHitRate,
+				WarmDial: r.WarmDialWrite,
+			},
+			DataPathOp{
+				Op: "read", Readahead: r.Readahead, WriteWindow: r.WriteWindow,
+				BytesPerSec: r.ReadMBps * (1 << 20), P50Seconds: r.ReadP50, P99Seconds: r.ReadP99,
+				Phases:   r.ReadPhases,
+				PoolHits: r.PoolHits, PoolMisses: r.PoolMisses, PoolHitRate: r.PoolHitRate,
+				WarmDial: r.WarmDialRead,
+			})
+	}
+	return report
 }
 
 // WriteDataPathJSON writes the data-path measurements to path as JSON,
 // one entry per operation per configuration.
 func WriteDataPathJSON(path string, fileMB, blockMB int64, results []DataPathResult) error {
-	report := dataPathReport{FileMB: fileMB, BlockMB: blockMB}
-	for _, r := range results {
-		report.Ops = append(report.Ops,
-			dataPathOpJSON{
-				Op: "write", Readahead: r.Readahead, WriteWindow: r.WriteWindow,
-				BytesPerSec: r.WriteMBps * (1 << 20), P50Seconds: r.WriteP50, P99Seconds: r.WriteP99,
-				Phases: r.WritePhases,
-			},
-			dataPathOpJSON{
-				Op: "read", Readahead: r.Readahead, WriteWindow: r.WriteWindow,
-				BytesPerSec: r.ReadMBps * (1 << 20), P50Seconds: r.ReadP50, P99Seconds: r.ReadP99,
-				Phases: r.ReadPhases,
-			})
+	return WriteJSON(path, BuildDataPathReport(fileMB, blockMB, results))
+}
+
+// ReadDataPathJSON loads a previously written data-path report, e.g.
+// the checked-in baseline CI compares a fresh run against.
+func ReadDataPathJSON(path string) (DataPathReport, error) {
+	var report DataPathReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return report, err
 	}
-	return WriteJSON(path, report)
+	if err := json.Unmarshal(data, &report); err != nil {
+		return report, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return report, nil
+}
+
+// CompareDataPath renders a before/after table between two data-path
+// reports matched by (op, readahead, write window): throughput, dial
+// p50/p99, and pool hit rate. Baselines from before connection
+// pooling show "-" in the pool columns.
+func CompareDataPath(w io.Writer, before, after DataPathReport) {
+	type key struct {
+		op     string
+		ra, ww int
+	}
+	old := make(map[key]DataPathOp, len(before.Ops))
+	for _, op := range before.Ops {
+		old[key{op.Op, op.Readahead, op.WriteWindow}] = op
+	}
+	fmt.Fprintf(w, "\nData path before/after (baseline -> this run)\n")
+	fmt.Fprintf(w, "%-7s%-11s%-8s%22s%24s%24s%14s\n",
+		"op", "readahead", "window", "MB/s", "dial p50 ms", "dial p99 ms", "pool hit%")
+	for _, cur := range after.Ops {
+		prev, ok := old[key{cur.Op, cur.Readahead, cur.WriteWindow}]
+		fmtPair := func(f string, oldV, newV float64, has bool) string {
+			if !has {
+				return fmt.Sprintf("- -> "+f, newV)
+			}
+			return fmt.Sprintf(f+" -> "+f, oldV, newV)
+		}
+		dialOld, dialNew := prev.Phases["dial"], cur.Phases["dial"]
+		hit := "-"
+		if cur.PoolHits+cur.PoolMisses > 0 {
+			hit = fmt.Sprintf("%.1f", cur.PoolHitRate*100)
+		}
+		fmt.Fprintf(w, "%-7s%-11d%-8d%22s%24s%24s%14s\n",
+			cur.Op, cur.Readahead, cur.WriteWindow,
+			fmtPair("%.1f", prev.BytesPerSec/(1<<20), cur.BytesPerSec/(1<<20), ok),
+			fmtPair("%.3f", dialOld.P50Seconds*1e3, dialNew.P50Seconds*1e3, ok && dialOld.Count > 0),
+			fmtPair("%.3f", dialOld.P99Seconds*1e3, dialNew.P99Seconds*1e3, ok && dialOld.Count > 0),
+			hit)
+	}
+}
+
+// CheckWarmDial gates on pooling effectiveness: at least one transfer
+// must have reused a pooled connection, and the p99 checkout latency
+// over pooled transfers must stay within maxP99 for every
+// configuration that had warm transfers. CI fails the bench job on a
+// non-nil return.
+func CheckWarmDial(results []DataPathResult, maxP99 time.Duration) error {
+	warm := 0
+	for _, r := range results {
+		for _, pq := range []struct {
+			op string
+			q  PhaseQuantiles
+		}{{"write", r.WarmDialWrite}, {"read", r.WarmDialRead}} {
+			if pq.q.Count == 0 {
+				continue
+			}
+			warm += pq.q.Count
+			if p99 := time.Duration(pq.q.P99Seconds * float64(time.Second)); p99 > maxP99 {
+				return fmt.Errorf("bench: warm-path dial p99 %v exceeds %v (op=%s readahead=%d window=%d, %d pooled transfers)",
+					p99, maxP99, pq.op, r.Readahead, r.WriteWindow, pq.q.Count)
+			}
+		}
+	}
+	if warm == 0 {
+		return fmt.Errorf("bench: no transfer reused a pooled connection; pooling is not effective")
+	}
+	return nil
 }

@@ -1,0 +1,124 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int
+	}{
+		{0, -1},
+		{-5, -1},
+		{1, 0},              // rounds up to the 4 KiB class
+		{4096, 0},           // exactly 4 KiB
+		{4097, 1},           // next power of two: 8 KiB
+		{64 << 10, 4},       // 64 KiB
+		{(64 << 10) + 1, 5}, // 128 KiB
+		{8 << 20, numClasses - 1},
+		{(8 << 20) + 1, -1}, // over the largest class
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.want {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestGetReturnsRequestedLength(t *testing.T) {
+	for _, n := range []int{1, 100, 4096, 64 << 10, (8 << 20) + 1} {
+		buf, _ := Get(n)
+		if len(buf) != n {
+			t.Errorf("Get(%d) returned len %d", n, len(buf))
+		}
+		Put(buf)
+	}
+}
+
+func TestGetPutReuse(t *testing.T) {
+	// Drain the class first so the reuse observation is about OUR
+	// buffer, then Put and Get the same size: the second Get should be
+	// satisfied from the pool (fresh=false) at least once over a few
+	// attempts (sync.Pool may drop entries, so retry).
+	reused := false
+	for attempt := 0; attempt < 20 && !reused; attempt++ {
+		buf, _ := Get(64 << 10)
+		buf[0] = 0xAB
+		Put(buf)
+		got, fresh := Get(64 << 10)
+		if !fresh && cap(got) == cap(buf) {
+			reused = true
+		}
+		Put(got)
+	}
+	if !reused {
+		t.Error("Put buffer never reused by a subsequent Get of the same class")
+	}
+}
+
+func TestOversizeNotPooled(t *testing.T) {
+	n := (8 << 20) + 1
+	buf, fresh := Get(n)
+	if !fresh {
+		t.Fatalf("oversize Get(%d) reported pooled buffer", n)
+	}
+	if len(buf) != n {
+		t.Fatalf("oversize Get(%d) len = %d", n, len(buf))
+	}
+	before := Snapshot()
+	Put(buf) // must be dropped, not pooled
+	after := Snapshot()
+	if after.Puts != before.Puts {
+		t.Errorf("oversize buffer was pooled (puts %d -> %d)", before.Puts, after.Puts)
+	}
+}
+
+func TestPutRejectsOddCapacity(t *testing.T) {
+	// A slice whose capacity matches no class must not enter a pool:
+	// a later Get would otherwise return a buffer shorter than the
+	// class size it advertises.
+	odd := make([]byte, 5000) // cap 5000: inside the 8 KiB class range but not 8192
+	before := Snapshot()
+	Put(odd)
+	after := Snapshot()
+	if after.Puts != before.Puts {
+		t.Error("Put accepted a buffer with non-class capacity")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	before := Snapshot()
+	buf, fresh := Get(4096)
+	Put(buf)
+	after := Snapshot()
+	if after.Gets != before.Gets+1 {
+		t.Errorf("gets %d -> %d, want +1", before.Gets, after.Gets)
+	}
+	if fresh && after.Misses != before.Misses+1 {
+		t.Errorf("fresh Get did not count a miss")
+	}
+	if after.Puts != before.Puts+1 {
+		t.Errorf("puts %d -> %d, want +1", before.Puts, after.Puts)
+	}
+}
+
+func TestConcurrentGetPut(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed byte) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				buf, _ := Get(32 << 10)
+				buf[0], buf[len(buf)-1] = seed, seed
+				if buf[0] != seed || buf[len(buf)-1] != seed {
+					t.Error("buffer contents raced")
+				}
+				Put(buf)
+			}
+		}(byte(g))
+	}
+	wg.Wait()
+}

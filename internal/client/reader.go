@@ -204,6 +204,9 @@ func (r *Reader) openAt(offset int64) error {
 				if ab, ok := rc.(interface{ AllocBytes() int64 }); ok {
 					r.curRec.AllocBytes = ab.AllocBytes()
 				}
+				if ph, ok := rc.(interface{ PoolHit() bool }); ok {
+					r.curRec.PoolHit = ph.PoolHit()
+				}
 				if stallNs > 0 {
 					r.curSpan.AnnotateInt("stall_ns", stallNs)
 				}
@@ -258,6 +261,7 @@ func (r *Reader) openAt(offset int64) error {
 			DialNs:         tm.DialNs,
 			HeaderEncodeNs: tm.HeaderEncodeNs,
 			HeaderDecodeNs: tm.HeaderDecodeNs,
+			PoolHit:        tm.PoolHit,
 		}
 		r.curRecStart = openStart
 		if ab, ok := rc.(interface{ AllocBytes() int64 }); ok {

@@ -91,6 +91,7 @@ func (ib *inflightBlock) record(err error) {
 		NetNs:          net,
 		AckWaitNs:      ack,
 		AllocBytes:     ib.bw.AllocBytes(),
+		PoolHit:        ib.bw.PoolHit(),
 		TotalNs:        time.Since(ib.start).Nanoseconds(),
 		Result:         "ok",
 	}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/master"
 	"repro/internal/policy"
+	"repro/internal/rpc"
 	"repro/internal/storage"
 	"repro/internal/worker"
 )
@@ -303,6 +304,10 @@ func (c *Cluster) KillWorker(i int) error {
 
 // Close tears the cluster down.
 func (c *Cluster) Close() {
+	// Idle pooled conns point at this cluster's workers; drop them so
+	// they don't linger (or get picked up by a later in-process
+	// cluster that happens to land on a reused port).
+	rpc.ResetDataPool()
 	for _, w := range c.Workers {
 		if w != nil {
 			w.Close()

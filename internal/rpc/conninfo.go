@@ -45,11 +45,15 @@ type ConnStats struct {
 	BytesWritten uint64 `json:"bytes_written"`
 	BytesPerConn uint64 `json:"bytes_per_conn"`
 
-	// Frames / FrameBytes count gob control frames encoded or decoded
-	// by this process (headers, acks, dump pages) — the framing cost
-	// the per-transfer header phases measure in time.
+	// Frames / FrameBytes count control frames encoded or decoded by
+	// this process (headers, acks, dump pages) — the framing cost the
+	// per-transfer header phases measure in time.
 	Frames     uint64 `json:"frames"`
 	FrameBytes uint64 `json:"frame_bytes"`
+
+	// Pool reports the data-connection pool counters: reuse rate,
+	// returns, and why candidates were dropped.
+	Pool PoolStats `json:"pool"`
 }
 
 // DataConnStats snapshots the process-wide connection lifecycle
@@ -64,6 +68,7 @@ func DataConnStats() ConnStats {
 		BytesWritten: connStats.bytesWritten.Load(),
 		Frames:       connStats.frames.Load(),
 		FrameBytes:   connStats.frameBytes.Load(),
+		Pool:         dataPool.stats(),
 	}
 	if succeeded := s.Dials - s.DialFailures; succeeded > 0 {
 		s.BytesPerConn = (s.BytesRead + s.BytesWritten) / succeeded

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package rpc
+
+import "net"
+
+// connAlive optimistically accepts pooled connections on platforms
+// without a non-blocking peek; the retry-once-on-fresh-dial path in
+// the open functions covers stale conns.
+func connAlive(net.Conn) bool { return true }

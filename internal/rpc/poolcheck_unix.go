@@ -1,0 +1,39 @@
+//go:build unix
+
+package rpc
+
+import (
+	"net"
+	"syscall"
+)
+
+// connAlive reports whether an idle pooled connection is still usable:
+// no EOF, no error, and no unexpected buffered bytes (a clean conn has
+// nothing in flight between exchanges). It peeks the socket without
+// blocking or consuming, the same technique database/sql drivers use
+// to validate pooled connections.
+func connAlive(c net.Conn) bool {
+	sc, ok := c.(syscall.Conn)
+	if !ok {
+		return true // can't check; the retry-once path covers staleness
+	}
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		return false
+	}
+	alive := false
+	rerr := raw.Read(func(fd uintptr) bool {
+		var buf [1]byte
+		n, _, err := syscall.Recvfrom(int(fd), buf[:], syscall.MSG_PEEK|syscall.MSG_DONTWAIT)
+		switch {
+		case err == syscall.EAGAIN || err == syscall.EWOULDBLOCK:
+			alive = true // nothing to read: healthy idle conn
+		case err == nil && n == 0:
+			alive = false // orderly shutdown from the peer
+		default:
+			alive = false // error, or unexpected bytes in flight
+		}
+		return true // don't wait for readability
+	})
+	return rerr == nil && alive
+}

@@ -15,33 +15,62 @@ import (
 // DialTimeout bounds data-connection establishment.
 const DialTimeout = 5 * time.Second
 
-// TransferTimeout bounds each individual read or write on a data
-// connection once it is established. It is a rolling deadline: the
-// clock restarts on every packet, so a long transfer over a healthy
-// link never trips it, but a worker that accepts a connection and then
-// hangs surfaces an i/o timeout instead of stalling the client
-// forever. Tests shorten it; zero disables deadlines.
-var TransferTimeout = 30 * time.Second
+// transferTimeoutNs and handshakeTimeoutNs hold the configurable
+// data-path deadlines as atomics: tests shrink them while transfer
+// goroutines read them, so plain package vars would race.
+var (
+	transferTimeoutNs  atomic.Int64
+	handshakeTimeoutNs atomic.Int64
+)
 
-// HandshakeTimeout is an absolute deadline over a connection's
-// opening exchange: dial through the gob header handshake. Unlike the
+func init() {
+	transferTimeoutNs.Store(int64(30 * time.Second))
+	handshakeTimeoutNs.Store(int64(10 * time.Second))
+}
+
+// TransferTimeout returns the rolling deadline applied to each
+// individual read or write on a data connection once it is
+// established: the clock restarts on every packet, so a long transfer
+// over a healthy link never trips it, but a worker that accepts a
+// connection and then hangs surfaces an i/o timeout instead of
+// stalling the client forever. Zero disables deadlines.
+func TransferTimeout() time.Duration { return time.Duration(transferTimeoutNs.Load()) }
+
+// SetTransferTimeout changes the rolling transfer deadline. It applies
+// to connections established (or checked out of the pool) afterwards.
+func SetTransferTimeout(d time.Duration) { transferTimeoutNs.Store(int64(d)) }
+
+// HandshakeTimeout returns the absolute deadline over a connection's
+// opening exchange: dial through the header handshake. Unlike the
 // rolling TransferTimeout (which a peer trickling one byte per
 // interval can stretch forever, and which zero disables entirely),
 // the handshake bound is absolute and stays in force even when
 // TransferTimeout is disabled — a dialled peer that accepts and then
 // hangs before completing the header exchange always surfaces a
 // timeout. Zero disables it (tests that single-step the handshake).
-var HandshakeTimeout = 10 * time.Second
+func HandshakeTimeout() time.Duration { return time.Duration(handshakeTimeoutNs.Load()) }
+
+// SetHandshakeTimeout changes the absolute handshake bound.
+func SetHandshakeTimeout(d time.Duration) { handshakeTimeoutNs.Store(int64(d)) }
 
 // deadlineConn applies a rolling deadline around every conn operation
 // and, until established() is called, caps every deadline at the
 // absolute handshake bound. It also feeds the process-wide connection
 // byte counters.
+//
+// Deadline arming is coarsened: once a rolling deadline is set, it is
+// only pushed forward again after a quarter of the timeout window has
+// elapsed, so a packet stream costs one SetDeadline syscall per
+// timeout/4 instead of one per packet. The effective deadline is thus
+// between 0.75×timeout and timeout — the slack tests must tolerate.
 type deadlineConn struct {
 	net.Conn
-	timeout time.Duration
-	hsUntil time.Time // absolute handshake deadline; zero once established
-	closed  bool
+	timeout  time.Duration
+	hsUntil  time.Time // absolute handshake deadline; zero once established
+	armedR   time.Time // read deadline currently armed on the conn
+	armedW   time.Time // write deadline currently armed on the conn
+	closed   bool
+	lastAddr string // dialled address, the pool key
 }
 
 // deadline computes the next I/O deadline: the rolling timeout,
@@ -59,7 +88,13 @@ func (c *deadlineConn) deadline() time.Time {
 
 func (c *deadlineConn) Read(p []byte) (int, error) {
 	if d := c.deadline(); !d.IsZero() {
-		c.Conn.SetReadDeadline(d)
+		if !c.hsUntil.IsZero() || c.armedR.IsZero() || d.Sub(c.armedR) > c.timeout/4 {
+			c.Conn.SetReadDeadline(d)
+			c.armedR = d
+		}
+	} else if !c.armedR.IsZero() {
+		c.Conn.SetReadDeadline(time.Time{})
+		c.armedR = time.Time{}
 	}
 	n, err := c.Conn.Read(p)
 	connStats.bytesRead.Add(uint64(n))
@@ -68,7 +103,13 @@ func (c *deadlineConn) Read(p []byte) (int, error) {
 
 func (c *deadlineConn) Write(p []byte) (int, error) {
 	if d := c.deadline(); !d.IsZero() {
-		c.Conn.SetWriteDeadline(d)
+		if !c.hsUntil.IsZero() || c.armedW.IsZero() || d.Sub(c.armedW) > c.timeout/4 {
+			c.Conn.SetWriteDeadline(d)
+			c.armedW = d
+		}
+	} else if !c.armedW.IsZero() {
+		c.Conn.SetWriteDeadline(time.Time{})
+		c.armedW = time.Time{}
 	}
 	n, err := c.Conn.Write(p)
 	connStats.bytesWritten.Add(uint64(n))
@@ -84,8 +125,24 @@ func (c *deadlineConn) established() {
 		// Clear any deadline the handshake bound left armed.
 		c.Conn.SetReadDeadline(time.Time{})
 		c.Conn.SetWriteDeadline(time.Time{})
+		c.armedR, c.armedW = time.Time{}, time.Time{}
 	}
 	connStats.handshakes.Add(1)
+}
+
+// rearm readies a freshly dialled or pool-checked-out connection for a
+// new transfer: deadlines cleared, the current timeout configuration
+// loaded, and the handshake bound armed.
+func (c *deadlineConn) rearm() {
+	c.Conn.SetReadDeadline(time.Time{})
+	c.Conn.SetWriteDeadline(time.Time{})
+	c.armedR, c.armedW = time.Time{}, time.Time{}
+	c.timeout = TransferTimeout()
+	if hs := HandshakeTimeout(); hs > 0 {
+		c.hsUntil = time.Now().Add(hs)
+	} else {
+		c.hsUntil = time.Time{}
+	}
 }
 
 func (c *deadlineConn) Close() error {
@@ -96,8 +153,8 @@ func (c *deadlineConn) Close() error {
 	return c.Conn.Close()
 }
 
-// dialData establishes a data connection with the handshake bound
-// armed and rolling I/O deadlines after it.
+// dialData establishes a fresh data connection with the handshake
+// bound armed and rolling I/O deadlines after it.
 func dialData(addr string) (*deadlineConn, error) {
 	connStats.dials.Add(1)
 	conn, err := net.DialTimeout("tcp", addr, DialTimeout)
@@ -107,11 +164,31 @@ func dialData(addr string) (*deadlineConn, error) {
 	}
 	noteDialSuccess(addr)
 	connStats.open.Add(1)
-	dc := &deadlineConn{Conn: conn, timeout: TransferTimeout}
-	if HandshakeTimeout > 0 {
-		dc.hsUntil = time.Now().Add(HandshakeTimeout)
+	dc := &deadlineConn{Conn: conn, lastAddr: addr}
+	dc.timeout = TransferTimeout()
+	if hs := HandshakeTimeout(); hs > 0 {
+		dc.hsUntil = time.Now().Add(hs)
 	}
 	return dc, nil
+}
+
+// checkoutData returns a data connection to addr: a pooled idle one
+// when a healthy candidate exists (pooled == true, no dial), a fresh
+// dial otherwise.
+func checkoutData(addr string) (dc *deadlineConn, pooled bool, err error) {
+	if dc := dataPool.take(addr); dc != nil {
+		dc.rearm()
+		return dc, true, nil
+	}
+	dc, err = dialData(addr)
+	return dc, false, err
+}
+
+// releaseData returns a connection whose exchange completed cleanly
+// (every request byte consumed, every response byte read) to the idle
+// pool for the next transfer to the same worker.
+func releaseData(dc *deadlineConn) {
+	dataPool.put(dc)
 }
 
 // tagReq stamps the request ID onto a dial or handshake failure so
@@ -124,20 +201,27 @@ func tagReq(err error, reqID string) error {
 }
 
 // TransferTiming receives the connection-establishment phases of one
-// transfer: TCP dial, gob header encode+send, and the peer's response
-// frame decode (which includes the peer's pre-response work, e.g. the
-// checksum scrub before a read). Pass it to the Timed open variants;
-// the flight recorder folds it into the transfer's record.
+// transfer: TCP dial (or pool checkout), header encode+send, and the
+// peer's response frame decode (which includes the peer's pre-response
+// work, e.g. the checksum scrub before a read). Pass it to the Timed
+// open variants; the flight recorder folds it into the transfer's
+// record.
 type TransferTiming struct {
 	DialNs         int64
 	HeaderEncodeNs int64
 	HeaderDecodeNs int64
+
+	// PoolHit reports that the transfer reused a pooled connection
+	// instead of dialling: DialNs is then the checkout cost, which
+	// collapses to ~0 on warm paths.
+	PoolHit bool
 }
 
 // OpenBlockReader connects to a worker's data port and starts an
 // OpReadBlock exchange. The returned ReadCloser streams exactly
-// length bytes of verified block content; closing it closes the
-// connection. length == -1 requests the remainder of the block.
+// length bytes of verified block content; closing it returns the
+// connection to the pool when the stream completed cleanly and closes
+// it otherwise. length == -1 requests the remainder of the block.
 func OpenBlockReader(addr string, block core.Block, storageID core.StorageID, offset, length int64) (io.ReadCloser, int64, error) {
 	return OpenBlockReaderReq(addr, block, storageID, offset, length, "")
 }
@@ -156,50 +240,109 @@ func OpenBlockReaderSpan(addr string, block core.Block, storageID core.StorageID
 }
 
 // OpenBlockReaderTimed is OpenBlockReaderSpan recording the dial and
-// header phases into tm (which may be nil).
+// header phases into tm (which may be nil). A pooled connection that
+// turns out stale mid-handshake (the worker closed it while idle) is
+// discarded and the exchange retried once over a fresh dial, so
+// callers never see pool staleness.
 func OpenBlockReaderTimed(addr string, block core.Block, storageID core.StorageID, offset, length int64, reqID, spanID string, tm *TransferTiming) (io.ReadCloser, int64, error) {
 	if tm == nil {
 		tm = &TransferTiming{}
 	}
-	start := time.Now()
-	conn, err := dialData(addr)
-	tm.DialNs = time.Since(start).Nanoseconds()
-	if err != nil {
-		return nil, 0, tagReq(err, reqID)
-	}
-	encStart := time.Now()
-	if _, err := conn.Write([]byte{OpReadBlock}); err != nil {
-		conn.Close()
-		return nil, 0, tagReq(fmt.Errorf("rpc: sending read opcode: %w", err), reqID)
-	}
 	hdr := ReadBlockHeader{Block: block, Storage: storageID, Offset: offset, Length: length, ReqID: reqID, SpanID: spanID}
-	if err := WriteFrame(conn, hdr); err != nil {
-		conn.Close()
-		return nil, 0, tagReq(err, reqID)
+	for freshOnly := false; ; freshOnly = true {
+		start := time.Now()
+		var conn *deadlineConn
+		var pooled bool
+		var err error
+		if freshOnly {
+			conn, err = dialData(addr)
+		} else {
+			conn, pooled, err = checkoutData(addr)
+		}
+		tm.DialNs = time.Since(start).Nanoseconds()
+		tm.PoolHit = pooled
+		if err != nil {
+			return nil, 0, tagReq(err, reqID)
+		}
+		encStart := time.Now()
+		var resp ReadBlockResponse
+		err = func() error {
+			if _, err := conn.Write([]byte{OpReadBlock}); err != nil {
+				return fmt.Errorf("rpc: sending read opcode: %w", err)
+			}
+			if err := WriteFrame(conn, hdr); err != nil {
+				return err
+			}
+			tm.HeaderEncodeNs = time.Since(encStart).Nanoseconds()
+			decStart := time.Now()
+			if err := ReadFrame(conn, &resp); err != nil {
+				return err
+			}
+			tm.HeaderDecodeNs = time.Since(decStart).Nanoseconds()
+			return nil
+		}()
+		if err != nil {
+			conn.Close()
+			if pooled && !freshOnly {
+				dataPool.noteStale()
+				continue // the idle conn went stale under us; retry fresh
+			}
+			return nil, 0, tagReq(err, reqID)
+		}
+		if resp.Err != "" {
+			// A refusal leaves the exchange complete and the conn clean.
+			conn.established()
+			releaseData(conn)
+			return nil, 0, DecodeError(resp.Err)
+		}
+		conn.established()
+		return &blockReadCloser{r: NewPacketReader(conn), conn: conn, poolHit: pooled}, resp.Length, nil
 	}
-	tm.HeaderEncodeNs = time.Since(encStart).Nanoseconds()
-	decStart := time.Now()
-	var resp ReadBlockResponse
-	if err := ReadFrame(conn, &resp); err != nil {
-		conn.Close()
-		return nil, 0, tagReq(err, reqID)
-	}
-	tm.HeaderDecodeNs = time.Since(decStart).Nanoseconds()
-	if resp.Err != "" {
-		conn.Close()
-		return nil, 0, DecodeError(resp.Err)
-	}
-	conn.established()
-	return &blockReadCloser{r: NewPacketReader(conn), conn: conn}, resp.Length, nil
 }
 
+// drainGrace bounds how long Close waits for the end-of-stream packet
+// of a fully consumed block before giving up on reusing the conn.
+const drainGrace = 20 * time.Millisecond
+
 type blockReadCloser struct {
-	r    *PacketReader
-	conn net.Conn
+	r        *PacketReader
+	conn     *deadlineConn
+	released bool
+	poolHit  bool
 }
 
 func (b *blockReadCloser) Read(p []byte) (int, error) { return b.r.Read(p) }
-func (b *blockReadCloser) Close() error               { return b.conn.Close() }
+
+// PoolHit reports whether the stream's connection was reused from the
+// pool; flight-recorder entries surface it per transfer.
+func (b *blockReadCloser) PoolHit() bool { return b.poolHit }
+
+// Close returns the connection to the pool when the packet stream was
+// consumed to its end marker — the usual case, since readers drain
+// exactly the advertised length — and closes it otherwise (an
+// abandoned stream would poison the next transfer). A stream whose
+// data packets were fully drained but whose end marker is still in
+// flight gets one brief bounded attempt to consume it.
+func (b *blockReadCloser) Close() error {
+	if b.released {
+		return nil
+	}
+	b.released = true
+	clean := b.r.Drained()
+	if !clean && b.r.PendingEmpty() {
+		b.conn.hsUntil = time.Now().Add(drainGrace)
+		clean = b.r.TryFinish()
+		b.conn.hsUntil = time.Time{}
+	}
+	var err error
+	if clean {
+		releaseData(b.conn)
+	} else {
+		err = b.conn.Close()
+	}
+	b.r.Release()
+	return err
+}
 
 // AllocBytes reports the stream's transfer-local buffer allocations,
 // for the flight recorder's churn accounting.
@@ -210,10 +353,18 @@ func (b *blockReadCloser) AllocBytes() int64 { return b.r.AllocBytes() }
 // finish synchronously or CloseStream followed by WaitAck to overlap
 // the acknowledgement wait with other work.
 type BlockWriter struct {
-	conn net.Conn
-	pw   *PacketWriter
-	n    int64
-	peer string
+	conn    *deadlineConn
+	pw      *PacketWriter
+	n       int64
+	peer    string
+	poolHit bool
+
+	// finished guards the connection's end-of-life exactly once:
+	// WaitAck releases it to the pool (clean) or closes it (error),
+	// and a concurrent Abort closes it — whoever transitions first
+	// wins, so an acked conn can never be closed out from under the
+	// next transfer that checked it out.
+	finished atomic.Bool
 
 	// Accumulated phase timings, served by Phases. Atomic because a
 	// writer being aborted may snapshot Phases while a background
@@ -238,36 +389,54 @@ func OpenBlockWriterReq(block core.Block, pipeline []PipelineTarget, client, req
 }
 
 // OpenBlockWriterSpan is OpenBlockWriterReq with the sender's span ID
-// stamped on the header, parenting the first stage's write span.
+// stamped on the header, parenting the first stage's write span. Like
+// the reader open, a stale pooled connection is discarded and retried
+// once over a fresh dial.
 func OpenBlockWriterSpan(block core.Block, pipeline []PipelineTarget, client, reqID, spanID string) (*BlockWriter, error) {
 	if len(pipeline) == 0 {
 		return nil, fmt.Errorf("rpc: empty write pipeline: %w", core.ErrNoWorkers)
 	}
-	start := time.Now()
-	conn, err := dialData(pipeline[0].Address)
-	dialNs := time.Since(start).Nanoseconds()
-	if err != nil {
-		return nil, tagReq(err, reqID)
-	}
-	encStart := time.Now()
-	if _, err := conn.Write([]byte{OpWriteBlock}); err != nil {
-		conn.Close()
-		return nil, tagReq(fmt.Errorf("rpc: sending write opcode: %w", err), reqID)
-	}
 	hdr := WriteBlockHeader{Block: block, Pipeline: pipeline, Client: client, ReqID: reqID, SpanID: spanID}
-	if err := WriteFrame(conn, hdr); err != nil {
-		conn.Close()
-		return nil, tagReq(err, reqID)
+	for freshOnly := false; ; freshOnly = true {
+		start := time.Now()
+		var conn *deadlineConn
+		var pooled bool
+		var err error
+		if freshOnly {
+			conn, err = dialData(pipeline[0].Address)
+		} else {
+			conn, pooled, err = checkoutData(pipeline[0].Address)
+		}
+		dialNs := time.Since(start).Nanoseconds()
+		if err != nil {
+			return nil, tagReq(err, reqID)
+		}
+		encStart := time.Now()
+		err = func() error {
+			if _, err := conn.Write([]byte{OpWriteBlock}); err != nil {
+				return fmt.Errorf("rpc: sending write opcode: %w", err)
+			}
+			return WriteFrame(conn, hdr)
+		}()
+		if err != nil {
+			conn.Close()
+			if pooled && !freshOnly {
+				dataPool.noteStale()
+				continue
+			}
+			return nil, tagReq(err, reqID)
+		}
+		conn.established()
+		bw := &BlockWriter{
+			conn:    conn,
+			pw:      NewPacketWriter(conn),
+			peer:    pipeline[0].Address,
+			poolHit: pooled,
+		}
+		bw.dialNs.Store(dialNs)
+		bw.hdrNs.Store(time.Since(encStart).Nanoseconds())
+		return bw, nil
 	}
-	conn.established()
-	bw := &BlockWriter{
-		conn: conn,
-		pw:   NewPacketWriter(conn),
-		peer: pipeline[0].Address,
-	}
-	bw.dialNs.Store(dialNs)
-	bw.hdrNs.Store(time.Since(encStart).Nanoseconds())
-	return bw, nil
 }
 
 // Write implements io.Writer.
@@ -284,6 +453,10 @@ func (w *BlockWriter) Written() int64 { return w.n }
 
 // Peer returns the address of the dialled pipeline stage.
 func (w *BlockWriter) Peer() string { return w.peer }
+
+// PoolHit reports whether the pipeline connection was reused from the
+// pool instead of freshly dialled.
+func (w *BlockWriter) PoolHit() bool { return w.poolHit }
 
 // Phases returns the writer's accumulated phase timings: TCP dial,
 // header encode+send, time blocked writing the packet stream, and
@@ -306,14 +479,23 @@ func (w *BlockWriter) CloseStream() error {
 	return err
 }
 
-// WaitAck collects the pipeline acknowledgement after CloseStream and
-// closes the connection.
+// WaitAck collects the pipeline acknowledgement after CloseStream. On
+// a clean ack the connection goes back to the pool for the writer's
+// next block; on error (or when a concurrent Abort got there first)
+// it is closed.
 func (w *BlockWriter) WaitAck() error {
-	defer w.conn.Close()
 	start := time.Now()
 	var ack WriteBlockAck
 	err := ReadFrame(w.conn, &ack)
 	w.ackNs.Store(time.Since(start).Nanoseconds())
+	if w.finished.CompareAndSwap(false, true) {
+		if err == nil {
+			releaseData(w.conn)
+		} else {
+			w.conn.Close()
+		}
+		w.pw.Release()
+	}
 	if err != nil {
 		return fmt.Errorf("rpc: reading pipeline ack: %w", err)
 	}
@@ -321,60 +503,108 @@ func (w *BlockWriter) WaitAck() error {
 }
 
 // Commit terminates the stream, waits for the pipeline ack, and
-// closes the connection.
+// releases the connection.
 func (w *BlockWriter) Commit() error {
 	if err := w.CloseStream(); err != nil {
-		w.conn.Close()
+		w.Abort()
 		return err
 	}
 	return w.WaitAck()
 }
 
-// Abort closes the connection without completing the stream.
-func (w *BlockWriter) Abort() error { return w.conn.Close() }
+// Abort closes the connection without completing the stream. It is a
+// no-op if WaitAck already settled the connection's fate.
+func (w *BlockWriter) Abort() error {
+	if !w.finished.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := w.conn.Close()
+	w.pw.Release()
+	return err
+}
 
 // FetchSpans asks the worker at addr for its retained spans of one
 // trace via an OpTraceDump exchange. The master uses it to assemble
 // cross-daemon timelines.
 func FetchSpans(addr, traceID string) ([]trace.Span, error) {
-	conn, err := dialData(addr)
-	if err != nil {
-		return nil, err
+	for freshOnly := false; ; freshOnly = true {
+		var conn *deadlineConn
+		var pooled bool
+		var err error
+		if freshOnly {
+			conn, err = dialData(addr)
+		} else {
+			conn, pooled, err = checkoutData(addr)
+		}
+		if err != nil {
+			return nil, err
+		}
+		var resp TraceDumpResponse
+		err = func() error {
+			if _, err := conn.Write([]byte{OpTraceDump}); err != nil {
+				return fmt.Errorf("rpc: sending trace-dump opcode: %w", err)
+			}
+			if err := WriteFrame(conn, TraceDumpHeader{TraceID: traceID}); err != nil {
+				return err
+			}
+			if err := ReadFrame(conn, &resp); err != nil {
+				return fmt.Errorf("rpc: reading trace dump: %w", err)
+			}
+			return nil
+		}()
+		if err != nil {
+			conn.Close()
+			if pooled && !freshOnly {
+				dataPool.noteStale()
+				continue
+			}
+			return nil, err
+		}
+		conn.established()
+		releaseData(conn)
+		return resp.Spans, nil
 	}
-	defer conn.Close()
-	if _, err := conn.Write([]byte{OpTraceDump}); err != nil {
-		return nil, fmt.Errorf("rpc: sending trace-dump opcode: %w", err)
-	}
-	if err := WriteFrame(conn, TraceDumpHeader{TraceID: traceID}); err != nil {
-		return nil, err
-	}
-	var resp TraceDumpResponse
-	if err := ReadFrame(conn, &resp); err != nil {
-		return nil, fmt.Errorf("rpc: reading trace dump: %w", err)
-	}
-	conn.established()
-	return resp.Spans, nil
 }
 
 // FetchTransfers asks the worker at addr for one page of its transfer
 // flight-recorder log via an OpTransferDump exchange. The master uses
 // it to fan Master.GetTransfers out across the cluster.
 func FetchTransfers(addr string, since uint64, op string, limit int) (xfer.Page, map[string]uint64, error) {
-	conn, err := dialData(addr)
-	if err != nil {
-		return xfer.Page{Next: since}, nil, err
+	for freshOnly := false; ; freshOnly = true {
+		var conn *deadlineConn
+		var pooled bool
+		var err error
+		if freshOnly {
+			conn, err = dialData(addr)
+		} else {
+			conn, pooled, err = checkoutData(addr)
+		}
+		if err != nil {
+			return xfer.Page{Next: since}, nil, err
+		}
+		var resp TransferDumpResponse
+		err = func() error {
+			if _, err := conn.Write([]byte{OpTransferDump}); err != nil {
+				return fmt.Errorf("rpc: sending transfer-dump opcode: %w", err)
+			}
+			if err := WriteFrame(conn, TransferDumpHeader{Since: since, Op: op, Limit: limit}); err != nil {
+				return err
+			}
+			if err := ReadFrame(conn, &resp); err != nil {
+				return fmt.Errorf("rpc: reading transfer dump: %w", err)
+			}
+			return nil
+		}()
+		if err != nil {
+			conn.Close()
+			if pooled && !freshOnly {
+				dataPool.noteStale()
+				continue
+			}
+			return xfer.Page{Next: since}, nil, err
+		}
+		conn.established()
+		releaseData(conn)
+		return resp.Page, resp.Counts, nil
 	}
-	defer conn.Close()
-	if _, err := conn.Write([]byte{OpTransferDump}); err != nil {
-		return xfer.Page{Next: since}, nil, fmt.Errorf("rpc: sending transfer-dump opcode: %w", err)
-	}
-	if err := WriteFrame(conn, TransferDumpHeader{Since: since, Op: op, Limit: limit}); err != nil {
-		return xfer.Page{Next: since}, nil, err
-	}
-	var resp TransferDumpResponse
-	if err := ReadFrame(conn, &resp); err != nil {
-		return xfer.Page{Next: since}, nil, fmt.Errorf("rpc: reading transfer dump: %w", err)
-	}
-	conn.established()
-	return resp.Page, resp.Counts, nil
 }

@@ -15,9 +15,9 @@ import (
 // duration of a test.
 func shortTransferTimeout(t *testing.T, d time.Duration) {
 	t.Helper()
-	old := TransferTimeout
-	TransferTimeout = d
-	t.Cleanup(func() { TransferTimeout = old })
+	old := TransferTimeout()
+	SetTransferTimeout(d)
+	t.Cleanup(func() { SetTransferTimeout(old) })
 }
 
 // TestReadDeadlineHungWorker: a worker that accepts the connection
@@ -107,9 +107,9 @@ func TestWriteAckDeadlineHungWorker(t *testing.T) {
 // the duration of a test.
 func shortHandshakeTimeout(t *testing.T, d time.Duration) {
 	t.Helper()
-	old := HandshakeTimeout
-	HandshakeTimeout = d
-	t.Cleanup(func() { HandshakeTimeout = old })
+	old := HandshakeTimeout()
+	SetHandshakeTimeout(d)
+	t.Cleanup(func() { SetHandshakeTimeout(old) })
 }
 
 // TestHandshakeDeadlineHungPeer: the absolute handshake bound must

@@ -7,15 +7,21 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync"
 
+	"repro/internal/bufpool"
 	"repro/internal/core"
 	"repro/internal/trace"
 	"repro/internal/xfer"
 )
 
 // The data-transfer protocol spoken on a worker's data port. Every
-// exchange starts with a one-byte opcode followed by a gob-encoded
-// header frame; block content then flows as checksummed packets.
+// exchange starts with a one-byte opcode followed by a length-prefixed
+// header frame (binary v1 for the hot-path messages, gob for the
+// legacy format and the dump messages — see binframe.go); block
+// content then flows as checksummed packets. Connections are
+// persistent: after a clean exchange the same connection carries the
+// next opcode.
 const (
 	// OpWriteBlock streams a block into a pipeline of workers
 	// (paper §3.1: Worker-to-Worker pipeline).
@@ -144,8 +150,42 @@ type TransferDumpResponse struct {
 	Counts map[string]uint64
 }
 
-// WriteFrame gob-encodes v as one length-prefixed frame.
+// WriteFrame encodes v as one length-prefixed frame: binary v1 for
+// the hot-path messages, gob otherwise.
 func WriteFrame(w io.Writer, v any) error {
+	return writeFrameFmt(w, v, false)
+}
+
+// WriteFrameLegacy encodes v as a legacy gob frame regardless of
+// type. Responders use it to echo a gob-framed request's format, so a
+// mixed-version cluster interoperates; tests use it to emulate an old
+// peer.
+func WriteFrameLegacy(w io.Writer, v any) error {
+	return writeFrameFmt(w, v, true)
+}
+
+func writeFrameFmt(w io.Writer, v any, legacy bool) error {
+	if !legacy {
+		bp := frameScratch.Get().(*[]byte)
+		buf := (*bp)[:0]
+		// Reserve the tag + length prefix, then append the payload.
+		buf = append(buf, frameTagBinary, 0, 0, 0, 0)
+		buf, ok := encodeBinary(buf, v)
+		if ok {
+			binary.LittleEndian.PutUint32(buf[1:5], uint32(len(buf)-5))
+			connStats.frames.Add(1)
+			connStats.frameBytes.Add(uint64(len(buf) - 5))
+			_, err := w.Write(buf)
+			*bp = buf[:0]
+			frameScratch.Put(bp)
+			if err != nil {
+				return fmt.Errorf("rpc: writing frame: %w", err)
+			}
+			return nil
+		}
+		*bp = buf[:0]
+		frameScratch.Put(bp)
+	}
 	var buf []byte
 	{
 		var bw lenWriter
@@ -168,29 +208,71 @@ func WriteFrame(w io.Writer, v any) error {
 }
 
 // maxFrameSize bounds a control frame; headers are small, so anything
-// bigger indicates a corrupt or hostile stream.
+// bigger indicates a corrupt or hostile stream. Keeping it under
+// 1<<24 also guarantees a legacy gob frame's first byte is 0x00,
+// which is how ReadFrame tells the formats apart.
 const maxFrameSize = 1 << 20
 
-// ReadFrame decodes one length-prefixed gob frame into v.
+// ReadFrame decodes one length-prefixed frame into v, accepting both
+// the binary v1 and the legacy gob format.
 func ReadFrame(r io.Reader, v any) error {
+	_, err := ReadFrameEx(r, v)
+	return err
+}
+
+// ReadFrameEx is ReadFrame reporting which format the frame used, so
+// a responder can echo it (legacy peers must receive gob responses).
+func ReadFrameEx(r io.Reader, v any) (legacy bool, err error) {
 	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return err
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return false, err
+	}
+	if hdr[0] == frameTagBinary {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return false, fmt.Errorf("rpc: reading frame length: %w", err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n > maxFrameSize {
+			return false, fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+		}
+		connStats.frames.Add(1)
+		connStats.frameBytes.Add(uint64(n))
+		bp := frameScratch.Get().(*[]byte)
+		buf := *bp
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			*bp = buf[:0]
+			frameScratch.Put(bp)
+			return false, fmt.Errorf("rpc: reading frame body: %w", err)
+		}
+		err := decodeBinary(buf, v)
+		*bp = buf[:0]
+		frameScratch.Put(bp)
+		return false, err
+	}
+	if hdr[0] != 0 {
+		return false, fmt.Errorf("rpc: unknown frame tag 0x%02x", hdr[0])
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return true, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrameSize {
-		return fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+		return true, fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
 	}
 	connStats.frames.Add(1)
 	connStats.frameBytes.Add(uint64(n))
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return fmt.Errorf("rpc: reading frame body: %w", err)
+		return true, fmt.Errorf("rpc: reading frame body: %w", err)
 	}
 	if err := gob.NewDecoder(&frameReader{buf}).Decode(v); err != nil {
-		return fmt.Errorf("rpc: decoding frame: %w", err)
+		return true, fmt.Errorf("rpc: decoding frame: %w", err)
 	}
-	return nil
+	return true, nil
 }
 
 type lenWriter struct{ buf []byte }
@@ -215,9 +297,20 @@ func (r *frameReader) Read(p []byte) (int, error) {
 // polynomial HDFS uses for block checksums.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// packetBufSize is the staging-buffer size shared by the packet
+// reader and writer: one max-size packet plus framing headroom.
+const packetBufSize = MaxPacketSize + 64
+
+// packetWriterPool and packetReaderPool recycle the bufio buffers the
+// packet layer stages through: one Get/Put pair per transfer instead
+// of a 64 KiB allocation each.
+var packetWriterPool = sync.Pool{}
+var packetReaderPool = sync.Pool{}
+
 // PacketWriter streams block content as checksummed packets:
 // [uint32 length][uint32 crc32c][payload]; a zero-length packet
-// terminates the stream.
+// terminates the stream. Its staging buffer comes from a pool;
+// Release returns it once the stream is settled.
 type PacketWriter struct {
 	w     *bufio.Writer
 	buf   [8]byte
@@ -226,12 +319,34 @@ type PacketWriter struct {
 
 // NewPacketWriter wraps w for packet output.
 func NewPacketWriter(w io.Writer) *PacketWriter {
-	return &PacketWriter{w: bufio.NewWriterSize(w, MaxPacketSize+64), alloc: MaxPacketSize + 64}
+	pw := &PacketWriter{}
+	if v := packetWriterPool.Get(); v != nil {
+		pw.w = v.(*bufio.Writer)
+		pw.w.Reset(w)
+	} else {
+		pw.w = bufio.NewWriterSize(w, packetBufSize)
+		pw.alloc = packetBufSize
+	}
+	return pw
 }
 
-// AllocBytes reports the buffer bytes this writer allocated — the
-// per-transfer churn cost the flight recorder tracks.
+// AllocBytes reports the buffer bytes this writer freshly allocated —
+// the per-transfer churn cost the flight recorder tracks. Pool reuse
+// makes it zero in steady state.
 func (pw *PacketWriter) AllocBytes() int64 { return pw.alloc }
+
+// Release returns the staging buffer to the pool. The stream must be
+// settled first (Close flushed it, or the transfer aborted and the
+// buffered tail is being dropped with the connection). Double release
+// is a no-op.
+func (pw *PacketWriter) Release() {
+	if pw.w == nil {
+		return
+	}
+	pw.w.Reset(io.Discard)
+	packetWriterPool.Put(pw.w)
+	pw.w = nil
+}
 
 // Write implements io.Writer, splitting p into packets of at most
 // MaxPacketSize bytes.
@@ -256,6 +371,40 @@ func (pw *PacketWriter) Write(p []byte) (int, error) {
 	return total, nil
 }
 
+// ReadFrom implements io.ReaderFrom: it pumps r into full-size packets
+// through one pooled buffer, so io.Copy onto a PacketWriter stages the
+// content exactly once instead of allocating its own copy buffer.
+func (pw *PacketWriter) ReadFrom(r io.Reader) (int64, error) {
+	buf, fresh := bufpool.Get(MaxPacketSize)
+	if fresh {
+		pw.alloc += MaxPacketSize
+	}
+	defer bufpool.Put(buf)
+	var total int64
+	for {
+		// Fill the packet so slow readers still yield full-size packets.
+		n := 0
+		var rerr error
+		for n < len(buf) && rerr == nil {
+			var m int
+			m, rerr = r.Read(buf[n:])
+			n += m
+		}
+		if n > 0 {
+			if _, werr := pw.Write(buf[:n]); werr != nil {
+				return total, werr
+			}
+			total += int64(n)
+		}
+		if rerr == io.EOF {
+			return total, nil
+		}
+		if rerr != nil {
+			return total, rerr
+		}
+	}
+}
+
 // Close terminates the stream with an empty packet and flushes.
 func (pw *PacketWriter) Close() error {
 	binary.BigEndian.PutUint32(pw.buf[0:4], 0)
@@ -268,7 +417,8 @@ func (pw *PacketWriter) Close() error {
 
 // PacketReader consumes a packet stream, verifying each packet's
 // checksum. It implements io.Reader and reports core.ErrCorrupt on a
-// checksum mismatch.
+// checksum mismatch. Its buffers come from pools; Release returns
+// them once the stream is settled.
 type PacketReader struct {
 	r       *bufio.Reader
 	pending []byte
@@ -279,13 +429,70 @@ type PacketReader struct {
 
 // NewPacketReader wraps r for packet input.
 func NewPacketReader(r io.Reader) *PacketReader {
-	return &PacketReader{r: bufio.NewReaderSize(r, MaxPacketSize+64), alloc: MaxPacketSize + 64}
+	pr := &PacketReader{}
+	if v := packetReaderPool.Get(); v != nil {
+		pr.r = v.(*bufio.Reader)
+		pr.r.Reset(r)
+	} else {
+		pr.r = bufio.NewReaderSize(r, packetBufSize)
+		pr.alloc = packetBufSize
+	}
+	return pr
 }
 
-// AllocBytes reports the buffer bytes this reader allocated (bufio
-// buffer plus scratch growth) — the per-transfer churn cost the
-// flight recorder tracks.
+// AllocBytes reports the buffer bytes this reader freshly allocated
+// (bufio buffer plus scratch) — the per-transfer churn cost the
+// flight recorder tracks. Pool reuse makes it zero in steady state.
 func (pr *PacketReader) AllocBytes() int64 { return pr.alloc }
+
+// Drained reports that the stream's end marker was consumed and no
+// payload remains undelivered — the state in which the underlying
+// connection is clean and reusable.
+func (pr *PacketReader) Drained() bool { return pr.done && len(pr.pending) == 0 }
+
+// PendingEmpty reports that no decoded payload is waiting. When true
+// but not Drained, only the end marker (or more packets) remains on
+// the wire.
+func (pr *PacketReader) PendingEmpty() bool { return len(pr.pending) == 0 }
+
+// TryFinish attempts to consume the stream's end marker: after a
+// consumer read exactly the advertised length, the zero-length
+// terminator may still be in flight. It returns true if the stream is
+// now drained, false if payload (not a terminator) arrived or the
+// read failed. Callers bound the attempt with a deadline on the
+// underlying connection.
+func (pr *PacketReader) TryFinish() bool {
+	if pr.Drained() {
+		return true
+	}
+	if len(pr.pending) > 0 {
+		return false
+	}
+	if err := pr.fill(); err != nil {
+		return false
+	}
+	return pr.Drained()
+}
+
+// Release returns the reader's buffers to their pools. The caller
+// must be done with the stream (and any slice returned by Read has
+// been consumed — Read copies, so that always holds).
+func (pr *PacketReader) Release() {
+	if pr.r != nil {
+		pr.r.Reset(emptyReader{})
+		packetReaderPool.Put(pr.r)
+		pr.r = nil
+	}
+	if pr.scratch != nil {
+		bufpool.Put(pr.scratch)
+		pr.scratch = nil
+		pr.pending = nil
+	}
+}
+
+type emptyReader struct{}
+
+func (emptyReader) Read([]byte) (int, error) { return 0, io.EOF }
 
 // Read implements io.Reader.
 func (pr *PacketReader) Read(p []byte) (int, error) {
@@ -300,6 +507,29 @@ func (pr *PacketReader) Read(p []byte) (int, error) {
 	n := copy(p, pr.pending)
 	pr.pending = pr.pending[n:]
 	return n, nil
+}
+
+// WriteTo implements io.WriterTo: it hands each verified packet's
+// payload straight to w, so io.Copy from a PacketReader performs no
+// extra staging copy.
+func (pr *PacketReader) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for {
+		for len(pr.pending) == 0 {
+			if pr.done {
+				return total, nil
+			}
+			if err := pr.fill(); err != nil {
+				return total, err
+			}
+		}
+		n, err := w.Write(pr.pending)
+		pr.pending = pr.pending[n:]
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
 }
 
 func (pr *PacketReader) fill() error {
@@ -320,8 +550,14 @@ func (pr *PacketReader) fill() error {
 		return fmt.Errorf("rpc: packet of %d bytes exceeds limit", length)
 	}
 	if cap(pr.scratch) < int(length) {
-		pr.scratch = make([]byte, length)
-		pr.alloc += int64(length)
+		if pr.scratch != nil {
+			bufpool.Put(pr.scratch)
+		}
+		var fresh bool
+		pr.scratch, fresh = bufpool.Get(int(length))
+		if fresh {
+			pr.alloc += int64(length)
+		}
 	}
 	buf := pr.scratch[:length]
 	if _, err := io.ReadFull(pr.r, buf); err != nil {

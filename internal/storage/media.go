@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/core"
 )
 
@@ -167,6 +168,36 @@ func (t *timedReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// WriteTo implements io.WriterTo through one pooled staging buffer,
+// timing only the inner reads so the accumulated phase never exceeds
+// the stream's wall time.
+func (t *timedReader) WriteTo(w io.Writer) (int64, error) {
+	buf, _ := bufpool.Get(32 << 10)
+	defer bufpool.Put(buf)
+	var total int64
+	for {
+		start := time.Now()
+		n, err := t.r.Read(buf)
+		*t.ns += time.Since(start).Nanoseconds()
+		if n > 0 {
+			m, werr := w.Write(buf[:n])
+			total += int64(m)
+			if werr != nil {
+				return total, werr
+			}
+			if m < n {
+				return total, io.ErrShortWrite
+			}
+		}
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
 // Put stores a block replica, throttled at the media's write rate, and
 // counted as an active connection for its duration. ErrNoSpace is
 // returned when the content would exceed the media's capacity.
@@ -212,12 +243,32 @@ func (m *Media) Open(b core.Block) (io.ReadCloser, error) {
 // throttle sleep into st (which may be nil) as the replica is
 // consumed.
 func (m *Media) OpenStats(b core.Block, st *IOStats) (io.ReadCloser, error) {
+	return m.OpenRangeStats(b, 0, st)
+}
+
+// OpenRangeStats is OpenStats starting at offset bytes into the
+// replica. When the store's reader can seek (disk files, memory
+// readers), the skipped prefix is never read — and thus neither
+// throttled nor charged as device time; otherwise it is discarded on
+// the raw store reader before the throttle wrapper is applied.
+func (m *Media) OpenRangeStats(b core.Block, offset int64, st *IOStats) (io.ReadCloser, error) {
 	if st == nil {
 		st = &IOStats{}
 	}
 	rc, err := m.store.Open(b)
 	if err != nil {
 		return nil, err
+	}
+	if offset > 0 {
+		if sk, ok := rc.(io.Seeker); ok {
+			_, err = sk.Seek(offset, io.SeekStart)
+		} else {
+			_, err = io.CopyN(io.Discard, rc, offset)
+		}
+		if err != nil {
+			rc.Close()
+			return nil, fmt.Errorf("storage: block %s: seeking to %d: %w", b.ID, offset, err)
+		}
 	}
 	m.conns.Add(1)
 	r := LimitReaderStats(&timedReader{r: rc, ns: &st.DeviceNs}, m.readLimit, &st.ThrottleWaitNs)
@@ -291,7 +342,8 @@ func (m *Media) Probe(probeBytes int64) (writeMBps, readMBps float64, err error)
 		return 0, 0, fmt.Errorf("storage: media %s: not enough space to probe", m.id)
 	}
 	probe := core.Block{ID: 0, GenStamp: 0, NumBytes: probeBytes}
-	data := make([]byte, probeBytes)
+	data, _ := bufpool.Get(int(probeBytes))
+	defer bufpool.Put(data)
 	// Fill with a non-trivial pattern quickly (doubling copy).
 	for i := 0; i < 256; i++ {
 		data[i] = byte(i*31 + 7)

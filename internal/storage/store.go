@@ -132,8 +132,16 @@ func (s *MemStore) Open(b core.Block) (io.ReadCloser, error) {
 	if !ok {
 		return nil, fmt.Errorf("storage: block %s: %w", b.ID, core.ErrNotFound)
 	}
-	return io.NopCloser(bytes.NewReader(data)), nil
+	return memReader{bytes.NewReader(data)}, nil
 }
+
+// memReader is the memory store's block reader. Unlike io.NopCloser
+// it keeps the underlying *bytes.Reader's io.Seeker and io.WriterTo
+// visible, so range reads seek instead of discard-copying and whole
+// copies skip the staging buffer.
+type memReader struct{ *bytes.Reader }
+
+func (memReader) Close() error { return nil }
 
 // Delete implements Store.
 func (s *MemStore) Delete(b core.Block) error {

@@ -7,6 +7,7 @@ import (
 	"net"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/core"
 	"repro/internal/events"
 	"repro/internal/heat"
@@ -57,32 +58,76 @@ func (w *Worker) handleConn(conn net.Conn) {
 		w.connMu.Unlock()
 	}()
 
+	// Persistent connections: after a clean exchange (request stream
+	// fully consumed, response fully written) the same connection
+	// carries the next opcode, so a pooling client dials once per
+	// worker instead of once per block. A handler reports whether the
+	// exchange left the connection clean; anything ambiguous —
+	// truncated stream, failed response write — drops it.
+	//
 	// The accepted side of the handshake bound: a dialler that never
 	// sends its opcode and header must not pin a handler goroutine
-	// (and a conns-map slot) forever. Handlers lift the deadline once
-	// the header frame is in (endHandshake), after which the packet
-	// stream governs its own pacing.
-	if rpc.HandshakeTimeout > 0 {
-		conn.SetReadDeadline(time.Now().Add(rpc.HandshakeTimeout))
+	// (and a conns-map slot) forever. Between exchanges the much
+	// longer idle timeout applies; the client pool's idle cap is kept
+	// below it, so the client side almost always closes first.
+	// Handlers lift the deadline once the header frame is in
+	// (endHandshake), after which the packet stream governs its own
+	// pacing.
+	for first := true; ; first = false {
+		wait := dataIdleTimeout
+		if first {
+			wait = rpc.HandshakeTimeout()
+		}
+		if wait > 0 {
+			conn.SetReadDeadline(time.Now().Add(wait))
+		} else {
+			conn.SetReadDeadline(time.Time{})
+		}
+		var op [1]byte
+		if _, err := io.ReadFull(conn, op[:]); err != nil {
+			return // idle close, peer gone, or garbage: drop the conn
+		}
+		// A new exchange began: its header must arrive promptly.
+		if ht := rpc.HandshakeTimeout(); ht > 0 {
+			conn.SetReadDeadline(time.Now().Add(ht))
+		} else {
+			conn.SetReadDeadline(time.Time{})
+		}
+		keep := false
+		switch op[0] {
+		case rpc.OpWriteBlock:
+			keep = w.handleWriteBlock(conn)
+		case rpc.OpReadBlock:
+			keep = w.handleReadBlock(conn)
+		case rpc.OpReplicateBlock:
+			keep = w.handleReplicateBlock(conn)
+		case rpc.OpTraceDump:
+			keep = w.handleTraceDump(conn)
+		case rpc.OpTransferDump:
+			keep = w.handleTransferDump(conn)
+		default:
+			w.cfg.Logger.Warn("unknown data opcode", "op", op[0])
+		}
+		if !keep {
+			return
+		}
 	}
-	var op [1]byte
-	if _, err := io.ReadFull(conn, op[:]); err != nil {
-		return
+}
+
+// dataIdleTimeout is how long an accepted data connection may sit
+// between exchanges before the worker closes it. The client pool's
+// idle age (DefaultDataPoolIdle) stays well below it, so pooled conns
+// retire client-side first and the stale-conn race window is narrow.
+const dataIdleTimeout = 2 * time.Minute
+
+// respFrame returns the frame writer matching the requester's format:
+// a legacy gob request gets gob responses, so old and new daemons
+// interoperate in either direction.
+func respFrame(legacy bool) func(io.Writer, any) error {
+	if legacy {
+		return rpc.WriteFrameLegacy
 	}
-	switch op[0] {
-	case rpc.OpWriteBlock:
-		w.handleWriteBlock(conn)
-	case rpc.OpReadBlock:
-		w.handleReadBlock(conn)
-	case rpc.OpReplicateBlock:
-		w.handleReplicateBlock(conn)
-	case rpc.OpTraceDump:
-		w.handleTraceDump(conn)
-	case rpc.OpTransferDump:
-		w.handleTransferDump(conn)
-	default:
-		w.cfg.Logger.Warn("unknown data opcode", "op", op[0])
-	}
+	return rpc.WriteFrame
 }
 
 // endHandshake lifts the accept-side handshake deadline armed in
@@ -104,20 +149,19 @@ func (t *timedWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// copyBufBytes is the io.CopyN internal buffer size, accounted into
-// per-transfer allocation counters.
-const copyBufBytes = 32 << 10
-
 // handleWriteBlock implements one stage of the Worker-to-Worker write
 // pipeline (paper §3.1): store the incoming packet stream on the local
 // media named by the pipeline head while forwarding it verbatim to the
 // next stage, then combine the downstream ack with the local result.
-func (w *Worker) handleWriteBlock(conn net.Conn) {
+// It reports whether the connection is clean for another exchange:
+// the upstream stream fully drained and the ack delivered.
+func (w *Worker) handleWriteBlock(conn net.Conn) (keep bool) {
 	start := time.Now()
 	var hdr rpc.WriteBlockHeader
-	if err := rpc.ReadFrame(conn, &hdr); err != nil {
+	legacy, err := rpc.ReadFrameEx(conn, &hdr)
+	if err != nil {
 		w.cfg.Logger.Warn("bad write header", "err", err)
-		return
+		return false
 	}
 	endHandshake(conn)
 	sp := w.tracer.Start(hdr.ReqID, hdr.SpanID, "worker.write")
@@ -137,7 +181,7 @@ func (w *Worker) handleWriteBlock(conn net.Conn) {
 			tier = m.Tier().String()
 		}
 	}
-	ack := w.writeBlockPipeline(conn, hdr, sp, &rec)
+	ack, streamDone := w.writeBlockPipeline(conn, hdr, sp, &rec)
 	ack.Err = rpc.WithReqID(ack.Err, hdr.ReqID)
 	sp.Annotate("tier", tier).AnnotateInt("bytes", ack.Stored)
 	rec.Tier = tier
@@ -156,11 +200,13 @@ func (w *Worker) handleWriteBlock(conn net.Conn) {
 	}
 	w.metrics.observeOp("write", hdr.ReqID, start, ack.Stored, tier, ack.Err != "")
 	w.metrics.observeDisk(tier, "write", rec.DiskNs)
-	if err := rpc.WriteFrame(conn, ack); err != nil {
-		w.cfg.Logger.Warn("write ack failed", "err", err)
+	ackErr := respFrame(legacy)(conn, ack)
+	if ackErr != nil {
+		w.cfg.Logger.Warn("write ack failed", "err", ackErr)
 	}
 	rec.TotalNs = time.Since(start).Nanoseconds()
 	w.xfers.Append(rec)
+	return streamDone && ackErr == nil
 }
 
 // annotatePhases copies a transfer record's non-zero phase timings
@@ -181,15 +227,22 @@ func annotatePhases(sp *trace.ActiveSpan, rec *xfer.Record) {
 	phase("ack_wait_ns", rec.AckWaitNs)
 	phase("stall_ns", rec.StallNs)
 	phase("alloc_bytes", rec.AllocBytes)
+	if rec.PoolHit {
+		sp.AnnotateInt("pool_hit", 1)
+	}
 }
 
-func (w *Worker) writeBlockPipeline(conn net.Conn, hdr rpc.WriteBlockHeader, sp *trace.ActiveSpan, rec *xfer.Record) rpc.WriteBlockAck {
+// writeBlockPipeline runs the body of one OpWriteBlock exchange. The
+// second result reports whether the upstream packet stream was fully
+// consumed (end marker seen), i.e. whether the connection holds no
+// residual request bytes.
+func (w *Worker) writeBlockPipeline(conn net.Conn, hdr rpc.WriteBlockHeader, sp *trace.ActiveSpan, rec *xfer.Record) (rpc.WriteBlockAck, bool) {
 	if len(hdr.Pipeline) == 0 {
-		return rpc.WriteBlockAck{Err: rpc.EncodeError(fmt.Errorf("worker: empty pipeline: %w", core.ErrNotFound))}
+		return rpc.WriteBlockAck{Err: rpc.EncodeError(fmt.Errorf("worker: empty pipeline: %w", core.ErrNotFound))}, false
 	}
 	media, ok := w.media[hdr.Pipeline[0].Storage]
 	if !ok {
-		return rpc.WriteBlockAck{Err: rpc.EncodeError(fmt.Errorf("worker: unknown media %s: %w", hdr.Pipeline[0].Storage, core.ErrNotFound))}
+		return rpc.WriteBlockAck{Err: rpc.EncodeError(fmt.Errorf("worker: unknown media %s: %w", hdr.Pipeline[0].Storage, core.ErrNotFound))}, false
 	}
 
 	// Open the downstream stage, if any. The forwarded header carries
@@ -200,7 +253,7 @@ func (w *Worker) writeBlockPipeline(conn net.Conn, hdr rpc.WriteBlockHeader, sp 
 		var err error
 		downstream, err = rpc.OpenBlockWriterSpan(hdr.Block, hdr.Pipeline[1:], hdr.Client, hdr.ReqID, sp.ID())
 		if err != nil {
-			return rpc.WriteBlockAck{Err: rpc.EncodeError(err)}
+			return rpc.WriteBlockAck{Err: rpc.EncodeError(err)}, false
 		}
 	}
 
@@ -212,6 +265,7 @@ func (w *Worker) writeBlockPipeline(conn net.Conn, hdr rpc.WriteBlockHeader, sp 
 	// wait), and the downstream writer accumulates its own forward
 	// and ack phases.
 	src := rpc.NewPacketReader(conn)
+	defer src.Release()
 	pr, pw := io.Pipe()
 	putDone := make(chan error, 1)
 	putStored := make(chan int64, 1)
@@ -228,7 +282,13 @@ func (w *Worker) writeBlockPipeline(conn net.Conn, hdr rpc.WriteBlockHeader, sp 
 
 	var streamErr error
 	var netNs, pipeNs int64
-	buf := make([]byte, rpc.MaxPacketSize)
+	buf, fresh := bufpool.Get(rpc.MaxPacketSize)
+	defer bufpool.Put(buf)
+	var bufAlloc int64
+	if fresh {
+		bufAlloc = int64(len(buf))
+	}
+	streamDone := false
 	for {
 		rs := time.Now()
 		n, err := src.Read(buf)
@@ -247,6 +307,7 @@ func (w *Worker) writeBlockPipeline(conn net.Conn, hdr rpc.WriteBlockHeader, sp 
 			}
 		}
 		if err == io.EOF {
+			streamDone = true // end marker consumed: the conn is drained
 			break
 		}
 		if err != nil {
@@ -277,11 +338,12 @@ func (w *Worker) writeBlockPipeline(conn net.Conn, hdr rpc.WriteBlockHeader, sp 
 	}
 	rec.ThrottleWaitNs = throttle
 	rec.DiskNs = pipeNs - throttle
-	rec.AllocBytes = src.AllocBytes() + int64(len(buf))
+	rec.AllocBytes = src.AllocBytes() + bufAlloc
 	if downstream != nil {
 		dial, hdrEnc, fwd, ackWait := downstream.Phases()
 		rec.DialNs, rec.HeaderEncodeNs, rec.ForwardNs, rec.AckWaitNs = dial, hdrEnc, fwd, ackWait
 		rec.AllocBytes += downstream.AllocBytes()
+		rec.PoolHit = downstream.PoolHit()
 	}
 
 	block := hdr.Block
@@ -289,28 +351,31 @@ func (w *Worker) writeBlockPipeline(conn net.Conn, hdr rpc.WriteBlockHeader, sp 
 	switch {
 	case streamErr != nil:
 		media.Delete(block) // drop the partial replica
-		return rpc.WriteBlockAck{Err: rpc.EncodeError(fmt.Errorf("worker: pipeline stream: %w", streamErr))}
+		return rpc.WriteBlockAck{Err: rpc.EncodeError(fmt.Errorf("worker: pipeline stream: %w", streamErr))}, streamDone
 	case putErr != nil:
-		return rpc.WriteBlockAck{Err: rpc.EncodeError(putErr), Stored: 0}
+		return rpc.WriteBlockAck{Err: rpc.EncodeError(putErr), Stored: 0}, streamDone
 	case downErr != nil:
 		// Local copy is good; report the downstream failure so the
 		// client can decide. The local replica is kept and will be
 		// reported to the master.
 		w.notifyReceived(hdr.Pipeline[0].Storage, block)
-		return rpc.WriteBlockAck{Err: rpc.EncodeError(fmt.Errorf("worker: downstream: %w", downErr)), Stored: stored}
+		return rpc.WriteBlockAck{Err: rpc.EncodeError(fmt.Errorf("worker: downstream: %w", downErr)), Stored: stored}, streamDone
 	default:
 		w.notifyReceived(hdr.Pipeline[0].Storage, block)
-		return rpc.WriteBlockAck{Stored: stored}
+		return rpc.WriteBlockAck{Stored: stored}, streamDone
 	}
 }
 
-// handleReadBlock streams a block range to a reader (paper §4.1).
-func (w *Worker) handleReadBlock(conn net.Conn) {
+// handleReadBlock streams a block range to a reader (paper §4.1). It
+// reports whether the connection is clean for another exchange: the
+// refusal or the full packet stream was delivered without error.
+func (w *Worker) handleReadBlock(conn net.Conn) (keep bool) {
 	start := time.Now()
 	var hdr rpc.ReadBlockHeader
-	if err := rpc.ReadFrame(conn, &hdr); err != nil {
+	legacy, err := rpc.ReadFrameEx(conn, &hdr)
+	if err != nil {
 		w.cfg.Logger.Warn("bad read header", "err", err)
-		return
+		return false
 	}
 	endHandshake(conn)
 	sp := w.tracer.Start(hdr.ReqID, hdr.SpanID, "worker.read")
@@ -324,7 +389,7 @@ func (w *Worker) handleReadBlock(conn net.Conn) {
 		Peer:           conn.RemoteAddr().String(),
 		HeaderDecodeNs: time.Since(start).Nanoseconds(),
 	}
-	served, tier, err := w.readBlock(conn, hdr, &rec)
+	served, tier, keep, err := w.readBlock(conn, hdr, legacy, &rec)
 	sp.Annotate("tier", tier).AnnotateInt("bytes", served)
 	rec.Tier = tier
 	rec.Bytes = served
@@ -342,18 +407,23 @@ func (w *Worker) handleReadBlock(conn net.Conn) {
 	w.metrics.observeDisk(tier, "read", rec.DiskNs)
 	rec.TotalNs = time.Since(start).Nanoseconds()
 	w.xfers.Append(rec)
+	return keep
 }
 
 // readBlock serves one OpReadBlock exchange; errors that can still be
 // delivered go back in the response frame with the request ID attached.
 // The record receives the serve's phase split: device and throttle
 // time from the media stream, socket time from a timed writer around
-// the response frame and packet stream.
-func (w *Worker) readBlock(conn net.Conn, hdr rpc.ReadBlockHeader, rec *xfer.Record) (served int64, tier string, err error) {
+// the response frame and packet stream. keep reports whether the
+// response (refusal or full stream) was delivered cleanly.
+func (w *Worker) readBlock(conn net.Conn, hdr rpc.ReadBlockHeader, legacy bool, rec *xfer.Record) (served int64, tier string, keep bool, err error) {
+	writeResp := respFrame(legacy)
 	tier = "UNKNOWN"
-	refuse := func(e error) (int64, string, error) {
-		rpc.WriteFrame(conn, rpc.ReadBlockResponse{Err: rpc.WithReqID(rpc.EncodeError(e), hdr.ReqID)})
-		return 0, tier, e
+	refuse := func(e error) (int64, string, bool, error) {
+		// A delivered refusal leaves the conn clean: the requester got
+		// its answer and nothing is mid-stream.
+		werr := writeResp(conn, rpc.ReadBlockResponse{Err: rpc.WithReqID(rpc.EncodeError(e), hdr.ReqID)})
+		return 0, tier, werr == nil, e
 	}
 	media, ok := w.media[hdr.Storage]
 	if !ok {
@@ -370,7 +440,7 @@ func (w *Worker) readBlock(conn net.Conn, hdr rpc.ReadBlockHeader, rec *xfer.Rec
 		return refuse(err)
 	}
 	var iost storage.IOStats
-	rc, err := media.OpenStats(hdr.Block, &iost)
+	rc, err := media.OpenRangeStats(hdr.Block, hdr.Offset, &iost)
 	if err != nil {
 		return refuse(err)
 	}
@@ -380,11 +450,6 @@ func (w *Worker) readBlock(conn net.Conn, hdr rpc.ReadBlockHeader, rec *xfer.Rec
 		rec.ThrottleWaitNs = iost.ThrottleWaitNs
 	}()
 
-	if hdr.Offset > 0 {
-		if _, err := io.CopyN(io.Discard, rc, hdr.Offset); err != nil {
-			return refuse(fmt.Errorf("worker: seeking to %d: %w", hdr.Offset, err))
-		}
-	}
 	length := hdr.Length
 	if length < 0 {
 		length = hdr.Block.NumBytes - hdr.Offset
@@ -393,31 +458,33 @@ func (w *Worker) readBlock(conn net.Conn, hdr rpc.ReadBlockHeader, rec *xfer.Rec
 		length = 0
 	}
 	tw := &timedWriter{w: conn, ns: &rec.NetNs}
-	if err := rpc.WriteFrame(tw, rpc.ReadBlockResponse{Length: length}); err != nil {
-		return 0, tier, err
+	if err := writeResp(tw, rpc.ReadBlockResponse{Length: length}); err != nil {
+		return 0, tier, false, err
 	}
 	pw := rpc.NewPacketWriter(tw)
-	rec.AllocBytes = pw.AllocBytes() + copyBufBytes
+	defer pw.Release()
 	n, err := io.CopyN(pw, rc, length)
+	rec.AllocBytes = pw.AllocBytes()
 	if err != nil {
 		w.cfg.Logger.Warn("block read stream failed", "block", hdr.Block.ID, "req", hdr.ReqID, "err", err)
-		return n, tier, err // connection dies; the client fails over
+		return n, tier, false, err // connection dies; the client fails over
 	}
 	if err := pw.Close(); err != nil {
 		w.cfg.Logger.Warn("block read close failed", "err", err)
-		return n, tier, err
+		return n, tier, false, err
 	}
-	return n, tier, nil
+	return n, tier, true, nil
 }
 
 // handleReplicateBlock lets a peer push a replication order directly
 // over the data port (the master normally uses heartbeat commands
 // instead).
-func (w *Worker) handleReplicateBlock(conn net.Conn) {
+func (w *Worker) handleReplicateBlock(conn net.Conn) (keep bool) {
 	start := time.Now()
 	var hdr rpc.ReplicateBlockHeader
-	if err := rpc.ReadFrame(conn, &hdr); err != nil {
-		return
+	legacy, err := rpc.ReadFrameEx(conn, &hdr)
+	if err != nil {
+		return false
 	}
 	endHandshake(conn)
 	reqID := hdr.ReqID
@@ -450,22 +517,26 @@ func (w *Worker) handleReplicateBlock(conn net.Conn) {
 	}
 	w.metrics.observeOp("replicate", reqID, start, n, tier, err != nil)
 	w.metrics.observeDisk(tier, "replicate", rec.DiskNs)
-	rpc.WriteFrame(conn, rpc.ReplicateBlockAck{Err: rpc.WithReqID(rpc.EncodeError(err), reqID)})
+	ackErr := respFrame(legacy)(conn, rpc.ReplicateBlockAck{Err: rpc.WithReqID(rpc.EncodeError(err), reqID)})
 	rec.TotalNs = time.Since(start).Nanoseconds()
 	w.xfers.Append(rec)
+	return ackErr == nil
 }
 
 // handleTraceDump serves the worker's retained spans of one trace to
 // the master's assembly fan-out.
-func (w *Worker) handleTraceDump(conn net.Conn) {
+func (w *Worker) handleTraceDump(conn net.Conn) (keep bool) {
 	var hdr rpc.TraceDumpHeader
-	if err := rpc.ReadFrame(conn, &hdr); err != nil {
-		return
+	legacy, err := rpc.ReadFrameEx(conn, &hdr)
+	if err != nil {
+		return false
 	}
 	endHandshake(conn)
-	if err := rpc.WriteFrame(conn, rpc.TraceDumpResponse{Spans: w.traces.Get(hdr.TraceID)}); err != nil {
+	if err := respFrame(legacy)(conn, rpc.TraceDumpResponse{Spans: w.traces.Get(hdr.TraceID)}); err != nil {
 		w.cfg.Logger.Warn("trace dump failed", "trace", hdr.TraceID, "err", err)
+		return false
 	}
+	return true
 }
 
 // transferDumpMaxPage caps one OpTransferDump page so the response
@@ -475,10 +546,11 @@ const transferDumpMaxPage = 512
 
 // handleTransferDump serves one page of the worker's transfer flight
 // recorder to Master.GetTransfers' fan-out.
-func (w *Worker) handleTransferDump(conn net.Conn) {
+func (w *Worker) handleTransferDump(conn net.Conn) (keep bool) {
 	var hdr rpc.TransferDumpHeader
-	if err := rpc.ReadFrame(conn, &hdr); err != nil {
-		return
+	legacy, err := rpc.ReadFrameEx(conn, &hdr)
+	if err != nil {
+		return false
 	}
 	endHandshake(conn)
 	limit := hdr.Limit
@@ -489,9 +561,11 @@ func (w *Worker) handleTransferDump(conn net.Conn) {
 	if resp.Page.Entries == nil {
 		resp.Page.Entries = []xfer.Record{}
 	}
-	if err := rpc.WriteFrame(conn, resp); err != nil {
+	if err := respFrame(legacy)(conn, resp); err != nil {
 		w.cfg.Logger.Warn("transfer dump failed", "err", err)
+		return false
 	}
+	return true
 }
 
 // replicate copies a block from the best available source replica onto
@@ -545,6 +619,7 @@ func (w *Worker) replicate(reqID string, sp *trace.ActiveSpan, block core.Block,
 		rec.DialNs += tm.DialNs
 		rec.HeaderEncodeNs += tm.HeaderEncodeNs
 		rec.HeaderDecodeNs += tm.HeaderDecodeNs
+		rec.PoolHit = tm.PoolHit
 		var iost storage.IOStats
 		n, err := media.PutStats(block, rc, &iost)
 		if ac, ok := rc.(interface{ AllocBytes() int64 }); ok {

@@ -73,6 +73,12 @@ func newWorkerMetrics(w *Worker) *workerMetrics {
 		func() float64 { return float64(rpc.DataConnStats().Handshakes) })
 	reg.GaugeFunc("octopus_worker_data_open_conns", "Outbound data connections currently open (process-wide).", nil,
 		func() float64 { return float64(rpc.DataConnStats().OpenConns) })
+	reg.GaugeFunc("octopus_worker_data_pool_hits_total", "Outbound data-connection checkouts served from the pool (process-wide).", nil,
+		func() float64 { return float64(rpc.DataPoolStats().Hits) })
+	reg.GaugeFunc("octopus_worker_data_pool_misses_total", "Outbound data-connection checkouts that had to dial (process-wide).", nil,
+		func() float64 { return float64(rpc.DataPoolStats().Misses) })
+	reg.GaugeFunc("octopus_worker_data_pool_idle_conns", "Idle data connections currently pooled (process-wide).", nil,
+		func() float64 { return float64(rpc.DataPoolStats().Idle) })
 	metrics.RegisterRuntimeGauges(reg, "octopus_worker", time.Now())
 	return wm
 }

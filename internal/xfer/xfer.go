@@ -103,10 +103,15 @@ type Record struct {
 	StallNs        int64 `json:"stall_ns"`
 	TotalNs        int64 `json:"total_ns"`
 
-	// AllocBytes counts the transfer-local buffer bytes allocated for
-	// this leg (packet reader/writer buffers, frame scratch, copy
-	// buffers) — the number the buffer-pooling work must drive down.
+	// AllocBytes counts the transfer-local buffer bytes freshly
+	// allocated for this leg (packet reader/writer buffers, frame
+	// scratch, copy buffers); buffers reused from the pools count
+	// zero, so steady state reads 0.
 	AllocBytes int64 `json:"alloc_bytes"`
+
+	// PoolHit reports that the leg's outbound connection was reused
+	// from the data-connection pool instead of freshly dialled.
+	PoolHit bool `json:"pool_hit,omitempty"`
 }
 
 // PhaseSumNs returns the sum of the record's phase fields, the
